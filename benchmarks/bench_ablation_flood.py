@@ -1,0 +1,87 @@
+"""Ablation — guarded vs literal (flooding) edge-parallel update.
+
+Algorithm 4 as printed never checks that an arc's tail was touched, so
+a literal implementation floods the whole cone below the insertion
+level (see :mod:`repro.bc.flood`).  This benchmark measures how much
+the guard is worth on a deep graph — part of the explanation for the
+edge-parallel strategy's poor showing in Table II.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bc.accountants import make_accountant
+from repro.bc.brandes import single_source_state
+from repro.bc.cases import Case, classify_insertion
+from repro.bc.flood import flood_adjacent_level_update
+from repro.bc.update_core import adjacent_level_update
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import TESLA_C2075
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.suite import make_suite_graph
+from repro.utils.prng import default_rng
+
+
+def _case2_pairs(graph, source, count, seed):
+    d, _, _, _ = single_source_state(graph, source)
+    rng = default_rng(seed)
+    pairs = []
+    for u, v in graph.undirected_non_edges(rng, 2000).tolist():
+        case, high, low = classify_insertion(d, u, v)
+        if case == Case.ADJACENT_LEVEL:
+            pairs.append((high, low))
+            if len(pairs) == count:
+                break
+    return pairs
+
+
+def _apply(fn, graph_before, source, pairs, **kwargs):
+    model = CostModel(TESLA_C2075)
+    total = 0.0
+    touched = 0
+    for u_high, u_low in pairs:
+        dyn = DynamicGraph.from_csr(graph_before)
+        dyn.insert_edge(u_high, u_low)
+        after = dyn.snapshot()
+        d, sigma, delta, _ = single_source_state(graph_before, source)
+        delta[source] = 0.0
+        bc = np.zeros(graph_before.num_vertices)
+        acc = make_accountant("gpu-edge", after.num_vertices,
+                              2 * after.num_edges)
+        stats = fn(after, source, d, sigma, delta, bc, u_high, u_low, acc,
+                   **kwargs)
+        total += model.trace_seconds(acc.finish())
+        touched += stats.touched
+    return total, touched
+
+
+def test_flood_vs_guarded(benchmark, bench_config, save_artifact):
+    # 'del' is the deep graph where flooding hurts most
+    bench = make_suite_graph("del", scale=bench_config.scale,
+                             seed=bench_config.seed)
+    graph = bench.graph
+    source = 0
+    pairs = _case2_pairs(graph, source, 5, bench_config.seed)
+    assert pairs
+
+    def run():
+        guarded = _apply(adjacent_level_update, graph, source, pairs,
+                         insert=True)
+        flood = _apply(flood_adjacent_level_update, graph, source, pairs)
+        return guarded, flood
+
+    (g_time, g_touch), (f_time, f_touch) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = [
+        "Ablation: guarded vs literal (flooding) edge-parallel Case-2 update",
+        f"  graph: del (n={graph.num_vertices}), {len(pairs)} insertions, "
+        "one source",
+        f"  guarded: {g_time * 1e3:9.3f} ms simulated, {g_touch:7d} touched",
+        f"  flood  : {f_time * 1e3:9.3f} ms simulated, {f_touch:7d} touched",
+        f"  flood amplification: {f_time / g_time:5.2f}x time, "
+        f"{f_touch / max(1, g_touch):5.1f}x touched vertices",
+    ]
+    save_artifact("ablation_flood.txt", "\n".join(lines))
+    assert f_touch >= g_touch
+    assert f_time >= g_time * 0.99

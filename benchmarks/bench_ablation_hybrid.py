@@ -1,0 +1,54 @@
+"""Ablation — heterogeneous CPU+GPU execution (§VI future work).
+
+Partitions the source set between the Tesla C2075 and the otherwise
+idle i7 core (Sariyüce-style heterogeneous execution) and measures the
+benefit over the pure-GPU engine, sweeping the CPU slice size around
+the throughput-model optimum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.protocol import prepare_stream
+from repro.bc.engine import DynamicBC
+from repro.bc.hybrid import HybridDynamicBC
+
+
+def test_hybrid_split(benchmark, bench_config, save_artifact):
+    bench, dyn, removed = prepare_stream(bench_config, "pref")
+
+    def run():
+        results = {}
+        for frac in (0.0, None, 0.3):  # pure GPU, auto, oversized slice
+            graph = bench.graph  # fresh copy of the shrunken graph
+            from repro.graph.dynamic import DynamicGraph
+
+            dyn2 = DynamicGraph.from_csr(bench.graph)
+            for u, v in removed:
+                dyn2.delete_edge(int(u), int(v))
+            hybrid = HybridDynamicBC.from_graph(
+                dyn2, num_sources=bench_config.num_sources,
+                seed=bench_config.seed + 23, cpu_fraction=frac,
+            )
+            total = sum(
+                hybrid.insert_edge(int(u), int(v)).simulated_seconds
+                for u, v in removed
+            )
+            label = "auto" if frac is None else f"{frac:.2f}"
+            results[label] = (hybrid.cpu_fraction, total)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: heterogeneous CPU+GPU source partitioning (pref)"]
+    for label, (frac, total) in results.items():
+        lines.append(
+            f"  cpu_fraction={label:>5s} (={frac:.3f}): "
+            f"{total * 1e3:9.3f} ms simulated"
+        )
+    pure = results["0.00"][1]
+    auto = results["auto"][1]
+    lines.append(f"  auto split vs pure GPU: {pure / auto:5.2f}x")
+    save_artifact("ablation_hybrid.txt", "\n".join(lines))
+    # the auto split should never be slower than pure GPU by much, and
+    # an oversized CPU slice should hurt
+    assert auto <= pure * 1.10

@@ -1,0 +1,49 @@
+"""Ablation — approximation quality vs number of source vertices.
+
+§II-B adopts k-source approximation (Brandes & Pich [11]) and §IV fixes
+k = 256 following the SSCA guidelines.  This benchmark sweeps k on one
+suite graph and records ranking agreement with exact BC plus the
+simulated GPU cost, showing the accuracy/cost knee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bc.accuracy import ranking_metrics
+from repro.bc.brandes import brandes_bc
+from repro.bc.static_gpu import static_bc_gpu
+from repro.gpu.device import TESLA_C2075
+from repro.graph.suite import make_suite_graph
+from repro.utils.prng import default_rng, sample_without_replacement
+
+
+def test_k_sweep(benchmark, bench_config, save_artifact):
+    bench = make_suite_graph("small", scale=bench_config.scale,
+                             seed=bench_config.seed)
+    graph = bench.graph
+    n = graph.num_vertices
+    exact = brandes_bc(graph)
+    rng = default_rng(bench_config.seed)
+
+    def sweep():
+        rows = []
+        for k in (8, 32, 128, min(512, n)):
+            sources = sample_without_replacement(rng, n, k)
+            res = static_bc_gpu(graph, sources=sources, strategy="gpu-edge")
+            metrics = ranking_metrics(res.bc * (n / k), exact, k=10)
+            cost = res.timing(TESLA_C2075).total_seconds
+            rows.append((k, metrics["top_k_overlap"],
+                         metrics["kendall_tau_topk"], cost))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: approximation quality vs k (graph: small)",
+             f"  {'k':>5s} {'top10':>7s} {'tau':>7s} {'cost(ms)':>9s}"]
+    for k, overlap, tau, cost in rows:
+        lines.append(f"  {k:5d} {overlap:7.0%} {tau:7.3f} {cost * 1e3:9.2f}")
+    save_artifact("ablation_k.txt", "\n".join(lines))
+    # more sources cannot hurt top-k recovery (weak monotonicity at ends)
+    assert rows[-1][1] >= rows[0][1]
+    # cost grows with k
+    costs = [r[3] for r in rows]
+    assert costs == sorted(costs)

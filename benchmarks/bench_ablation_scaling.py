@@ -1,0 +1,27 @@
+"""Ablation — strong scaling across SM counts (paper §VI future work).
+
+Models the paper's multi-GPU prediction: coarse-grained parallelism
+over source vertices should scale strongly as long as sources outnumber
+SMs.  Rescheduling recorded per-source work across 1x..8x the Tesla
+C2075's SM count makes both the scaling and its saturation point
+visible.
+"""
+
+import pytest
+
+from repro.analysis.scaling import render_scaling, run_scaling_study
+
+
+def test_strong_scaling(benchmark, bench_config, save_artifact):
+    study = benchmark.pedantic(
+        run_scaling_study,
+        args=(bench_config, "pref"),
+        kwargs=dict(sm_multipliers=(1, 2, 4, 8)),
+        rounds=1, iterations=1,
+    )
+    save_artifact("ablation_scaling.txt", render_scaling(study))
+    speeds = [p.speedup for p in study.points]
+    assert speeds == sorted(speeds)  # monotone
+    # extra SMs help, but never below the heaviest source's critical path
+    assert study.points[1].speedup > 1.05
+    assert study.points[-1].seconds >= study.critical_path_seconds * 0.99

@@ -1,0 +1,63 @@
+"""Extension — dynamic distance oracle and derived centralities.
+
+§VI: "there are plenty of other graph algorithms that can benefit from
+either dynamic implementations or parallelism".  This benchmark drives
+the k-source distance oracle (the ``d`` half of the BC state) through
+the same insertion stream and measures its update cost, plus the cost
+of refreshing closeness/harmonic centralities from the maintained rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.closeness import (
+    closeness_of_sources,
+    harmonic_centrality_estimate,
+)
+from repro.analytics.distances import DynamicDistances
+from repro.analysis.protocol import prepare_stream
+
+
+def test_distance_oracle_stream(benchmark, bench_config, save_artifact):
+    bench, dyn, removed = prepare_stream(bench_config, "small")
+
+    def run():
+        oracle = DynamicDistances.with_random_sources(
+            dyn, bench_config.num_sources, seed=bench_config.seed
+        )
+        total = sum(
+            oracle.insert_edge(int(u), int(v)).simulated_seconds
+            for u, v in removed
+        )
+        return oracle, total
+
+    oracle, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    oracle.verify()
+    close = closeness_of_sources(oracle)
+    harm = harmonic_centrality_estimate(oracle)
+    save_artifact(
+        "analytics_distances.txt",
+        "Extension: dynamic distance oracle on 'small'\n"
+        f"  {len(removed)} insertions maintained in {total * 1e3:.3f} ms "
+        "simulated\n"
+        f"  closeness of sources: mean {close.mean():.4f}\n"
+        f"  harmonic estimate: top vertex {int(np.argmax(harm))} "
+        f"(score {harm.max():.1f})",
+    )
+    assert total > 0
+    assert np.all(close >= 0)
+
+
+def test_centrality_refresh_cost(benchmark, bench_config):
+    bench, dyn, removed = prepare_stream(bench_config, "small")
+    oracle = DynamicDistances.with_random_sources(
+        dyn, bench_config.num_sources, seed=bench_config.seed
+    )
+
+    def refresh():
+        return (closeness_of_sources(oracle),
+                harmonic_centrality_estimate(oracle))
+
+    close, harm = benchmark(refresh)
+    assert close.shape == (oracle.num_sources,)
+    assert harm.shape == (oracle.graph.num_vertices,)

@@ -1,0 +1,29 @@
+"""Fig. 1 — static BC speedup vs thread-block count on both devices.
+
+Reproduces the paper's conclusion: speedup scales ~linearly up to one
+block per SM, then flattens (slightly degrades) — so the dynamic
+kernels launch exactly ``num_sms`` blocks.
+"""
+
+import pytest
+
+from repro.analysis.blocks import FIG1_GRAPHS, run_block_sweep
+from repro.analysis.report import render_fig1
+from repro.gpu.device import GTX_560, TESLA_C2075
+
+
+def test_fig1_block_sweep(benchmark, bench_config, save_artifact):
+    sweeps = benchmark.pedantic(
+        run_block_sweep,
+        kwargs=dict(scale=bench_config.scale, seed=bench_config.seed,
+                    max_sources=4 * bench_config.num_sources),
+        rounds=1, iterations=1,
+    )
+    save_artifact("fig1.txt", render_fig1(sweeps))
+    # the paper's finding: optimum at one block per SM, on both devices
+    for sweep in sweeps:
+        sms = (GTX_560 if "560" in sweep.device_name else TESLA_C2075).num_sms
+        assert sweep.best_blocks == sms
+        # near-linear region below saturation
+        idx = sweep.block_counts.index(sms)
+        assert sweep.speedups[idx] > 0.8 * sms

@@ -1,0 +1,23 @@
+"""Fig. 2 — distribution of update scenarios across the suite.
+
+The paper pools 100 insertions x k sources per graph and finds Case 2
+(adjacent levels) is the dominant work-requiring scenario (73.5% of
+Cases 2+3), motivating the Case-2 kernel focus.
+"""
+
+import pytest
+
+from repro.analysis.report import render_fig2
+from repro.analysis.scenarios import aggregate, run_scenario_study
+
+
+def test_fig2_scenario_distribution(benchmark, bench_config, save_artifact):
+    results = benchmark.pedantic(
+        run_scenario_study, args=(bench_config,), rounds=1, iterations=1
+    )
+    save_artifact("fig2.txt", render_fig2(results))
+    agg = aggregate(results)
+    expected = bench_config.num_insertions * bench_config.num_sources
+    assert all(r.total == expected for r in results)
+    # Case 2 dominates the work-requiring scenarios (paper: 73.5%)
+    assert agg.case2_share_of_work > 0.5

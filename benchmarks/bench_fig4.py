@@ -1,0 +1,26 @@
+"""Fig. 4 — portion of the graph touched per Case-2 scenario.
+
+The paper records, for all ~63k Case-2 scenarios across the suite, the
+fraction of vertices with ``t != untouched``; the distribution is
+bottom-heavy (median far below 1%) with a tail reaching ~35%.  This is
+the empirical argument for work-efficient (node-parallel) mapping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_fig4
+from repro.analysis.touched import run_touched_study
+
+
+def test_fig4_touched_fractions(benchmark, bench_config, save_artifact):
+    studies = benchmark.pedantic(
+        run_touched_study, args=(bench_config,), rounds=1, iterations=1
+    )
+    save_artifact("fig4.txt", render_fig4(studies))
+    pooled = np.concatenate([s.fractions for s in studies if s.count])
+    assert pooled.size > 0
+    # bottom-heavy distribution: typical scenario touches a small part
+    assert np.median(pooled) < 0.25
+    # and nothing can exceed the whole graph
+    assert pooled.max() <= 1.0

@@ -1,0 +1,32 @@
+"""Table I — the benchmark graph suite.
+
+Benchmarks suite generation and renders the Table-I analog (sizes,
+degree statistics, diameter, clustering) for the generated graphs.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table1
+from repro.graph.properties import analyze
+from repro.graph.suite import SUITE_SPECS, load_suite, make_suite_graph
+
+
+@pytest.mark.parametrize("name", sorted(SUITE_SPECS))
+def test_generate_suite_graph(benchmark, name, bench_config):
+    """Generation cost of each suite graph class."""
+    bench = benchmark(
+        make_suite_graph, name, bench_config.scale, bench_config.seed
+    )
+    assert bench.graph.num_edges > 0
+
+
+def test_render_table1(benchmark, bench_config, save_artifact):
+    suite = load_suite(scale=bench_config.scale, seed=bench_config.seed)
+    graphs = [suite[name] for name in sorted(suite)]
+
+    def run():
+        props = [analyze(b.graph, clustering_samples=500) for b in graphs]
+        return render_table1(graphs, props)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("table1.txt", table)

@@ -1,0 +1,42 @@
+"""Table II — dynamic CPU vs dynamic GPU (edge- and node-parallel).
+
+For each suite graph the identical insertion stream is replayed under
+the three execution strategies; speedups are reported relative to the
+sequential CPU baseline.  The paper's shape: node-parallel wins on
+every graph (24x-110x), edge-parallel lands between 1.03x and 20.6x.
+
+Absolute simulated seconds scale with the graph size; run with
+``REPRO_BENCH_SCALE=20`` (or more) to approach the paper's regime —
+see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.protocol import replay_stream
+from repro.analysis.report import render_table2
+from repro.analysis.speedup import Table2Row, run_table2
+from repro.graph.suite import SUITE_SPECS
+
+
+@pytest.mark.parametrize("backend", ["cpu", "gpu-edge", "gpu-node"])
+def test_replay_one_backend(benchmark, backend, bench_config):
+    """Wall-clock cost of replaying one graph's stream per backend
+    (the vectorized execution, not the simulated device time)."""
+    sub = bench_config
+    run = benchmark.pedantic(
+        replay_stream, args=(sub, "small", backend), rounds=1, iterations=1
+    )
+    assert len(run.reports) == sub.num_insertions
+
+
+def test_table2_speedups(benchmark, bench_config, save_artifact):
+    rows = benchmark.pedantic(
+        run_table2, args=(bench_config,), rounds=1, iterations=1
+    )
+    save_artifact("table2.txt", render_table2(rows))
+    assert [r.graph_name for r in rows] == sorted(SUITE_SPECS)
+    for row in rows:
+        # the paper's central result: node-parallel beats edge-parallel
+        # on every graph, and beats the CPU baseline
+        assert row.node_seconds < row.edge_seconds, row.graph_name
+        assert row.node_speedup > 1.0, row.graph_name

@@ -1,0 +1,43 @@
+"""Table III — node-parallel updates vs full GPU recomputation.
+
+Compares the static edge-parallel recomputation time (Jia et al., the
+paper's baseline) against the slowest / average / fastest single
+dynamic update per graph.  Paper headline: 45x average, with
+all-Case-1 insertions (fastest) bounded only by classification time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_headline, render_table3
+from repro.analysis.speedup import (
+    run_table2,
+    run_table3,
+    summarize_headline,
+)
+
+
+def test_table3_update_vs_recompute(benchmark, bench_config, save_artifact):
+    rows = benchmark.pedantic(
+        run_table3, args=(bench_config,), rounds=1, iterations=1
+    )
+    save_artifact("table3.txt", render_table3(rows))
+    for row in rows:
+        assert row.fastest <= row.average <= row.slowest
+        # updates beat recomputation on average for every graph
+        assert row.average_speedup > 1.0, row.graph_name
+    # aggregate: the paper reports a 45x mean speedup
+    mean = float(np.mean([r.average_speedup for r in rows]))
+    assert mean > 2.0
+
+
+def test_headline_summary(benchmark, bench_config, save_artifact):
+    def run():
+        t2 = run_table2(bench_config)
+        t3 = run_table3(bench_config)
+        return summarize_headline(t2, t3)
+
+    head = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("headline.txt", render_headline(head))
+    assert head.max_cpu_speedup > 1.0
+    assert head.mean_update_vs_recompute > 1.0

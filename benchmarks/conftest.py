@@ -1,0 +1,54 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md §4) at a scale that keeps the whole suite in the minutes
+range, and writes the rendered artifact to ``benchmarks/output/``.
+Scale up via environment variables for paper-regime runs::
+
+    REPRO_BENCH_SCALE=20 REPRO_BENCH_SOURCES=128 REPRO_BENCH_INSERTIONS=50 \
+        pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import ExperimentConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=_env_float("REPRO_BENCH_SCALE", 1.0),
+        num_sources=_env_int("REPRO_BENCH_SOURCES", 32),
+        num_insertions=_env_int("REPRO_BENCH_INSERTIONS", 10),
+        seed=_env_int("REPRO_BENCH_SEED", 2014),
+    )
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    def _save(name: str, text: str) -> None:
+        (artifact_dir / name).write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/output/{name}]")
+
+    return _save

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""How many source vertices does approximate BC need?
+
+The paper approximates BC with k = 256 random sources (§II-B, after
+Brandes & Pich [11]) and notes that rankings matter more than
+magnitudes (§II-A).  This example sweeps k and measures how quickly the
+approximate ranking converges to the exact one — and what each k costs
+on the virtual GPU.
+
+Run:  python examples/approximation_quality.py
+"""
+
+import numpy as np
+
+from repro.bc import brandes_bc, static_bc_gpu
+from repro.bc.accuracy import ranking_metrics
+from repro.gpu import TESLA_C2075
+from repro.graph import generators
+from repro.utils.prng import sample_without_replacement
+from repro.utils.tables import format_table
+
+graph = generators.watts_strogatz(1200, k=8, p=0.05, seed=21)
+n = graph.num_vertices
+print(f"graph: {n} vertices, {graph.num_edges} edges")
+
+exact = brandes_bc(graph)
+rng = np.random.default_rng(4)
+
+rows = []
+for k in (8, 16, 32, 64, 128, 256, 512):
+    sources = sample_without_replacement(rng, n, k)
+    result = static_bc_gpu(graph, sources=sources, strategy="gpu-edge")
+    approx = result.bc * (n / k)  # unbiased rescaling
+    metrics = ranking_metrics(approx, exact, k=10)
+    cost = result.timing(TESLA_C2075).total_seconds
+    rows.append((
+        k,
+        f"{metrics['top_k_overlap']:.0%}",
+        f"{metrics['kendall_tau_topk']:.3f}",
+        f"{metrics['max_rel_error']:.3f}",
+        f"{cost * 1e3:.2f} ms",
+    ))
+
+print(format_table(
+    ["k sources", "top-10 found", "tau (top-10)", "max rel err",
+     "GPU cost (simulated)"],
+    rows,
+    title="Approximation quality vs number of sources",
+))
+
+print(
+    "\nTakeaway: the top-10 ranking stabilizes long before the raw "
+    "scores do, which is why the paper's k=256 protocol is sound for "
+    "graphs of this scale — and why the dynamic engine stores only "
+    "O(kn) state instead of O(n^2)."
+)

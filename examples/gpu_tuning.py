@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Tuning the execution model: thread blocks, devices, and strategies.
+
+Walks through the performance questions the paper answers:
+
+1. How many thread blocks should a BC kernel launch?  (Fig. 1: one per
+   SM — more saturates the bus, fewer under-occupies the machine.)
+2. Edge-parallel or node-parallel for *dynamic* updates?  (Table II:
+   node-parallel, by a wide margin — its work tracks the tiny touched
+   sets instead of re-scanning every edge per level.)
+3. How do the counters explain the gap?  (The edge strategy moves
+   orders of magnitude more bytes for the same state transition.)
+
+Run:  python examples/gpu_tuning.py
+"""
+
+import numpy as np
+
+from repro.bc import DynamicBC, static_bc_gpu
+from repro.gpu import GTX_560, TESLA_C2075
+from repro.graph import generators
+from repro.utils.tables import format_table
+
+graph = generators.preferential_attachment(3000, m=5, seed=9)
+print(f"workload: scale-free graph, {graph.num_vertices} vertices, "
+      f"{graph.num_edges} edges\n")
+
+# ---------------------------------------------------------------- 1 --
+print("1) thread-block sweep (static BC, both paper GPUs)\n")
+static = static_bc_gpu(graph, sources=range(128), strategy="gpu-edge")
+rows = []
+for device in (GTX_560, TESLA_C2075):
+    base = static.timing(device, 1).total_seconds
+    for blocks in (1, device.num_sms // 2, device.num_sms,
+                   2 * device.num_sms):
+        t = static.timing(device, blocks).total_seconds
+        rows.append((device.name, blocks, f"{base / t:.2f}x"))
+print(format_table(["Device", "Blocks", "Speedup vs 1 block"], rows))
+
+# ---------------------------------------------------------------- 2 --
+print("\n2) dynamic updates: edge- vs node-parallel vs CPU\n")
+rng = np.random.default_rng(2)
+new_edges = graph.undirected_non_edges(rng, 8)
+rows = []
+engines = {}
+for backend in ("cpu", "gpu-edge", "gpu-node"):
+    engine = DynamicBC.from_graph(graph, num_sources=64, backend=backend,
+                                  seed=9)
+    total = sum(
+        engine.insert_edge(u, v).simulated_seconds
+        for u, v in new_edges.tolist()
+    )
+    engines[backend] = engine
+    rows.append((backend, engine.device.name, f"{total * 1e3:.3f} ms"))
+print(format_table(["Backend", "Device", "8 updates (simulated)"], rows))
+
+# ---------------------------------------------------------------- 3 --
+print("\n3) why: hardware counters for the same state transitions\n")
+rows = []
+for backend, engine in engines.items():
+    c = engine.counters
+    rows.append((
+        backend,
+        f"{c.work_items:,}",
+        f"{c.bytes_moved / 1e6:,.1f} MB",
+        f"{c.atomic_ops:,}",
+        f"{c.barriers:,}",
+    ))
+print(format_table(
+    ["Backend", "Work items", "Memory traffic", "Atomics", "Barriers"],
+    rows,
+))
+
+node = engines["gpu-node"].counters.bytes_moved
+edge = engines["gpu-edge"].counters.bytes_moved
+print(f"\nedge-parallel moved {edge / node:.0f}x the bytes of "
+      "node-parallel for identical results — the paper's §V argument "
+      "in one number.")
+
+# ---------------------------------------------------------------- 4 --
+print("\n4) where one update's time goes (per-stage breakdown)\n")
+rows = []
+for backend in ("cpu", "gpu-edge", "gpu-node"):
+    engine = DynamicBC.from_graph(graph, num_sources=64, backend=backend,
+                                  seed=9)
+    u, v = graph.undirected_non_edges(np.random.default_rng(8), 1)[0]
+    rep = engine.insert_edge(int(u), int(v))
+    total = sum(rep.stage_seconds.values()) or 1.0
+    shares = {k: f"{v / total:.0%}" for k, v in sorted(rep.stage_seconds.items())}
+    rows.append((backend,
+                 shares.get("init", "-"),
+                 shares.get("sp", "-"),
+                 shares.get("dep", "-"),
+                 shares.get("commit", "-")))
+print(format_table(["Backend", "init", "shortest-path", "dependency",
+                    "commit"], rows))
+print("\nThe O(n) init/commit kernels dominate when the touched set is "
+      "tiny; the edge strategy instead burns its time re-scanning every "
+      "arc per level in the two traversal stages.")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Power-grid contingency analysis via dynamic BC (N-1 screening).
+
+The paper cites betweenness centrality for "contingency analysis for
+power grid component failures" (Jin et al. [1]): when a transmission
+line fails, flow reroutes over alternative shortest paths and the
+criticality of every other component shifts.  Screening all N-1 line
+outages with static recomputation is quadratic pain; with dynamic
+deletion + reinsertion each contingency costs one update pair.
+
+We model the grid as a mostly-planar mesh (a triangulation backbone
+with a few long-distance ties), score each line outage by how much it
+concentrates betweenness on the remaining buses, and report the most
+fragile lines.
+
+Run:  python examples/power_grid_contingency.py
+"""
+
+import numpy as np
+
+from repro.bc import DynamicBC
+from repro.graph import generators
+
+N_BUSES = 800
+N_CONTINGENCIES = 20
+
+grid = generators.random_triangulation(N_BUSES, seed=5)
+print(f"grid model: {grid.num_vertices} buses, {grid.num_edges} lines")
+
+engine = DynamicBC.from_graph(grid, num_sources=64, backend="gpu-node",
+                              seed=5)
+base_scores = engine.bc_scores.copy()
+base_top = int(np.argmax(base_scores))
+print(f"baseline: most central bus = {base_top} "
+      f"(score {base_scores[base_top]:.0f})")
+
+rng = np.random.default_rng(17)
+lines = grid.edge_list()
+candidates = lines[rng.choice(len(lines), N_CONTINGENCIES, replace=False)]
+
+results = []
+total_sim = 0.0
+for u, v in candidates.tolist():
+    out = engine.delete_edge(u, v)          # line outage
+    scores = engine.bc_scores
+    # stress metric: largest centrality increase on any remaining bus
+    stress = float((scores - base_scores).max())
+    hotspot = int(np.argmax(scores - base_scores))
+    results.append(((u, v), stress, hotspot))
+    back = engine.insert_edge(u, v)         # restore service
+    total_sim += out.simulated_seconds + back.simulated_seconds
+
+engine.verify()  # the grid and analytic are back to baseline, exactly
+
+results.sort(key=lambda r: -r[1])
+print(f"\ntop-5 most fragile lines (of {N_CONTINGENCIES} screened):")
+print(f"  {'line':>12s}  {'max BC increase':>16s}  {'hotspot bus':>11s}")
+for (u, v), stress, hotspot in results[:5]:
+    print(f"  {f'({u},{v})':>12s}  {stress:16.1f}  {hotspot:11d}")
+
+print(f"\nscreened {N_CONTINGENCIES} contingencies in "
+      f"{total_sim * 1e3:.2f} ms of simulated GPU time "
+      f"({2 * N_CONTINGENCIES} dynamic updates)")

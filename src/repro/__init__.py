@@ -1,0 +1,33 @@
+"""repro — dynamic betweenness centrality with edge- and node-parallel
+GPU execution models.
+
+A from-scratch reproduction of McLaughlin & Bader, *Revisiting Edge and
+Node Parallelism for Dynamic GPU Graph Analytics* (IPDPS Workshops,
+2014).  See README.md for a tour and DESIGN.md for the system map.
+
+Public surface (stable):
+
+* :mod:`repro.graph` — CSR graphs, dynamic updates, generators, I/O
+* :mod:`repro.gpu` — the virtual-GPU device/cost/scheduling model
+* :mod:`repro.bc` — static (Brandes) and dynamic BC engines
+* :mod:`repro.analysis` — drivers for every table/figure of the paper
+* :mod:`repro.cli` — ``python -m repro.cli all``
+"""
+
+from repro._version import __version__
+from repro.bc import DynamicBC, brandes_bc, static_bc_gpu
+from repro.graph import CSRGraph, DynamicGraph
+from repro.gpu import CORE_I7_2600K, GTX_560, TESLA_C2075, DeviceSpec
+
+__all__ = [
+    "__version__",
+    "DynamicBC",
+    "brandes_bc",
+    "static_bc_gpu",
+    "CSRGraph",
+    "DynamicGraph",
+    "DeviceSpec",
+    "TESLA_C2075",
+    "GTX_560",
+    "CORE_I7_2600K",
+]

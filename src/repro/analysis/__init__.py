@@ -1,0 +1,52 @@
+"""Experiment drivers: one module per artifact of the paper's evaluation.
+
+* :mod:`repro.analysis.blocks`    — Fig. 1 (thread-block sweep)
+* :mod:`repro.analysis.scenarios` — Fig. 2 (Case 1/2/3 distribution)
+* :mod:`repro.analysis.touched`   — Fig. 4 (touched fraction per Case 2)
+* :mod:`repro.analysis.speedup`   — Tables II & III (CPU vs GPU, update
+  vs recompute)
+* :mod:`repro.analysis.report`    — plain-text rendering of all of them
+
+Every driver takes an :class:`ExperimentConfig` and is fully seeded.
+"""
+
+from repro.analysis.config import ExperimentConfig
+from repro.analysis.blocks import BlockSweepResult, run_block_sweep
+from repro.analysis.scenarios import ScenarioDistribution, run_scenario_study
+from repro.analysis.speedup import (
+    Table2Row,
+    Table3Row,
+    run_table2,
+    run_table3,
+    summarize_headline,
+)
+from repro.analysis.scaling import (
+    ScalingPoint,
+    ScalingStudy,
+    render_scaling,
+    run_scaling_study,
+)
+from repro.analysis.touched import TouchedStudy, run_touched_study
+from repro.analysis.waste import WasteStudy, render_waste, run_waste_study
+
+__all__ = [
+    "ExperimentConfig",
+    "BlockSweepResult",
+    "run_block_sweep",
+    "ScenarioDistribution",
+    "run_scenario_study",
+    "Table2Row",
+    "Table3Row",
+    "run_table2",
+    "run_table3",
+    "summarize_headline",
+    "TouchedStudy",
+    "run_touched_study",
+    "ScalingPoint",
+    "ScalingStudy",
+    "render_scaling",
+    "run_scaling_study",
+    "WasteStudy",
+    "render_waste",
+    "run_waste_study",
+]

@@ -1,0 +1,57 @@
+"""Shared experiment configuration.
+
+The paper's protocol (§IV): 100 random edges are removed, the state is
+computed on the shrunken graph, and the edges are re-inserted one at a
+time with k = 256 random sources.  :class:`ExperimentConfig` captures
+those knobs plus the graph scale, with defaults small enough for the
+benchmark suite to run in minutes (EXPERIMENTS.md records runs at
+larger scale — pass ``scale``/``num_sources`` up to taste; everything
+is linear except memory, O(k n)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.graph.suite import SUITE_SPECS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiment drivers."""
+
+    #: multiplier on the suite's base graph sizes (1.0 -> a few
+    #: thousand vertices; the paper's originals are 50-500x larger)
+    scale: float = 1.0
+    #: k source vertices for BC approximation (paper: 256)
+    num_sources: int = 64
+    #: edges removed and re-inserted per graph (paper: 100)
+    num_insertions: int = 20
+    #: RNG seed governing graph generation, source picks and removals
+    seed: int = 2014
+    #: which suite graphs to run (default: all seven)
+    graphs: Tuple[str, ...] = tuple(sorted(SUITE_SPECS))
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.num_sources < 1:
+            raise ValueError(f"num_sources must be >= 1, got {self.num_sources}")
+        if self.num_insertions < 1:
+            raise ValueError(
+                f"num_insertions must be >= 1, got {self.num_insertions}"
+            )
+        unknown = set(self.graphs) - set(SUITE_SPECS)
+        if unknown:
+            raise ValueError(f"unknown suite graphs: {sorted(unknown)}")
+
+
+#: quick configuration for tests and smoke runs
+SMOKE = ExperimentConfig(scale=0.25, num_sources=16, num_insertions=5)
+
+#: default benchmark configuration (minutes on a laptop)
+DEFAULT = ExperimentConfig()
+
+#: nearer the paper's regime (tens of minutes; see EXPERIMENTS.md)
+PAPER_LIKE = ExperimentConfig(scale=20.0, num_sources=128, num_insertions=50)

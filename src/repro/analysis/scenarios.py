@@ -1,0 +1,103 @@
+"""Fig. 2 — distribution of update scenarios.
+
+For every edge insertion, every source vertex faces exactly one of the
+three cases of §II-D-1.  The paper reports, per graph, how the
+``num_insertions x k`` scenarios distribute — finding Case 2 at 37.3%
+of all scenarios and 73.5% of the work-requiring ones, which motivates
+its focus on the Case-2 kernels.
+
+This study only needs the classification, not the updates, so it runs
+directly on the distance matrix via
+:func:`repro.bc.cases.classify_insertion_batch` while a lightweight
+engine replays the stream to keep distances current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.config import ExperimentConfig
+from repro.analysis.protocol import prepare_stream
+from repro.bc.cases import classify_insertion_batch
+from repro.bc.engine import DynamicBC
+
+
+@dataclass
+class ScenarioDistribution:
+    """Per-graph scenario counts (rows of Fig. 2)."""
+
+    graph_name: str
+    counts: Dict[int, int]  # case number -> occurrences
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, case: int) -> float:
+        """Share of all scenarios that fell into *case*."""
+        return self.counts.get(case, 0) / self.total if self.total else 0.0
+
+    @property
+    def case2_share_of_work(self) -> float:
+        """Case 2 as a share of scenarios that require work (2 and 3)."""
+        work = self.counts.get(2, 0) + self.counts.get(3, 0)
+        return self.counts.get(2, 0) / work if work else 0.0
+
+
+def run_scenario_study(config: ExperimentConfig) -> List[ScenarioDistribution]:
+    """Classify every (insertion, source) scenario for each suite graph."""
+    results = []
+    for name in config.graphs:
+        bench, dyn, removed = prepare_stream(config, name)
+        engine = DynamicBC.from_graph(
+            dyn, num_sources=min(config.num_sources, dyn.num_vertices),
+            backend="gpu-node", seed=config.seed + 23,
+        )
+        counts = {1: 0, 2: 0, 3: 0}
+        for u, v in removed:
+            cases = classify_insertion_batch(engine.state.d, int(u), int(v))
+            for c, cnt in zip(*np.unique(cases, return_counts=True)):
+                counts[int(c)] += int(cnt)
+            engine.insert_edge(int(u), int(v))  # keep distances current
+        results.append(ScenarioDistribution(graph_name=name, counts=counts))
+    return results
+
+
+def run_subcase_study(config: ExperimentConfig) -> Dict[str, Dict[str, int]]:
+    """Finer-grained Fig. 2: the connected/disconnected sub-variants of
+    Cases 1 and 3 the paper enumerates (§II-D-1).
+
+    Returns graph name -> {subcase value -> count}.
+    """
+    from repro.bc.cases import classify_insertion_detailed
+
+    out: Dict[str, Dict[str, int]] = {}
+    for name in config.graphs:
+        bench, dyn, removed = prepare_stream(config, name)
+        engine = DynamicBC.from_graph(
+            dyn, num_sources=min(config.num_sources, dyn.num_vertices),
+            backend="gpu-node", seed=config.seed + 23,
+        )
+        counts: Dict[str, int] = {}
+        for u, v in removed:
+            for i in range(engine.state.num_sources):
+                sub, _, _ = classify_insertion_detailed(
+                    engine.state.d[i], int(u), int(v)
+                )
+                counts[sub.value] = counts.get(sub.value, 0) + 1
+            engine.insert_edge(int(u), int(v))
+        out[name] = counts
+    return out
+
+
+def aggregate(results: List[ScenarioDistribution]) -> ScenarioDistribution:
+    """Pooled distribution across graphs (the paper's 37.3% / 73.5%
+    figures are pooled this way)."""
+    total = {1: 0, 2: 0, 3: 0}
+    for r in results:
+        for c, cnt in r.counts.items():
+            total[c] = total.get(c, 0) + cnt
+    return ScenarioDistribution(graph_name="ALL", counts=total)

@@ -1,0 +1,26 @@
+"""Further dynamic analytics on the same substrate (§VI future work).
+
+"There are plenty of other graph algorithms that can benefit from
+either dynamic implementations or parallelism" — this package applies
+the repository's machinery (stored per-source rows, level-synchronous
+repair, the virtual-GPU cost model) to distance-based analytics:
+
+* :class:`~repro.analytics.distances.DynamicDistances` — maintains the
+  k-source BFS distance matrix under streaming edge insertions and
+  deletions (the ``d`` half of the BC state, without σ/δ).
+* :mod:`repro.analytics.closeness` — closeness and harmonic centrality
+  estimates from the maintained distances.
+"""
+
+from repro.analytics.closeness import (
+    closeness_of_sources,
+    harmonic_centrality_estimate,
+)
+from repro.analytics.distances import DistanceUpdateReport, DynamicDistances
+
+__all__ = [
+    "DynamicDistances",
+    "DistanceUpdateReport",
+    "closeness_of_sources",
+    "harmonic_centrality_estimate",
+]

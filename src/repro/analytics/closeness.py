@@ -1,0 +1,57 @@
+"""Closeness and harmonic centrality from maintained distances.
+
+With a :class:`~repro.analytics.distances.DynamicDistances` oracle the
+usual distance-based centralities come for free after every update:
+
+* **closeness of a source** s (exact): ``(r - 1) / sum_t d(s, t)``
+  over the ``r`` vertices reachable from s (the standard
+  component-aware normalization).
+* **harmonic centrality of every vertex** (estimated): with k uniform
+  random sources, ``H(v) ~ (n - 1) / k * sum_s 1 / d(s, v)`` — the
+  sampling estimator dual to the paper's k-source BC approximation, and
+  well-defined on disconnected graphs (1/inf = 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.distances import DynamicDistances
+from repro.graph.csr import DIST_INF
+
+
+def closeness_of_sources(oracle: DynamicDistances) -> np.ndarray:
+    """Exact closeness centrality of each tracked source
+    (``float64[k]``, 0 for isolated sources)."""
+    k = oracle.num_sources
+    out = np.zeros(k, dtype=np.float64)
+    for i in range(k):
+        d = oracle.d[i]
+        reach = d != DIST_INF
+        r = int(np.count_nonzero(reach))
+        total = float(d[reach].sum())
+        if r > 1 and total > 0:
+            # component-aware (Wasserman-Faust) normalization
+            n = d.size
+            out[i] = ((r - 1) / total) * ((r - 1) / (n - 1)) if n > 1 else 0.0
+    return out
+
+
+def harmonic_centrality_estimate(oracle: DynamicDistances) -> np.ndarray:
+    """Sampled harmonic centrality of every vertex (``float64[n]``).
+
+    Unbiased up to the source sample: each vertex accumulates
+    ``1/d(s, v)`` over the k tracked sources, rescaled by
+    ``(n - 1) / k``.  A vertex's own source row contributes 0
+    (``d(s, s) = 0`` is excluded).
+    """
+    k = oracle.num_sources
+    n = oracle.graph.num_vertices
+    if k == 0 or n == 0:
+        return np.zeros(n, dtype=np.float64)
+    inv = np.zeros(n, dtype=np.float64)
+    for i in range(k):
+        d = oracle.d[i]
+        mask = (d > 0) & (d < DIST_INF)
+        inv[mask] += 1.0 / d[mask]
+    return inv * ((n - 1) / k)

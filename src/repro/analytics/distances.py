@@ -1,0 +1,200 @@
+"""Dynamic maintenance of a k-source BFS distance matrix.
+
+This is the distance-only specialization of the paper's machinery: the
+stored state is just ``d`` (no σ/δ), updates use the same
+classification trichotomy, and the Case-3 repair is the pull-free
+relabeling BFS of :func:`repro.bc.update_core.distant_level_update`'s
+stage 2 — vertices can only move *closer* on insertion, so the frontier
+only carries movers.
+
+Deletions: a deleted non-DAG arc changes nothing; a deleted DAG arc
+whose lower endpoint keeps another predecessor changes nothing
+(distances, unlike σ, survive redundant-path loss); otherwise distances
+grow and the affected row is recomputed (the standard practical
+treatment of the hard decremental case).
+
+Costs are charged through the node-parallel accountant on the same
+virtual GPU as the BC engines, so distance maintenance and BC updates
+are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.bc.accountants import make_accountant
+from repro.bc.cases import Case, classify_insertion
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import TESLA_C2075, DeviceSpec
+from repro.gpu.executor import schedule_blocks
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.utils.prng import SeedLike, default_rng, sample_without_replacement
+
+
+@dataclass
+class DistanceUpdateReport:
+    """Observability of one distance-matrix update."""
+
+    edge: tuple
+    operation: str
+    cases: np.ndarray          # int8[k] (insertion trichotomy)
+    moved: np.ndarray          # int64[k], vertices whose distance changed
+    recomputed_rows: int       # deletion fallback count
+    simulated_seconds: float
+
+
+class DynamicDistances:
+    """k-source shortest-path distances under streaming updates."""
+
+    def __init__(
+        self,
+        graph: Union[DynamicGraph, CSRGraph],
+        sources: Sequence[int],
+        device: DeviceSpec = TESLA_C2075,
+    ) -> None:
+        self.graph = (
+            graph if isinstance(graph, DynamicGraph) else DynamicGraph.from_csr(graph)
+        )
+        self.sources = np.asarray(sorted(int(s) for s in sources), dtype=np.int64)
+        if np.unique(self.sources).size != self.sources.size:
+            raise ValueError("sources must be distinct")
+        snap = self.graph.snapshot()
+        if self.sources.size:
+            self.d = np.vstack(
+                [snap.bfs_distances(int(s)) for s in self.sources]
+            )
+        else:
+            self.d = np.empty((0, snap.num_vertices), dtype=np.int64)
+        self.device = device
+        self.cost_model = CostModel(device)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_random_sources(
+        cls,
+        graph: Union[DynamicGraph, CSRGraph],
+        num_sources: int,
+        seed: SeedLike = None,
+        device: DeviceSpec = TESLA_C2075,
+    ) -> "DynamicDistances":
+        """Sample ``num_sources`` distinct sources uniformly."""
+        snap = graph.snapshot() if isinstance(graph, DynamicGraph) else graph
+        rng = default_rng(seed)
+        k = min(num_sources, snap.num_vertices)
+        sources = sample_without_replacement(rng, snap.num_vertices, k)
+        return cls(graph, sources, device)
+
+    @property
+    def num_sources(self) -> int:
+        return int(self.sources.size)
+
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> DistanceUpdateReport:
+        """Insert {u, v}; repair every source row whose distances
+        shrink (Cases 1 and 2 need no distance work at all)."""
+        if not self.graph.insert_edge(u, v):
+            raise ValueError(f"edge ({u}, {v}) already present or self loop")
+        snap = self.graph.snapshot()
+        k = self.num_sources
+        cases = np.empty(k, dtype=np.int8)
+        moved = np.zeros(k, dtype=np.int64)
+        per_source = np.zeros(k)
+        for i in range(k):
+            case, u_high, u_low = classify_insertion(self.d[i], u, v)
+            cases[i] = int(case)
+            acc = make_accountant("gpu-node", snap.num_vertices,
+                                  2 * snap.num_edges)
+            acc.classify()
+            if case == Case.DISTANT_LEVEL:
+                moved[i] = self._repair_row(snap, self.d[i], u_high, u_low, acc)
+            per_source[i] = self.cost_model.trace_seconds(acc.finish())
+        sim = schedule_blocks(per_source, self.device).total_seconds
+        return DistanceUpdateReport(
+            edge=(u, v), operation="insert", cases=cases, moved=moved,
+            recomputed_rows=0, simulated_seconds=sim,
+        )
+
+    def delete_edge(self, u: int, v: int) -> DistanceUpdateReport:
+        """Delete {u, v}; rows that relied on the arc are recomputed."""
+        if not self.graph.has_edge(u, v):
+            raise ValueError(f"edge ({u}, {v}) not present")
+        pre = self.graph.snapshot()
+        k = self.num_sources
+        needs_recompute = []
+        for i in range(k):
+            du, dv = int(self.d[i][u]), int(self.d[i][v])
+            if abs(du - dv) != 1:
+                continue  # not a DAG arc for this source: no change
+            high, low = (u, v) if du < dv else (v, u)
+            nbrs = pre.neighbors(low)
+            preds = nbrs[self.d[i][nbrs] == self.d[i][low] - 1]
+            if not np.any(preds != high):
+                needs_recompute.append(i)
+        self.graph.delete_edge(u, v)
+        snap = self.graph.snapshot()
+        per_source = np.zeros(k)
+        for i in needs_recompute:
+            self.d[i] = snap.bfs_distances(int(self.sources[i]))
+            # charged as a full node-parallel BFS of the row
+            acc = make_accountant("gpu-node", snap.num_vertices,
+                                  2 * snap.num_edges)
+            acc.init(snap.num_vertices)
+            acc.sp_level(frontier=snap.num_vertices,
+                         arcs=2 * snap.num_edges,
+                         onpath=snap.num_vertices, raw_new=0,
+                         new=snap.num_vertices)
+            per_source[i] = self.cost_model.trace_seconds(acc.finish())
+        sim = schedule_blocks(per_source, self.device).total_seconds
+        return DistanceUpdateReport(
+            edge=(u, v), operation="delete",
+            cases=np.zeros(k, dtype=np.int8),
+            moved=np.zeros(k, dtype=np.int64),
+            recomputed_rows=len(needs_recompute),
+            simulated_seconds=sim,
+        )
+
+    # ------------------------------------------------------------------
+    def _repair_row(self, snap: CSRGraph, d: np.ndarray, u_high: int,
+                    u_low: int, acc) -> int:
+        """Insertion-only relabeling BFS: vertices move strictly closer."""
+        moved = 0
+        d[u_low] = d[u_high] + 1
+        frontier = np.array([u_low], dtype=np.int64)
+        level = int(d[u_low])
+        moved += 1
+        while frontier.size:
+            tails, heads = snap.frontier_arcs(frontier)
+            heads = heads.astype(np.int64)
+            relabel = heads[d[heads] > level + 1]
+            movers = np.unique(relabel)
+            acc.pull_level(frontier=int(frontier.size), pull_arcs=0,
+                           scan_arcs=int(tails.size),
+                           raw_new=int(relabel.size), new=int(movers.size))
+            if movers.size == 0:
+                break
+            d[movers] = level + 1
+            moved += int(movers.size)
+            frontier = movers
+            level += 1
+        return moved
+
+    def verify(self) -> None:
+        """Assert every row equals a scratch BFS on the current graph."""
+        snap = self.graph.snapshot()
+        for i, s in enumerate(self.sources):
+            fresh = snap.bfs_distances(int(s))
+            if not np.array_equal(self.d[i], fresh):
+                bad = np.flatnonzero(self.d[i] != fresh)[:5]
+                raise AssertionError(
+                    f"distance row for source {int(s)} wrong at {bad}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicDistances(k={self.num_sources}, "
+            f"n={self.graph.num_vertices})"
+        )

@@ -1,0 +1,52 @@
+"""Betweenness centrality: static (Brandes) and dynamic (streaming)
+algorithms with CPU, edge-parallel-GPU, and node-parallel-GPU execution
+models.
+
+Quick start::
+
+    from repro.graph import generators
+    from repro.bc import DynamicBC
+
+    g = generators.watts_strogatz(1000, k=10, p=0.1, seed=1)
+    engine = DynamicBC.from_graph(g, num_sources=64, backend="gpu-node", seed=1)
+    report = engine.insert_edge(3, 977)
+    print(report.simulated_seconds, engine.bc_scores[:5])
+"""
+
+from repro.bc.accuracy import kendall_tau_topk, ranking_metrics, top_k_overlap
+from repro.bc.brandes import brandes_bc, single_source_state
+from repro.bc.cases import (
+    Case,
+    SubCase,
+    classify_deletion,
+    classify_insertion,
+    classify_insertion_detailed,
+)
+from repro.bc.engine import BACKENDS, DynamicBC, UpdateReport
+from repro.bc.flood import flood_adjacent_level_update
+from repro.bc.state import BCState
+from repro.bc.static_gpu import StaticBCResult, static_bc_gpu
+from repro.bc.tree import bc_auto, is_forest, tree_bc
+
+__all__ = [
+    "brandes_bc",
+    "single_source_state",
+    "BCState",
+    "Case",
+    "SubCase",
+    "classify_insertion",
+    "classify_insertion_detailed",
+    "classify_deletion",
+    "DynamicBC",
+    "UpdateReport",
+    "BACKENDS",
+    "static_bc_gpu",
+    "StaticBCResult",
+    "kendall_tau_topk",
+    "ranking_metrics",
+    "top_k_overlap",
+    "tree_bc",
+    "bc_auto",
+    "is_forest",
+    "flood_adjacent_level_update",
+]

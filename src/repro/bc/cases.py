@@ -1,0 +1,138 @@
+"""Update-scenario classification (paper §II-D-1).
+
+For a source ``s`` and an inserted edge ``(u, v)``, exactly one of
+three scenarios holds, keyed by the pre-insertion level gap:
+
+* **Case 1** — ``|d_s(u) - d_s(v)| == 0``: same level (or both
+  unreachable).  No distances and no path counts change: *no work*.
+* **Case 2** — ``|d_s(u) - d_s(v)| == 1``: adjacent levels.  Distances
+  are preserved but σ (and hence δ and BC) may change.
+* **Case 3** — ``|d_s(u) - d_s(v)| > 1``: distances change (including
+  the component-merge variant where one endpoint was unreachable).
+
+Unreachable vertices carry the :data:`~repro.graph.csr.DIST_INF`
+sentinel, so the arithmetic classification below stays correct for the
+disconnected sub-variants the paper enumerates.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import DIST_INF
+
+
+class Case(enum.IntEnum):
+    """Insertion scenario for one (source, edge) pair."""
+
+    SAME_LEVEL = 1      # no work
+    ADJACENT_LEVEL = 2  # sigma changes, distances preserved
+    DISTANT_LEVEL = 3   # distances change
+
+
+class SubCase(enum.Enum):
+    """The paper's finer split (§II-D-1): Cases 1 and 3 "can actually
+    occur for two slightly different reasons" each."""
+
+    #: Case 1 with u, v, s in one connected component
+    SAME_LEVEL_CONNECTED = "1-connected"
+    #: Case 1 with neither endpoint reachable from s
+    SAME_LEVEL_DISCONNECTED = "1-disconnected"
+    #: Case 2 (adjacent levels; always within s's component)
+    ADJACENT_LEVEL = "2"
+    #: Case 3 with both endpoints reachable (distances shrink)
+    DISTANT_LEVEL_CONNECTED = "3-connected"
+    #: Case 3 merging a component into s's (one endpoint unreachable)
+    DISTANT_LEVEL_MERGE = "3-merge"
+
+    @property
+    def case(self) -> Case:
+        return Case(int(self.value[0]))
+
+
+def classify_insertion(d_row: np.ndarray, u: int, v: int) -> Tuple[Case, int, int]:
+    """Classify inserting edge ``{u, v}`` for the source owning *d_row*.
+
+    Returns ``(case, u_high, u_low)`` where ``u_high`` is the endpoint
+    closer to the source ("higher in the BFS tree") and ``u_low`` the
+    farther one.  For Case 1 the order is arbitrary.
+    """
+    du, dv = int(d_row[u]), int(d_row[v])
+    gap = abs(du - dv)
+    if gap == 0:
+        return Case.SAME_LEVEL, u, v
+    high, low = (u, v) if du < dv else (v, u)
+    if gap == 1:
+        return Case.ADJACENT_LEVEL, high, low
+    return Case.DISTANT_LEVEL, high, low
+
+
+def classify_insertion_detailed(
+    d_row: np.ndarray, u: int, v: int
+) -> Tuple[SubCase, int, int]:
+    """Like :func:`classify_insertion`, but reporting the paper's
+    connected/disconnected sub-variants of Cases 1 and 3."""
+    case, high, low = classify_insertion(d_row, u, v)
+    if case == Case.ADJACENT_LEVEL:
+        return SubCase.ADJACENT_LEVEL, high, low
+    du, dv = int(d_row[u]), int(d_row[v])
+    if case == Case.SAME_LEVEL:
+        sub = (
+            SubCase.SAME_LEVEL_DISCONNECTED
+            if du >= DIST_INF
+            else SubCase.SAME_LEVEL_CONNECTED
+        )
+        return sub, high, low
+    sub = (
+        SubCase.DISTANT_LEVEL_MERGE
+        if max(du, dv) >= DIST_INF
+        else SubCase.DISTANT_LEVEL_CONNECTED
+    )
+    return sub, high, low
+
+
+def classify_insertion_batch(
+    d: np.ndarray, u: int, v: int
+) -> np.ndarray:
+    """Vectorized classification over all sources at once.
+
+    ``d`` is the ``(k, n)`` distance matrix; returns ``int8[k]`` case
+    numbers.  Used by the scenario-distribution study (Fig. 2), where
+    only the histogram is needed.
+    """
+    gap = np.abs(d[:, u] - d[:, v])
+    cases = np.full(d.shape[0], int(Case.DISTANT_LEVEL), dtype=np.int8)
+    cases[gap == 0] = int(Case.SAME_LEVEL)
+    cases[gap == 1] = int(Case.ADJACENT_LEVEL)
+    return cases
+
+
+def classify_deletion(d_row: np.ndarray, sigma_row: np.ndarray,
+                      graph, u: int, v: int) -> Tuple[Case, int, int]:
+    """Classify deleting the *existing* edge ``{u, v}``.
+
+    An existing undirected edge spans at most one level, so only two
+    gaps occur: 0 (never on a shortest path — no work) and 1 (a DAG
+    arc).  A gap-1 deletion preserves distances iff ``u_low`` keeps at
+    least one other predecessor; otherwise distances grow, which we map
+    to Case 3 (handled by per-source recompute — see
+    :mod:`repro.bc.deletion`).
+    """
+    du, dv = int(d_row[u]), int(d_row[v])
+    gap = abs(du - dv)
+    if gap == 0:
+        return Case.SAME_LEVEL, u, v
+    if gap != 1:
+        raise ValueError(
+            f"edge ({u}, {v}) spans {gap} levels; an existing undirected "
+            "edge can span at most 1 — was the state updated for this graph?"
+        )
+    high, low = (u, v) if du < dv else (v, u)
+    # Does u_low have a predecessor besides u_high?
+    nbrs = graph.neighbors(low)
+    preds = nbrs[d_row[nbrs] == d_row[low] - 1]
+    other_pred = bool(np.any(preds != high))
+    return (Case.ADJACENT_LEVEL if other_pred else Case.DISTANT_LEVEL), high, low

@@ -1,0 +1,84 @@
+"""Edge deletion support (extension beyond the paper's evaluation).
+
+The paper restricts its measurements to insertions but argues the
+lessons transfer: "edge removal updates require similar algorithmic
+techniques to edge insertion updates" (§II-D-1, citing QUBE).  This
+repo implements deletions as follows (see also
+:func:`repro.bc.cases.classify_deletion`):
+
+* **gap 0** — the deleted edge connected same-level vertices: it lay on
+  no shortest path, so nothing changes (the Case-1 dual).
+* **gap 1, u_low keeps another predecessor** — distances are preserved;
+  the Case-2 machinery runs with a *negative* σ delta
+  (``σ̂[u_low] = σ[u_low] − σ[u_high]``) and the removed arc's stale
+  dependency contribution is retired explicitly, since the adjacency no
+  longer contains it.
+* **gap 1, u_high was the only predecessor** — distances grow.  This is
+  the genuinely hard decremental case; the engine falls back to a
+  correct per-source recompute (charged at static per-source cost), the
+  standard practical treatment.
+
+This module adds the streaming protocol helper used by the experiment
+drivers (paper §IV: "100 edges are chosen at random to be removed from
+the graph ... then reinserted into the graph one at a time").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graph.dynamic import DynamicGraph
+from repro.utils.prng import SeedLike, default_rng
+
+
+def removal_reinsertion_protocol(
+    graph: DynamicGraph, count: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Remove *count* random edges from *graph* (mutating it) and
+    return them in re-insertion order.
+
+    The caller builds the BC state on the shrunken graph, then replays
+    the returned edges through ``DynamicBC.insert_edge`` one at a time
+    — exactly the experimental protocol of §IV.
+    """
+    rng = default_rng(seed)
+    removed = graph.remove_random_edges(rng, count)
+    return removed
+
+
+def connectivity_preserving_removals(
+    graph: DynamicGraph, count: int, seed: SeedLike = None, max_tries: int = 50
+) -> np.ndarray:
+    """Like :func:`removal_reinsertion_protocol`, but skip removals that
+    would disconnect previously-connected endpoints.
+
+    Useful when an experiment wants to exercise only Cases 1/2 (the
+    component-merge sub-variant of Case 3 never arises if connectivity
+    is preserved).  Falls back to plain random removal for an edge when
+    no connectivity-preserving candidate is found in ``max_tries``.
+    """
+    rng = default_rng(seed)
+    chosen: List[Tuple[int, int]] = []
+    for _ in range(count):
+        removed = None
+        for _ in range(max_tries):
+            edges = graph.snapshot().edge_list()
+            u, v = edges[int(rng.integers(0, edges.shape[0]))]
+            u, v = int(u), int(v)
+            graph.delete_edge(u, v)
+            from repro.graph.csr import DIST_INF
+
+            still_connected = graph.snapshot().bfs_distances(u)[v] != DIST_INF
+            if still_connected:
+                removed = (u, v)
+                break
+            graph.insert_edge(u, v)  # undo and retry
+        if removed is None:
+            edges = graph.snapshot().edge_list()
+            u, v = edges[int(rng.integers(0, edges.shape[0]))]
+            graph.delete_edge(int(u), int(v))
+            removed = (int(u), int(v))
+        chosen.append(removed)
+    return np.asarray(chosen, dtype=np.int64)

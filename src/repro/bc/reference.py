@@ -1,0 +1,166 @@
+"""Naive reference implementations (test oracles).
+
+These are deliberately simple, literal transcriptions — pure-Python
+queues, dictionaries, O(n) scans — used by the test suite to validate
+the vectorized implementations.  They are *not* part of the public
+performance path.
+
+* :func:`brandes_reference` — Algorithm 1 verbatim (queue + stack +
+  predecessor lists).
+* :func:`case2_reference` — Algorithm 2 (Green et al.) verbatim,
+  including the multi-level queue, returning fresh state arrays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, DIST_INF
+
+
+def brandes_reference(graph: CSRGraph, sources=None) -> np.ndarray:
+    """Algorithm 1, literal: returns BC scores (not halved)."""
+    n = graph.num_vertices
+    bc = np.zeros(n, dtype=np.float64)
+    iter_sources = range(n) if sources is None else sources
+    for s in iter_sources:
+        s = int(s)
+        # Stage 1: initialization
+        S: List[int] = []
+        Q: deque = deque()
+        P: List[List[int]] = [[] for _ in range(n)]
+        d = [int(DIST_INF)] * n
+        sigma = [0.0] * n
+        delta = [0.0] * n
+        d[s] = 0
+        sigma[s] = 1.0
+        # Stage 2: shortest path calculation
+        Q.append(s)
+        while Q:
+            v = Q.popleft()
+            S.append(v)
+            for w in graph.neighbors(v):
+                w = int(w)
+                if d[w] == int(DIST_INF):
+                    Q.append(w)
+                    d[w] = d[v] + 1
+                if d[w] == d[v] + 1:
+                    sigma[w] += sigma[v]
+                    P[w].append(v)
+        # Stage 3: dependency accumulation
+        while S:
+            w = S.pop()
+            for v in P[w]:
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w])
+            if w != s:
+                bc[w] += delta[w]
+    return bc
+
+
+def single_source_reference(
+    graph: CSRGraph, s: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(d, sigma, delta) for one source, computed naively.
+
+    ``delta[s]`` is forced to zero, matching the stored-state
+    convention of :class:`repro.bc.state.BCState`.
+    """
+    n = graph.num_vertices
+    d = np.full(n, DIST_INF, dtype=np.int64)
+    sigma = np.zeros(n, dtype=np.float64)
+    delta = np.zeros(n, dtype=np.float64)
+    d[s] = 0
+    sigma[s] = 1.0
+    Q: deque = deque([s])
+    order: List[int] = []
+    while Q:
+        v = Q.popleft()
+        order.append(v)
+        for w in graph.neighbors(v):
+            w = int(w)
+            if d[w] == DIST_INF:
+                d[w] = d[v] + 1
+                Q.append(w)
+            if d[w] == d[v] + 1:
+                sigma[w] += sigma[v]
+    for w in reversed(order):
+        for v in graph.neighbors(w):
+            v = int(v)
+            if d[v] == d[w] - 1:
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w])
+    delta[s] = 0.0
+    return d, sigma, delta
+
+
+def case2_reference(
+    graph: CSRGraph,
+    s: int,
+    d: np.ndarray,
+    sigma: np.ndarray,
+    delta: np.ndarray,
+    bc: np.ndarray,
+    u_high: int,
+    u_low: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Algorithm 2 (Green et al.) verbatim for one source.
+
+    The graph must already contain the inserted edge.  Inputs are the
+    *old* state vectors (not modified); returns the updated
+    ``(sigma, delta, bc)``; distances are unchanged by definition.
+    The BC update fires once per popped vertex (the printed pseudocode
+    nests it in the predecessor loop; Green et al.'s prose and the
+    commit kernel, Alg. 8, apply it once per vertex).
+    """
+    n = graph.num_vertices
+    UNTOUCHED, DOWN_, UP_ = 0, 1, 2
+    bc = bc.copy()
+    # Stage 1: initialization
+    Q: deque = deque()
+    QQ: Dict[int, deque] = {}
+    t = [UNTOUCHED] * n
+    t[u_low] = DOWN_
+    sigma_hat = sigma.astype(np.float64).copy()
+    sigma_hat[u_low] = sigma[u_low] + sigma[u_high]
+    delta_hat = np.zeros(n, dtype=np.float64)
+    # Stage 2: shortest path calculation
+    Q.append(u_low)
+    QQ.setdefault(int(d[u_low]), deque()).append(u_low)
+    level = int(d[u_low])
+    while Q:
+        v = Q.popleft()
+        for w in graph.neighbors(v):
+            w = int(w)
+            if d[w] == d[v] + 1:
+                if t[w] == UNTOUCHED:
+                    Q.append(w)
+                    QQ.setdefault(int(d[w]), deque()).append(w)
+                    t[w] = DOWN_
+                    level = max(level, int(d[w]))
+                sigma_hat[w] += sigma_hat[v] - sigma[v]
+    # Stage 3: dependency accumulation
+    while level > 0:
+        bucket = QQ.get(level, deque())
+        while bucket:
+            w = bucket.popleft()
+            for v in graph.neighbors(w):
+                v = int(v)
+                if d[w] == d[v] + 1:
+                    if t[v] == UNTOUCHED:
+                        QQ.setdefault(level - 1, deque()).append(v)
+                        t[v] = UP_
+                        delta_hat[v] = delta[v]
+                    delta_hat[v] += sigma_hat[v] / sigma_hat[w] * (1.0 + delta_hat[w])
+                    if t[v] == UP_ and (v != u_high or w != u_low):
+                        delta_hat[v] -= sigma[v] / sigma[w] * (1.0 + delta[w])
+            if w != s:
+                bc[w] += delta_hat[w] - delta[w]
+        level -= 1
+    sigma_out = sigma_hat
+    delta_out = delta.astype(np.float64).copy()
+    for v in range(n):
+        if t[v] != UNTOUCHED and v != s:
+            delta_out[v] = delta_hat[v]
+    return sigma_out, delta_out, bc

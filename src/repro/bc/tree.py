@@ -1,0 +1,90 @@
+"""Closed-form betweenness centrality for trees (O(n)).
+
+On a tree every pair of vertices has exactly one shortest path, so
+BC(v) is determined by the component sizes of ``T - v``:
+
+    BC(v) = (n_reach - 1)(n_reach - 2) - sum_b s_b (s_b - 1)
+
+where ``n_reach`` is the size of v's component and ``s_b`` are the
+sizes of the branches hanging off v (ordered-pair convention, matching
+:func:`repro.bc.brandes.brandes_bc`).  Forests are handled per
+component.
+
+This is both a fast path for tree-like inputs and an independent oracle
+the test suite uses against Brandes.  It also demonstrates the
+degree-1 structure exploited by Sariyüce et al. [12] (the related-work
+heterogeneous approach): on a tree, *all* vertices reduce away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def is_forest(graph: CSRGraph) -> bool:
+    """True when the graph contains no cycle (m = n - #components)."""
+    labels = graph.connected_components()
+    num_components = np.unique(labels).size
+    return graph.num_edges == graph.num_vertices - num_components
+
+
+def tree_bc(graph: CSRGraph) -> np.ndarray:
+    """Exact BC scores of a forest in O(n + m).
+
+    Raises :class:`ValueError` when the graph has a cycle — callers
+    should fall back to :func:`repro.bc.brandes.brandes_bc`.
+    """
+    n = graph.num_vertices
+    if not is_forest(graph):
+        raise ValueError("tree_bc requires a forest; use brandes_bc instead")
+    bc = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return bc
+
+    labels = graph.connected_components()
+    visited = np.zeros(n, dtype=bool)
+    subtree = np.ones(n, dtype=np.int64)
+
+    for root in range(n):
+        if visited[root] or labels[root] != root:
+            continue
+        # Iterative DFS producing a child->parent order for this tree.
+        order = []
+        parent = {root: -1}
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            visited[v] = True
+            order.append(v)
+            for w in graph.neighbors(v):
+                w = int(w)
+                if w != parent[v] and w not in parent:
+                    parent[w] = v
+                    stack.append(w)
+        comp_size = len(order)
+        # Subtree sizes bottom-up.
+        for v in reversed(order):
+            p = parent[v]
+            if p != -1:
+                subtree[p] += subtree[v]
+        # Branch decomposition: children subtrees + the "upward" rest.
+        for v in order:
+            branches = [int(subtree[w]) for w in graph.neighbors(v)
+                        if parent.get(int(w), None) == v]
+            if parent[v] != -1:
+                branches.append(comp_size - int(subtree[v]))
+            total_pairs = (comp_size - 1) * (comp_size - 2)
+            same_branch = sum(s * (s - 1) for s in branches)
+            bc[v] = float(total_pairs - same_branch)
+    return bc
+
+
+def bc_auto(graph: CSRGraph) -> np.ndarray:
+    """Dispatch: O(n) closed form for forests, Brandes otherwise."""
+    if is_forest(graph):
+        return tree_bc(graph)
+    from repro.bc.brandes import brandes_bc
+
+    return brandes_bc(graph)

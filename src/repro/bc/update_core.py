@@ -1,0 +1,404 @@
+"""Per-source dynamic BC update routines (Algorithms 2–8).
+
+The three execution strategies (sequential CPU, edge-parallel GPU,
+node-parallel GPU) compute *identical state transitions* — they differ
+only in how threads map to work, which the pluggable
+:class:`~repro.bc.accountants.UpdateAccountant` captures.  This module
+implements the transitions once, level-synchronously over NumPy
+arrays, mirroring the barrier structure of the GPU kernels:
+
+* :func:`adjacent_level_update` — Case 2 of Green et al. (insertion
+  between adjacent BFS levels) and its deletion dual: distances are
+  preserved; σ deltas propagate down from ``u_low``; the dependency
+  pass walks a multi-level queue upward, adding new contributions and
+  subtracting stale ones.
+* :func:`distant_level_update` — Case 3 (insertion across >1 level,
+  including component merges): a pull-based partial BFS relabels
+  distances and recomputes σ in new-level order, then a *pre-pass*
+  retires moved vertices' old contributions before the upward sweep
+  (old values are static, so the pre-pass is order-independent; this
+  resolves the level-ordering hazard when a vertex climbs several
+  levels — see DESIGN.md).
+
+Pseudocode notes: Algorithm 6 of the paper swaps the roles of ``v`` and
+``w`` in its level tests relative to Algorithms 2/7 (as printed it
+would accumulate dependencies downward); we implement the consistent
+semantics.  Likewise, the kernels guard work on touched vertices, as
+the node-parallel queues do structurally — a literal unguarded reading
+of Algorithm 4 would flood the entire BFS cone below ``u_low``'s level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bc.accountants import UpdateAccountant
+from repro.graph.csr import CSRGraph
+
+UNTOUCHED, DOWN, UP = 0, 1, 2
+
+
+@dataclass
+class UpdateStats:
+    """Per-(source, update) observability: what the update touched.
+
+    ``touched`` counts vertices with ``t != untouched`` (the quantity
+    Fig. 4 plots as a fraction of n); ``moved`` counts vertices whose
+    distance changed (Case 3 only).
+    """
+
+    touched: int = 0
+    moved: int = 0
+    sp_levels: int = 0
+    dep_levels: int = 0
+
+
+def _max_multiplicity(values: np.ndarray) -> int:
+    """Worst-case atomics targeting one address in a scatter-add."""
+    if values.size == 0:
+        return 1
+    return int(np.unique(values, return_counts=True)[1].max())
+
+
+# ----------------------------------------------------------------------
+# Case 2: |d(u) - d(v)| == 1  (and the distance-preserving deletion dual)
+# ----------------------------------------------------------------------
+def adjacent_level_update(
+    graph: CSRGraph,
+    source: int,
+    d: np.ndarray,
+    sigma: np.ndarray,
+    delta: np.ndarray,
+    bc: np.ndarray,
+    u_high: int,
+    u_low: int,
+    acc: UpdateAccountant,
+    insert: bool = True,
+) -> UpdateStats:
+    """Apply an adjacent-level edge insertion (or deletion) for one
+    source, updating ``d/sigma/delta`` rows and ``bc`` in place.
+
+    Preconditions: the graph already reflects the mutation (edge
+    present for ``insert=True``, absent for ``insert=False``), and
+    ``d[u_low] == d[u_high] + 1``.
+    """
+    n = graph.num_vertices
+    if d[u_low] != d[u_high] + 1:
+        raise ValueError(
+            f"adjacent-level update requires d[u_low] == d[u_high]+1, "
+            f"got d[{u_low}]={d[u_low]}, d[{u_high}]={d[u_high]}"
+        )
+    stats = UpdateStats()
+    acc.init(n)
+    t = np.zeros(n, dtype=np.int8)
+    sigma_hat = sigma.copy()
+    delta_hat = np.zeros(n, dtype=np.float64)
+    sign = 1.0 if insert else -1.0
+    sigma_hat[u_low] = sigma[u_low] + sign * sigma[u_high]
+    t[u_low] = DOWN
+
+    base_level = int(d[u_low])
+    lvl_touched: Dict[int, List[np.ndarray]] = {
+        base_level: [np.array([u_low], dtype=np.int64)]
+    }
+    qq_len = 1
+
+    # Stage 2: propagate sigma deltas down the (unchanged) BFS DAG.
+    frontier = np.array([u_low], dtype=np.int64)
+    depth = base_level
+    while frontier.size:
+        stats.sp_levels += 1
+        tails, heads = graph.frontier_arcs(frontier)
+        on_path = d[heads] == depth + 1
+        ot, oh = tails[on_path], heads[on_path]
+        raw_new = oh[t[oh] == UNTOUCHED]
+        if ot.size:
+            np.add.at(sigma_hat, oh, sigma_hat[ot] - sigma[ot])
+        new_nodes = np.unique(raw_new).astype(np.int64)
+        if new_nodes.size:
+            t[new_nodes] = DOWN
+        acc.sp_level(
+            frontier=int(frontier.size),
+            arcs=int(tails.size),
+            onpath=int(ot.size),
+            raw_new=int(raw_new.size),
+            new=int(new_nodes.size),
+            max_conflict=_max_multiplicity(oh),
+        )
+        if new_nodes.size:
+            lvl_touched.setdefault(depth + 1, []).append(new_nodes)
+            qq_len += int(new_nodes.size)
+        frontier = new_nodes
+        depth += 1
+
+    # Stage 3: dependency accumulation, deepest touched level first.
+    max_level = max(lvl for lvl, nodes in lvl_touched.items() if nodes)
+    for level in range(max_level, 0, -1):
+        stats.dep_levels += 1
+        parts = lvl_touched.get(level, [])
+        w_arr = (
+            np.unique(np.concatenate(parts)) if parts else np.empty(0, dtype=np.int64)
+        )
+        adds = subs = arcs = new_up_count = 0
+        conflict = 1
+        if w_arr.size:
+            tails, heads = graph.frontier_arcs(w_arr)
+            arcs = int(tails.size)
+            pred = d[heads] == level - 1
+            pt = tails[pred].astype(np.int64)
+            ph = heads[pred].astype(np.int64)
+
+            # Newly reached predecessors enter the queue as "up" with
+            # delta_hat seeded from the old dependency (Alg. 2 line 30).
+            new_up = np.unique(ph[t[ph] == UNTOUCHED])
+            if new_up.size:
+                t[new_up] = UP
+                delta_hat[new_up] = delta[new_up]
+                lvl_touched.setdefault(level - 1, []).append(new_up)
+                new_up_count = int(new_up.size)
+            # New contributions (Alg. 2 line 31).
+            if ph.size:
+                np.add.at(
+                    delta_hat, ph,
+                    sigma_hat[ph] / sigma_hat[pt] * (1.0 + delta_hat[pt]),
+                )
+                adds = int(ph.size)
+                conflict = _max_multiplicity(ph)
+            # Retire stale contributions of touched successors from
+            # "up" predecessors (Alg. 2 lines 32-33).  Down
+            # predecessors rebuild delta_hat from zero, so only "up"
+            # ones carry the old value.  For an insertion the new arc
+            # (u_high, u_low) had no old contribution: skip that pair.
+            up_pred = t[ph] == UP
+            if insert:
+                up_pred &= ~((ph == u_high) & (pt == u_low))
+            sp, sh = pt[up_pred], ph[up_pred]
+            if sp.size:
+                np.add.at(
+                    delta_hat, sh, -(sigma[sh] / sigma[sp]) * (1.0 + delta[sp])
+                )
+                subs = int(sp.size)
+        if not insert and level == base_level:
+            # The removed arc was an old DAG arc but is no longer in
+            # the adjacency, so its stale contribution is retired
+            # explicitly (old values only: order-independent).
+            if t[u_high] == UNTOUCHED:
+                t[u_high] = UP
+                delta_hat[u_high] = delta[u_high]
+                lvl_touched.setdefault(level - 1, []).append(
+                    np.array([u_high], dtype=np.int64)
+                )
+                new_up_count += 1
+            delta_hat[u_high] -= (sigma[u_high] / sigma[u_low]) * (
+                1.0 + delta[u_low]
+            )
+            subs += 1
+        acc.dep_level(
+            qq=qq_len, level_nodes=int(w_arr.size), arcs=arcs,
+            adds=adds, subs=subs, new_up=new_up_count, max_conflict=conflict,
+        )
+        qq_len += new_up_count
+
+    _commit(source, t, d, None, sigma, sigma_hat, delta, delta_hat, bc, acc, stats)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Case 3: |d(u) - d(v)| > 1 (distances shrink; components may merge)
+# ----------------------------------------------------------------------
+def distant_level_update(
+    graph: CSRGraph,
+    source: int,
+    d: np.ndarray,
+    sigma: np.ndarray,
+    delta: np.ndarray,
+    bc: np.ndarray,
+    u_high: int,
+    u_low: int,
+    acc: UpdateAccountant,
+) -> UpdateStats:
+    """Apply a distant-level edge insertion for one source (in place).
+
+    Precondition: the edge ``{u_high, u_low}`` is already in the graph
+    and ``d[u_low] > d[u_high] + 1`` (possibly ``DIST_INF``).
+    """
+    n = graph.num_vertices
+    if not d[u_low] > d[u_high] + 1:
+        raise ValueError("distant-level update requires d[u_low] > d[u_high] + 1")
+    stats = UpdateStats()
+    acc.init(n)
+    t = np.zeros(n, dtype=np.int8)
+    moved = np.zeros(n, dtype=bool)
+    d_new = d.copy()
+    sigma_hat = sigma.copy()
+    delta_hat = np.zeros(n, dtype=np.float64)
+
+    d_new[u_low] = d[u_high] + 1
+    moved[u_low] = True
+    t[u_low] = DOWN
+
+    lvl_touched: Dict[int, List[np.ndarray]] = {}
+    qq_len = 0
+
+    # Stage 2': pull-based distance/sigma repair in new-level order.
+    level = int(d_new[u_low])
+    pending: np.ndarray = np.array([u_low], dtype=np.int64)
+    pull_buf = np.zeros(n, dtype=np.float64)
+    while pending.size:
+        stats.sp_levels += 1
+        cur = np.unique(pending)
+        # Pull sigma_hat from new-level predecessors (final by level order).
+        tails, heads = graph.frontier_arcs(cur)
+        tails = tails.astype(np.int64)
+        heads = heads.astype(np.int64)
+        pred = d_new[heads] == level - 1
+        pull_buf[cur] = 0.0
+        if np.any(pred):
+            np.add.at(pull_buf, tails[pred], sigma_hat[heads[pred]])
+        sigma_hat[cur] = pull_buf[cur]
+        changed = moved[cur] | (sigma_hat[cur] != sigma[cur])
+        reverted = cur[~changed]
+        if reverted.size:  # candidate turned out unaffected
+            sigma_hat[reverted] = sigma[reverted]
+            t[reverted] = UNTOUCHED
+        fr = cur[changed]
+        raw_new = 0
+        next_pending = np.empty(0, dtype=np.int64)
+        scan_arcs = 0
+        if fr.size:
+            lvl_touched.setdefault(level, []).append(fr)
+            qq_len += int(fr.size)
+            s_tails, s_heads = graph.frontier_arcs(fr)
+            s_heads = s_heads.astype(np.int64)
+            scan_arcs = int(s_tails.size)
+            # Relabel vertices pulled closer by the new paths.
+            movers = np.unique(s_heads[d_new[s_heads] > level + 1])
+            if movers.size:
+                d_new[movers] = level + 1
+                moved[movers] = True
+            # Next level's candidates: every neighbor now at level+1.
+            cand_mask = d_new[s_heads] == level + 1
+            raw_new = int(np.count_nonzero(cand_mask))
+            next_pending = np.unique(s_heads[cand_mask])
+            if next_pending.size:
+                t[next_pending] = DOWN
+        acc.pull_level(
+            frontier=int(cur.size),
+            pull_arcs=int(np.count_nonzero(pred)),
+            scan_arcs=scan_arcs,
+            raw_new=raw_new,
+            new=int(next_pending.size),
+        )
+        pending = next_pending
+        level += 1
+
+    # Pre-pass: retire moved vertices' old contributions from their old
+    # predecessors.  Uses only pre-update values, so it commutes with
+    # the level loop below (the moved vertex may now live far above its
+    # old predecessors' levels).
+    movers_all = np.flatnonzero(moved).astype(np.int64)
+    if movers_all.size:
+        tails, heads = graph.frontier_arcs(movers_all)
+        tails = tails.astype(np.int64)
+        heads = heads.astype(np.int64)
+        old_pred = d[heads] == d[tails] - 1  # never true for d[tails]=INF
+        mask = old_pred & (t[heads] != DOWN)
+        xt, xh = tails[mask], heads[mask]
+        new_up = np.unique(xh[t[xh] == UNTOUCHED])
+        if new_up.size:
+            t[new_up] = UP
+            delta_hat[new_up] = delta[new_up]
+            for lvl in np.unique(d_new[new_up]):
+                group = new_up[d_new[new_up] == lvl]
+                lvl_touched.setdefault(int(lvl), []).append(group)
+            qq_len += int(new_up.size)
+        if xt.size:
+            np.add.at(delta_hat, xh, -(sigma[xh] / sigma[xt]) * (1.0 + delta[xt]))
+        acc.prepass(moved=int(movers_all.size), arcs=int(tails.size),
+                    subs=int(xt.size))
+
+    # Stage 3': dependency accumulation over new levels, deepest first.
+    touched_levels = [lvl for lvl, nodes in lvl_touched.items() if nodes]
+    max_level = max(touched_levels) if touched_levels else 0
+    for level in range(max_level, 0, -1):
+        stats.dep_levels += 1
+        parts = lvl_touched.get(level, [])
+        w_arr = (
+            np.unique(np.concatenate(parts)) if parts else np.empty(0, dtype=np.int64)
+        )
+        adds = subs = arcs = new_up_count = 0
+        conflict = 1
+        if w_arr.size:
+            tails, heads = graph.frontier_arcs(w_arr)
+            tails = tails.astype(np.int64)
+            heads = heads.astype(np.int64)
+            arcs = int(tails.size)
+            pred = d_new[heads] == level - 1
+            pt, ph = tails[pred], heads[pred]
+            new_up = np.unique(ph[t[ph] == UNTOUCHED])
+            if new_up.size:
+                t[new_up] = UP
+                delta_hat[new_up] = delta[new_up]
+                lvl_touched.setdefault(level - 1, []).append(new_up)
+                new_up_count = int(new_up.size)
+            if ph.size:
+                np.add.at(
+                    delta_hat, ph,
+                    sigma_hat[ph] / sigma_hat[pt] * (1.0 + delta_hat[pt]),
+                )
+                adds = int(ph.size)
+                conflict = _max_multiplicity(ph)
+            # Stale contributions: only unmoved poppees still owe them
+            # (moved ones were retired in the pre-pass), and only "up"
+            # predecessors carry old values.
+            old_arc = (d[heads] == d[tails] - 1) & ~moved[tails]
+            sub_mask = old_arc & (t[heads] == UP)
+            sp, sh = tails[sub_mask], heads[sub_mask]
+            if sp.size:
+                np.add.at(
+                    delta_hat, sh, -(sigma[sh] / sigma[sp]) * (1.0 + delta[sp])
+                )
+                subs = int(sp.size)
+        acc.dep_level(
+            qq=qq_len, level_nodes=int(w_arr.size), arcs=arcs,
+            adds=adds, subs=subs, new_up=new_up_count, max_conflict=conflict,
+        )
+        qq_len += new_up_count
+
+    stats.moved = int(movers_all.size)
+    _commit(source, t, d, d_new, sigma, sigma_hat, delta, delta_hat, bc, acc, stats)
+    return stats
+
+
+# ----------------------------------------------------------------------
+def _commit(
+    source: int,
+    t: np.ndarray,
+    d: np.ndarray,
+    d_new: Optional[np.ndarray],
+    sigma: np.ndarray,
+    sigma_hat: np.ndarray,
+    delta: np.ndarray,
+    delta_hat: np.ndarray,
+    bc: np.ndarray,
+    acc: UpdateAccountant,
+    stats: UpdateStats,
+) -> None:
+    """Algorithm 8: fold hat-values into the stored state and adjust BC.
+
+    The source's own delta stays pinned at zero (it never contributes
+    to any BC score) and its BC is never self-adjusted.
+    """
+    touched = t != UNTOUCHED
+    stats.touched = int(np.count_nonzero(touched))
+    apply_mask = touched.copy()
+    apply_mask[source] = False
+    bc[apply_mask] += delta_hat[apply_mask] - delta[apply_mask]
+    sigma[:] = sigma_hat
+    delta[apply_mask] = delta_hat[apply_mask]
+    if d_new is not None:
+        d[:] = d_new
+    acc.commit(t.size, stats.touched)

@@ -1,0 +1,143 @@
+"""Command-line entry point: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.cli table1                 # graph suite properties
+    python -m repro.cli fig1                   # thread-block sweep
+    python -m repro.cli fig2                   # scenario distribution
+    python -m repro.cli table2                 # CPU vs GPU speedups
+    python -m repro.cli table3                 # update vs recompute
+    python -m repro.cli fig4                   # touched fractions
+    python -m repro.cli all --scale 1 --sources 64 --insertions 20
+
+``--scale`` multiplies the suite graph sizes; the defaults run in a few
+minutes, ``--scale 20 --sources 128`` approaches the paper's regime
+(see EXPERIMENTS.md for recorded runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis import report
+from repro.analysis.blocks import run_block_sweep
+from repro.analysis.config import ExperimentConfig
+from repro.analysis.scenarios import run_scenario_study
+from repro.analysis.speedup import run_table2, run_table3, summarize_headline
+from repro.analysis.touched import run_touched_study
+from repro.graph.properties import analyze
+from repro.graph.suite import load_suite
+
+ARTIFACTS = ("table1", "fig1", "fig2", "table2", "table3", "fig4", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-bc`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc",
+        description="Reproduce the tables and figures of McLaughlin & "
+                    "Bader, 'Revisiting Edge and Node Parallelism for "
+                    "Dynamic GPU Graph Analytics' (IPDPS-W 2014).",
+    )
+    parser.add_argument("artifact", choices=ARTIFACTS)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="suite graph size multiplier (default 1.0)")
+    parser.add_argument("--sources", type=int, default=64,
+                        help="k source vertices (paper: 256)")
+    parser.add_argument("--insertions", type=int, default=20,
+                        help="edges removed and re-inserted (paper: 100)")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--graphs", nargs="*", default=None,
+                        help="subset of suite graph names")
+    parser.add_argument("--verify", action="store_true",
+                        help="check final state against a scratch "
+                             "recomputation (slower)")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="also write each section (and CSV series "
+                             "for the figures) into DIR")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    kwargs = dict(
+        scale=args.scale,
+        num_sources=args.sources,
+        num_insertions=args.insertions,
+        seed=args.seed,
+    )
+    if args.graphs:
+        kwargs["graphs"] = tuple(args.graphs)
+    return ExperimentConfig(**kwargs)
+
+
+def iter_artifact_sections(artifact: str, args: argparse.Namespace):
+    """Run one artifact, yielding ``(name, text)`` sections as they
+    complete; names double as file stems for ``--save``."""
+    config = _config(args)
+    if artifact in ("table1", "all"):
+        suite = load_suite(scale=config.scale, seed=config.seed,
+                           names=config.graphs)
+        graphs = [suite[name] for name in config.graphs]
+        props = [analyze(b.graph) for b in graphs]
+        yield "table1", report.render_table1(graphs, props)
+    if artifact in ("fig1", "all"):
+        sweeps = run_block_sweep(scale=config.scale, seed=config.seed)
+        yield "fig1", report.render_fig1(sweeps)
+        yield "fig1.csv", report.fig1_csv(sweeps)
+    if artifact in ("fig2", "all"):
+        yield "fig2", report.render_fig2(run_scenario_study(config))
+    table2 = None
+    if artifact in ("table2", "all"):
+        table2 = run_table2(config, verify=args.verify)
+        yield "table2", report.render_table2(table2)
+    if artifact in ("table3", "all"):
+        table3 = run_table3(config)
+        yield "table3", report.render_table3(table3)
+        if table2 is not None:
+            yield "headline", report.render_headline(
+                summarize_headline(table2, table3)
+            )
+    if artifact in ("fig4", "all"):
+        studies = run_touched_study(config)
+        yield "fig4", report.render_fig4(studies)
+        yield "fig4.csv", report.fig4_csv(studies)
+
+
+def run_artifact(artifact: str, args: argparse.Namespace) -> List[str]:
+    """Run one artifact and return its rendered text sections (CSV
+    companions excluded)."""
+    return [
+        text for name, text in iter_artifact_sections(artifact, args)
+        if not name.endswith(".csv")
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: print (and optionally save) the requested artifact."""
+    args = build_parser().parse_args(argv)
+    start = time.time()
+    save_dir = None
+    if args.save:
+        import os
+
+        save_dir = args.save
+        os.makedirs(save_dir, exist_ok=True)
+    for name, text in iter_artifact_sections(args.artifact, args):
+        if save_dir is not None:
+            import os
+
+            stem = name if name.endswith(".csv") else f"{name}.txt"
+            with open(os.path.join(save_dir, stem), "w") as fh:
+                fh.write(text + "\n")
+        if not name.endswith(".csv"):
+            print(text, flush=True)
+            print(flush=True)
+    print(f"[done in {time.time() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Virtual-GPU execution model.
+
+No CUDA device is assumed: the BC kernels in :mod:`repro.bc` execute
+their level-synchronous logic over NumPy arrays and emit a trace of
+*parallel steps* (work items, cycles, bytes, atomics).  This package
+turns those traces into simulated seconds under a concrete device
+specification (Tesla C2075, GTX 560, or a sequential CPU), with the
+block-per-SM scheduling discipline the paper uses.
+
+See DESIGN.md §3 for why this substitution preserves the paper's
+findings: every conclusion in the paper is an argument about *counted
+work* (edge-parallel scans Θ(|E|) arcs per BFS level; node-parallel
+touches only the frontier), which the model reproduces exactly.
+"""
+
+from repro.gpu.counters import KernelCounters, Step, Trace
+from repro.gpu.costmodel import CostModel, OpCosts
+from repro.gpu.device import (
+    CORE_I7_2600K,
+    DeviceSpec,
+    GTX_560,
+    TESLA_C2075,
+    TESLA_K40,
+    device_by_name,
+)
+from repro.gpu.executor import KernelTiming, VirtualGPU, schedule_blocks
+from repro.gpu.primitives import (
+    bitonic_sort_steps,
+    prefix_sum_steps,
+    remove_duplicates,
+)
+
+__all__ = [
+    "KernelCounters",
+    "Step",
+    "Trace",
+    "CostModel",
+    "OpCosts",
+    "DeviceSpec",
+    "TESLA_C2075",
+    "GTX_560",
+    "TESLA_K40",
+    "CORE_I7_2600K",
+    "device_by_name",
+    "VirtualGPU",
+    "KernelTiming",
+    "schedule_blocks",
+    "bitonic_sort_steps",
+    "prefix_sum_steps",
+    "remove_duplicates",
+]

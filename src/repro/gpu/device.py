@@ -1,0 +1,154 @@
+"""Device specifications for the execution model.
+
+Presets mirror the hardware of the paper's §IV: an Nvidia Tesla C2075
+(14 SMs, 1.15 GHz, 144 GB/s GDDR5), the GTX 560 used in Fig. 1 (7 SMs),
+and the Intel Core i7-2600K CPU baseline (3.4 GHz, single thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of one (virtual) execution target.
+
+    Attributes
+    ----------
+    num_sms:
+        Streaming multiprocessors.  The paper launches one thread block
+        per SM ("we delegate one thread block per SM"), so this is also
+        the default grid size.
+    threads_per_block:
+        Fine-grained parallelism within a block; the paper assigns "the
+        maximum number of threads per block".
+    clock_ghz:
+        Per-SM (or per-core) clock.
+    mem_bandwidth_gbs:
+        Aggregate DRAM bandwidth shared by all SMs.
+    sm_mem_gbs:
+        Latency-limited memory throughput one block can sustain alone
+        (outstanding-miss limit).  This is what makes the Fig. 1 sweep
+        behave: with fewer resident blocks than SMs the bus is
+        under-subscribed and throughput scales with the block count.
+    atomic_cycles:
+        Cost of one atomic memory operation (serialized per location).
+    launch_overhead_us:
+        Fixed host-side cost per kernel launch.
+    cpi:
+        Average cycles per scalar operation (CPU targets model cache
+        friendliness here; GPU targets model divergence overhead).
+    is_cpu:
+        Sequential target: one block, one thread, no launch overhead.
+    """
+
+    name: str
+    num_sms: int
+    clock_ghz: float
+    mem_bandwidth_gbs: float
+    sm_mem_gbs: float
+    threads_per_block: int = 1024
+    warp_size: int = 32
+    atomic_cycles: float = 24.0
+    launch_overhead_us: float = 4.0
+    cpi: float = 1.0
+    is_cpu: bool = False
+    #: last-level cache (CPU targets): graph traversals whose working
+    #: set spills out of it pay ``random_access_cycles`` per dependent
+    #: load instead of ``cached_access_cycles``.  GPUs hide this
+    #: latency with massive multithreading, so they leave it at 0.
+    cache_mb: float = 0.0
+    random_access_cycles: float = 220.0
+    cached_access_cycles: float = 8.0
+
+    def __post_init__(self) -> None:
+        check_positive("num_sms", self.num_sms)
+        check_positive("clock_ghz", self.clock_ghz)
+        check_positive("mem_bandwidth_gbs", self.mem_bandwidth_gbs)
+        check_positive("sm_mem_gbs", self.sm_mem_gbs)
+        check_positive("threads_per_block", self.threads_per_block)
+        check_positive("warp_size", self.warp_size)
+        check_positive("cpi", self.cpi)
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def with_sms(self, num_sms: int) -> "DeviceSpec":
+        """Copy of this device with a different SM count (used by the
+        multi-GPU strong-scaling ablation)."""
+        return replace(self, name=f"{self.name}({num_sms} SMs)", num_sms=num_sms)
+
+
+#: Tesla C2075: 14 SMs x 32 SPs @ 1.15 GHz, 6 GB GDDR5 @ 144 GB/s.
+TESLA_C2075 = DeviceSpec(
+    name="Tesla C2075",
+    num_sms=14,
+    clock_ghz=1.15,
+    mem_bandwidth_gbs=144.0,
+    sm_mem_gbs=11.0,
+    threads_per_block=1024,
+    atomic_cycles=24.0,
+    launch_overhead_us=4.0,
+    cpi=2.0,  # irregular kernels: divergence + replayed transactions
+)
+
+#: GTX 560: 7 SMs @ 1.62 GHz, 128 GB/s (the second device of Fig. 1).
+GTX_560 = DeviceSpec(
+    name="GTX 560",
+    num_sms=7,
+    clock_ghz=1.62,
+    mem_bandwidth_gbs=128.0,
+    sm_mem_gbs=19.0,
+    threads_per_block=1024,
+    atomic_cycles=24.0,
+    launch_overhead_us=4.0,
+    cpi=2.0,
+)
+
+#: Intel Core i7-2600K: single-threaded baseline, 3.4 GHz, 8 MB cache.
+CORE_I7_2600K = DeviceSpec(
+    name="Intel Core i7-2600K",
+    num_sms=1,
+    clock_ghz=3.4,
+    mem_bandwidth_gbs=21.0,
+    sm_mem_gbs=21.0,
+    threads_per_block=1,
+    warp_size=1,
+    atomic_cycles=1.0,  # plain stores: no contention on one thread
+    launch_overhead_us=0.0,
+    cpi=1.4,  # pointer-chasing costs between cache hits
+    is_cpu=True,
+    cache_mb=8.0,
+)
+
+#: Tesla K40: the follow-up-era Kepler card (15 SMX @ 745 MHz boost
+#: ~875, 288 GB/s) — handy for what-if studies beyond the paper's
+#: hardware; not used by any recorded experiment.
+TESLA_K40 = DeviceSpec(
+    name="Tesla K40",
+    num_sms=15,
+    clock_ghz=0.875,
+    mem_bandwidth_gbs=288.0,
+    sm_mem_gbs=20.0,
+    threads_per_block=1024,
+    atomic_cycles=12.0,  # Kepler halved global-atomic latency
+    launch_overhead_us=4.0,
+    cpi=2.0,
+)
+
+_PRESETS = {d.name: d for d in (TESLA_C2075, GTX_560, TESLA_K40,
+                                CORE_I7_2600K)}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a preset by exact name."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; presets: {sorted(_PRESETS)}"
+        ) from None

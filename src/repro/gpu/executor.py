@@ -1,0 +1,107 @@
+"""Block/SM scheduling of per-source work.
+
+The paper's decomposition (Fig. 3): coarse-grained parallelism assigns
+independent source vertices to thread blocks, one block per SM; each
+block loops over its share of the sources.  :func:`schedule_blocks`
+reproduces that schedule over simulated per-source durations and
+returns the kernel's makespan (the slowest SM determines the total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpu.costmodel import CostModel
+from repro.gpu.counters import Trace
+from repro.gpu.device import DeviceSpec
+
+
+@dataclass
+class KernelTiming:
+    """Result of scheduling one kernel launch."""
+
+    total_seconds: float
+    block_seconds: List[float]
+    sm_seconds: List[float]
+    launch_overhead: float
+
+    @property
+    def busy_fraction(self) -> float:
+        """Mean SM utilization (1.0 = perfectly balanced)."""
+        busy = max(self.sm_seconds) if self.sm_seconds else 0.0
+        if busy == 0.0:
+            return 1.0
+        return float(np.mean(self.sm_seconds) / busy)
+
+
+def schedule_blocks(
+    source_seconds: Sequence[float],
+    device: DeviceSpec,
+    num_blocks: int = 0,
+    launch_overhead: Optional[float] = None,
+) -> KernelTiming:
+    """Round-robin sources onto blocks, blocks onto SMs; the kernel
+    completes when the busiest SM drains.
+
+    ``source_seconds[i]`` is the simulated duration of source *i*'s
+    work inside the launch (already costed by :class:`CostModel`).
+    """
+    num_blocks = num_blocks or device.num_sms
+    if num_blocks < 1:
+        raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+    if device.is_cpu:
+        num_blocks = 1
+    block_seconds = [0.0] * num_blocks
+    for i, sec in enumerate(source_seconds):
+        if sec < 0:
+            raise ValueError("source durations must be non-negative")
+        block_seconds[i % num_blocks] += sec
+    sm_seconds = [0.0] * device.num_sms
+    for b, sec in enumerate(block_seconds):
+        sm_seconds[b % device.num_sms] += sec
+    if launch_overhead is None:
+        launch_overhead = device.launch_overhead_us * 1e-6
+    total = max(sm_seconds) + launch_overhead if len(source_seconds) else launch_overhead
+    return KernelTiming(
+        total_seconds=total,
+        block_seconds=block_seconds,
+        sm_seconds=sm_seconds,
+        launch_overhead=launch_overhead,
+    )
+
+
+class VirtualGPU:
+    """Convenience wrapper tying a device, grid size, and cost model.
+
+    >>> from repro.gpu import TESLA_C2075, VirtualGPU
+    >>> gpu = VirtualGPU(TESLA_C2075)
+    >>> gpu.num_blocks
+    14
+    """
+
+    def __init__(self, device: DeviceSpec, num_blocks: int = 0) -> None:
+        self.device = device
+        self.num_blocks = num_blocks or device.num_sms
+        if device.is_cpu:
+            self.num_blocks = 1
+        self.cost_model = CostModel(device, self.num_blocks)
+
+    def time_traces(self, traces: Sequence[Trace]) -> KernelTiming:
+        """Cost each per-source trace and schedule the launch."""
+        per_source = [self.cost_model.trace_seconds(t) for t in traces]
+        return schedule_blocks(
+            per_source,
+            self.device,
+            self.num_blocks,
+            self.cost_model.launch_overhead_seconds,
+        )
+
+    def with_blocks(self, num_blocks: int) -> "VirtualGPU":
+        """Same device, different grid size (Fig. 1 sweep)."""
+        return VirtualGPU(self.device, num_blocks)
+
+    def __repr__(self) -> str:
+        return f"VirtualGPU({self.device.name!r}, blocks={self.num_blocks})"

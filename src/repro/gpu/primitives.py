@@ -1,0 +1,67 @@
+"""Block-level parallel primitives with cost accounting.
+
+The node-parallel kernels remove duplicates from the ``Q2`` frontier
+buffer with the three-phase procedure of §III-A (after Merrill et al.):
+
+1. bitonic sort of the buffer,
+2. adjacent-compare to flag unique entries,
+3. prefix sum to compact the unique entries into ``Q``.
+
+The *result* is computed with :func:`numpy.unique` (bit-identical to a
+real bitonic-sort pipeline on integers); the *cost* charged to the
+trace is that of the parallel pipeline: ``O(log^2 p)`` sort steps over
+the next power of two ``p``, one compare step, ``O(log p)`` scan steps,
+and one scatter.
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+
+from repro.gpu.counters import Trace
+
+
+def _next_pow2(x: int) -> int:
+    return 1 if x <= 1 else 1 << (x - 1).bit_length()
+
+
+def bitonic_sort_steps(length: int) -> int:
+    """Number of barrier-delimited comparator phases a bitonic sort of
+    *length* elements executes: k(k+1)/2 for p = 2**k."""
+    if length <= 1:
+        return 0
+    k = _next_pow2(length).bit_length() - 1
+    return k * (k + 1) // 2
+
+
+def prefix_sum_steps(length: int) -> int:
+    """Phases of a work-efficient (Blelloch) scan: 2 * ceil(log2 p)."""
+    if length <= 1:
+        return 0
+    return 2 * math.ceil(math.log2(length))
+
+
+def remove_duplicates(buffer: np.ndarray, trace: Trace) -> np.ndarray:
+    """Deduplicate a frontier buffer, charging the parallel pipeline.
+
+    Returns the unique entries in sorted order (exactly what the GPU
+    pipeline produces) and appends the pipeline's steps to *trace*.
+    """
+    length = int(buffer.size)
+    if length == 0:
+        return buffer[:0]
+    p = _next_pow2(length)
+    # Phase 1: bitonic sort — each phase touches all p slots.
+    for _ in range(bitonic_sort_steps(length)):
+        trace.add(work_items=p, cycles_per_item=3.0, bytes_moved=8.0 * p)
+    # Phase 2: adjacent compare producing the uniqueness flags.
+    trace.add(work_items=length, cycles_per_item=2.0, bytes_moved=9.0 * length)
+    # Phase 3: prefix sum over the flags.
+    for _ in range(prefix_sum_steps(length)):
+        trace.add(work_items=length, cycles_per_item=2.0, bytes_moved=8.0 * length)
+    # Phase 4: compacting scatter of the unique entries.
+    unique = np.unique(buffer)
+    trace.add(work_items=length, cycles_per_item=2.0,
+              bytes_moved=4.0 * length + 4.0 * unique.size)
+    return unique

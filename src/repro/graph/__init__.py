@@ -1,0 +1,73 @@
+"""Graph substrate: CSR storage, dynamic updates, generators, and I/O.
+
+The betweenness-centrality engines operate on :class:`CSRGraph`
+snapshots; streaming experiments mutate a :class:`DynamicGraph`
+(a STINGER-inspired growable adjacency structure) and take CSR
+snapshots between updates.
+"""
+
+from repro.graph.csr import CSRGraph, DIST_INF
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.generators import (
+    co_papers,
+    complete_bipartite,
+    complete_graph,
+    erdos_renyi,
+    grid_2d,
+    kronecker,
+    path_graph,
+    preferential_attachment,
+    random_triangulation,
+    router_level,
+    star_graph,
+    watts_strogatz,
+    web_crawl,
+    zachary_karate,
+)
+from repro.graph.io import (
+    load_dimacs_metis,
+    load_edge_list,
+    load_npz,
+    save_dimacs_metis,
+    save_edge_list,
+    save_npz,
+)
+from repro.graph.properties import GraphProperties, analyze
+from repro.graph.stream import EdgeEvent, EdgeStream, ReplayResult, replay
+from repro.graph.suite import BenchmarkGraph, SUITE_SPECS, load_suite, make_suite_graph
+
+__all__ = [
+    "CSRGraph",
+    "DynamicGraph",
+    "DIST_INF",
+    "co_papers",
+    "complete_bipartite",
+    "complete_graph",
+    "erdos_renyi",
+    "grid_2d",
+    "kronecker",
+    "path_graph",
+    "preferential_attachment",
+    "random_triangulation",
+    "router_level",
+    "star_graph",
+    "watts_strogatz",
+    "web_crawl",
+    "zachary_karate",
+    "load_dimacs_metis",
+    "load_edge_list",
+    "load_npz",
+    "save_dimacs_metis",
+    "save_edge_list",
+    "save_npz",
+    "GraphProperties",
+    "analyze",
+    "EdgeEvent",
+    "EdgeStream",
+    "ReplayResult",
+    "replay",
+    "BenchmarkGraph",
+    "SUITE_SPECS",
+    "load_suite",
+    "make_suite_graph",
+]

@@ -1,0 +1,367 @@
+"""Synthetic graph generators covering every class in the paper's suite.
+
+Table I of the paper draws from the 10th DIMACS challenge: an internet
+router-level topology (caidaRouterLevel), a co-authorship social network
+(coPapersCiteseer), a random Delaunay triangulation (delaunay_n20), a
+web crawl (eu-2005), a Kronecker/Graph500 graph (kron_g500-simple-logn19),
+a scale-free preferential-attachment graph, and a Watts–Strogatz small
+world.  The real files are hundreds of MB and not redistributable here,
+so each class is *generated* at configurable scale with the structural
+signatures that matter to the experiments: degree distribution,
+diameter, and clustering (see DESIGN.md §3).
+
+Every generator takes a ``seed`` and is fully deterministic for a given
+seed.  All generators return simple undirected :class:`CSRGraph`
+instances (self loops and multi-edges are merged away).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.prng import SeedLike, default_rng
+
+
+# ----------------------------------------------------------------------
+# Classic deterministic topologies (used heavily by tests)
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> CSRGraph:
+    """Path 0-1-2-...-(n-1)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    idx = np.arange(n - 1, dtype=np.int64) if n > 1 else np.empty(0, dtype=np.int64)
+    return CSRGraph.from_edges(n, np.column_stack([idx, idx + 1]) if n > 1 else [])
+
+
+def star_graph(n: int) -> CSRGraph:
+    """Star with center 0 and n-1 leaves."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return CSRGraph.from_edges(
+        n, np.column_stack([np.zeros(n - 1, dtype=np.int64), leaves]) if n > 1 else []
+    )
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete graph K_n."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    u, v = np.triu_indices(n, k=1)
+    return CSRGraph.from_edges(n, np.column_stack([u, v]).astype(np.int64))
+
+
+def complete_bipartite(a: int, b: int) -> CSRGraph:
+    """Complete bipartite graph K_{a,b} (parts ``0..a-1`` and
+    ``a..a+b-1``) — a useful BC oracle: every cross pair has exactly
+    ``min-side`` shortest paths."""
+    if a < 1 or b < 1:
+        raise ValueError("both parts must be non-empty")
+    left = np.repeat(np.arange(a, dtype=np.int64), b)
+    right = np.tile(np.arange(a, a + b, dtype=np.int64), a)
+    return CSRGraph.from_edges(a + b, np.column_stack([left, right]))
+
+
+def grid_2d(rows: int, cols: int) -> CSRGraph:
+    """rows x cols 4-neighbor grid."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    vert = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    return CSRGraph.from_edges(rows * cols, np.vstack([horiz, vert]))
+
+
+def zachary_karate() -> CSRGraph:
+    """Zachary's karate club (34 vertices, 78 edges) — the standard
+    small real-world test graph with known BC scores."""
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8),
+        (0, 10), (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21),
+        (0, 31), (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19),
+        (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13),
+        (2, 27), (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6),
+        (4, 10), (5, 6), (5, 10), (5, 16), (6, 16), (8, 30), (8, 32),
+        (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
+        (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+        (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32),
+        (23, 33), (24, 25), (24, 27), (24, 31), (25, 31), (26, 29),
+        (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
+        (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+    ]
+    return CSRGraph.from_edges(34, edges)
+
+
+# ----------------------------------------------------------------------
+# Random models
+# ----------------------------------------------------------------------
+def erdos_renyi(n: int, m: int, seed: SeedLike = None) -> CSRGraph:
+    """G(n, m): *m* distinct uniform random edges."""
+    rng = default_rng(seed)
+    if n < 2 and m > 0:
+        raise ValueError("need at least 2 vertices for edges")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds max simple edges {max_edges}")
+    chosen: set = set()
+    while len(chosen) < m:
+        need = m - len(chosen)
+        us = rng.integers(0, n, size=2 * need + 8)
+        vs = rng.integers(0, n, size=2 * need + 8)
+        for u, v in zip(us, vs):
+            if u == v:
+                continue
+            key = (min(int(u), int(v)), max(int(u), int(v)))
+            chosen.add(key)
+            if len(chosen) == m:
+                break
+    return CSRGraph.from_edges(n, np.asarray(sorted(chosen), dtype=np.int64))
+
+
+def watts_strogatz(
+    n: int, k: int = 10, p: float = 0.1, seed: SeedLike = None
+) -> CSRGraph:
+    """Watts–Strogatz small world (the paper's *smallworld* graph,
+    logarithmic diameter [21]).
+
+    Ring lattice where each vertex connects to its ``k`` nearest
+    neighbors (k even), then each edge is rewired with probability *p*.
+    """
+    rng = default_rng(seed)
+    if k % 2 != 0 or k < 2:
+        raise ValueError(f"k must be even and >= 2, got {k}")
+    if n <= k:
+        raise ValueError(f"need n > k, got n={n}, k={k}")
+    if not 0 <= p <= 1:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    base = np.arange(n, dtype=np.int64)
+    edges = []
+    for offset in range(1, k // 2 + 1):
+        edges.append(np.column_stack([base, (base + offset) % n]))
+    edge_arr = np.vstack(edges)
+    rewire = rng.random(edge_arr.shape[0]) < p
+    for i in np.flatnonzero(rewire):
+        u = edge_arr[i, 0]
+        for _ in range(8):  # bounded retries to keep the graph simple
+            w = int(rng.integers(0, n))
+            if w != u:
+                edge_arr[i, 1] = w
+                break
+    return CSRGraph.from_edges(n, edge_arr)
+
+
+def preferential_attachment(
+    n: int, m: int = 5, seed: SeedLike = None
+) -> CSRGraph:
+    """Barabási–Albert preferential attachment (the paper's *pref*
+    graph: scale-free, power-law degrees [20]).
+
+    Each new vertex attaches to *m* existing vertices chosen with
+    probability proportional to degree (repeated-nodes method).
+    """
+    rng = default_rng(seed)
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if n <= m:
+        raise ValueError(f"need n > m, got n={n}, m={m}")
+    targets = list(range(m))
+    repeated: list = []
+    edges = []
+    for v in range(m, n):
+        chosen = set()
+        while len(chosen) < m:
+            if repeated and rng.random() < 0.999:  # degree-proportional
+                cand = repeated[int(rng.integers(0, len(repeated)))]
+            else:  # uniform fallback keeps early steps well defined
+                cand = int(rng.integers(0, v))
+            if cand != v:
+                chosen.add(cand)
+        for t in chosen:
+            edges.append((v, t))
+            repeated.extend([v, t])
+    return CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+def kronecker(
+    scale: int,
+    edge_factor: int = 16,
+    seed: SeedLike = None,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> CSRGraph:
+    """Graph500-style stochastic Kronecker / R-MAT generator (the
+    paper's *kron_g500-simple-logn19* class).
+
+    ``n = 2**scale`` vertices, ``edge_factor * n`` sampled arcs before
+    dedup.  Default (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) follows the
+    Graph500 specification; vertex ids are randomly permuted so that
+    degree correlates with nothing observable.
+    """
+    rng = default_rng(seed)
+    if scale < 1 or scale > 30:
+        raise ValueError(f"scale must be in [1, 30], got {scale}")
+    if edge_factor < 1:
+        raise ValueError(f"edge_factor must be >= 1, got {edge_factor}")
+    d = 1.0 - (a + b + c)
+    if min(a, b, c, d) < 0:
+        raise ValueError("R-MAT probabilities must be non-negative and sum <= 1")
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    a_norm = a / ab if ab > 0 else 0.5
+    c_norm = c / (c + d) if (c + d) > 0 else 0.5
+    for _ in range(scale):
+        src <<= 1
+        dst <<= 1
+        r_bit = rng.random(m)
+        go_down = r_bit >= ab  # lower half of the adjacency matrix
+        r_col = rng.random(m)
+        right = np.where(go_down, r_col >= c_norm, r_col >= a_norm)
+        src += go_down
+        dst += right
+    perm = rng.permutation(n)
+    return CSRGraph.from_edges(n, np.column_stack([perm[src], perm[dst]]))
+
+
+def random_triangulation(n: int, seed: SeedLike = None) -> CSRGraph:
+    """Delaunay triangulation of *n* uniform random points in the unit
+    square (the paper's *delaunay_n20* class: planar, bounded degree,
+    large diameter)."""
+    from scipy.spatial import Delaunay  # deferred: scipy.spatial is heavy
+
+    rng = default_rng(seed)
+    if n < 3:
+        raise ValueError(f"need n >= 3 points, got {n}")
+    points = rng.random((n, 2))
+    tri = Delaunay(points)
+    simplices = tri.simplices
+    edges = np.vstack(
+        [simplices[:, [0, 1]], simplices[:, [1, 2]], simplices[:, [0, 2]]]
+    ).astype(np.int64)
+    return CSRGraph.from_edges(n, edges)
+
+
+def router_level(n: int, seed: SeedLike = None) -> CSRGraph:
+    """Hierarchical internet topology (the paper's *caidaRouterLevel*
+    class: sparse, heavy-tailed, hierarchical).
+
+    Three tiers — core (1%), distribution (19%), access (80%).  Core
+    routers form a dense random mesh; distribution routers multi-home to
+    2–4 cores and peer laterally; access routers attach to 1–2
+    distribution routers.  Average degree lands near caida's ~6.3
+    arcs/vertex (m/n ≈ 3.2).
+    """
+    rng = default_rng(seed)
+    if n < 20:
+        raise ValueError(f"router_level needs n >= 20, got {n}")
+    n_core = max(3, n // 100)
+    n_dist = max(5, (19 * n) // 100)
+    core = np.arange(n_core)
+    dist = np.arange(n_core, n_core + n_dist)
+    access = np.arange(n_core + n_dist, n)
+    edges = []
+    # Core mesh: each core router peers with ~half the others.
+    for u in core:
+        peers = rng.choice(n_core, size=max(2, n_core // 2), replace=False)
+        edges.extend((int(u), int(p)) for p in peers if p != u)
+    # Distribution: multi-home to cores, occasional lateral peering.
+    for u in dist:
+        homes = rng.choice(
+            core, size=min(n_core, int(rng.integers(2, 5))), replace=False
+        )
+        edges.extend((int(u), int(h)) for h in homes)
+        if rng.random() < 0.3 and n_dist > 1:
+            peer = int(dist[rng.integers(0, n_dist)])
+            if peer != u:
+                edges.append((int(u), peer))
+    # Access: attach to 1-2 distribution routers.
+    for u in access:
+        ups = rng.choice(dist, size=int(rng.integers(1, 3)), replace=False)
+        edges.extend((int(u), int(h)) for h in ups)
+    return CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+def web_crawl(n: int, seed: SeedLike = None) -> CSRGraph:
+    """Host-structured web graph (the paper's *eu-2005* class: dense,
+    power-law, locally clustered).
+
+    Vertices are partitioned into hosts with heavy-tailed sizes; pages
+    within a host link densely (navigation templates), and hosts link to
+    popular external pages preferentially.  Average degree targets
+    eu-2005's m/n ≈ 19.
+    """
+    rng = default_rng(seed)
+    if n < 20:
+        raise ValueError(f"web_crawl needs n >= 20, got {n}")
+    # Heavy-tailed host sizes via a Zipf-ish draw clipped to [2, n/4].
+    sizes = []
+    remaining = n
+    while remaining > 0:
+        size = int(min(remaining, max(2, rng.pareto(1.2) * 4)))
+        size = min(size, max(2, n // 4))
+        sizes.append(size)
+        remaining -= size
+    edges = []
+    start = 0
+    host_ranges = []
+    for size in sizes:
+        host_ranges.append((start, start + size))
+        members = np.arange(start, start + size, dtype=np.int64)
+        # Intra-host: hub-and-spoke plus random template links.
+        hub = members[0]
+        edges.extend((int(hub), int(v)) for v in members[1:])
+        extra = min(size * 6, size * (size - 1) // 2)
+        if extra > 0 and size > 2:
+            us = rng.integers(start, start + size, size=extra)
+            vs = rng.integers(start, start + size, size=extra)
+            edges.extend(
+                (int(u), int(v)) for u, v in zip(us, vs) if u != v
+            )
+        start += size
+    # Inter-host preferential links toward low ids (older = popular).
+    n_inter = 6 * len(sizes)
+    for _ in range(n_inter):
+        u = int(rng.integers(0, n))
+        v = int(n * rng.random() ** 3)  # skew toward popular pages
+        if u != v:
+            edges.append((u, v))
+    return CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64))
+
+
+def co_papers(
+    n: int, papers_per_author: float = 1.5, authors_per_paper: float = 4.0,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Co-authorship affiliation network (the paper's *coPapersCiteseer*
+    class: very high clustering and average degree, m/n ≈ 37).
+
+    Papers are cliques over their author sets; authors are drawn
+    preferentially (prolific authors write more), which yields the
+    heavy-tailed degree distribution and near-1 local clustering typical
+    of co-paper graphs.
+    """
+    rng = default_rng(seed)
+    if n < 10:
+        raise ValueError(f"co_papers needs n >= 10, got {n}")
+    n_papers = max(1, int(n * papers_per_author))
+    repeated = list(range(n))  # every author gets base probability
+    edges = []
+    for _ in range(n_papers):
+        k = 2 + int(rng.poisson(max(0.0, authors_per_paper - 2)))
+        k = min(k, 12)  # cap pathological mega-cliques
+        authors = set()
+        while len(authors) < k:
+            if rng.random() < 0.7:
+                authors.add(repeated[int(rng.integers(0, len(repeated)))])
+            else:
+                authors.add(int(rng.integers(0, n)))
+        authors = sorted(authors)
+        repeated.extend(authors)
+        for i, u in enumerate(authors):
+            for v in authors[i + 1 :]:
+                edges.append((u, v))
+    return CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64))

@@ -1,0 +1,99 @@
+"""Graph serialization: DIMACS-10 (METIS), edge list, and NumPy npz.
+
+The paper's inputs come from the 10th DIMACS implementation challenge,
+which distributes graphs in METIS format — a header line ``n m`` and
+then one line per vertex listing its (1-indexed) neighbors.  Users who
+download those files can load them with :func:`load_dimacs_metis`;
+everything else in the repo uses the synthetic suite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_dimacs_metis(graph: CSRGraph, path: PathLike) -> None:
+    """Write *graph* in METIS / DIMACS-10 format (1-indexed)."""
+    with open(path, "w") as fh:
+        fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for v in range(graph.num_vertices):
+            fh.write(" ".join(str(int(w) + 1) for w in graph.neighbors(v)) + "\n")
+
+
+def load_dimacs_metis(path: PathLike) -> CSRGraph:
+    """Read a METIS / DIMACS-10 graph file.
+
+    Handles comment lines (``%``), the optional fmt field (only fmt=0 /
+    unweighted graphs are supported), and blank adjacency lines for
+    isolated vertices.
+    """
+    with open(path) as fh:
+        lines = [ln.rstrip("\n") for ln in fh if not ln.startswith("%")]
+    if not lines:
+        raise ValueError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise ValueError(f"{path}: malformed METIS header {lines[0]!r}")
+    n, m = int(header[0]), int(header[1])
+    if len(header) >= 3 and int(header[2]) != 0:
+        raise ValueError(f"{path}: weighted METIS graphs are not supported")
+    if len(lines) - 1 < n:
+        raise ValueError(f"{path}: expected {n} adjacency lines, got {len(lines) - 1}")
+    edges: List[tuple] = []
+    for v in range(n):
+        for token in lines[1 + v].split():
+            w = int(token) - 1
+            if not 0 <= w < n:
+                raise ValueError(f"{path}: neighbor {token} out of range on line {v + 2}")
+            if v < w:  # each undirected edge appears on both lines
+                edges.append((v, w))
+    graph = CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    if graph.num_edges != m:
+        raise ValueError(
+            f"{path}: header declares {m} edges but file contains {graph.num_edges}"
+        )
+    return graph
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write one ``u v`` pair per line (0-indexed, canonical order)."""
+    np.savetxt(path, graph.edge_list(), fmt="%d")
+
+
+def load_edge_list(path: PathLike, num_vertices: int = 0) -> CSRGraph:
+    """Read a whitespace-separated edge list.
+
+    ``num_vertices`` may be given explicitly (to include trailing
+    isolated vertices); otherwise it is ``max id + 1``.
+    """
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)  # empty file is fine
+        data = np.loadtxt(path, dtype=np.int64, ndmin=2)
+    if data.size == 0:
+        return CSRGraph.empty(num_vertices)
+    if data.shape[1] != 2:
+        raise ValueError(f"{path}: expected 2 columns, got {data.shape[1]}")
+    n = max(num_vertices, int(data.max()) + 1)
+    return CSRGraph.from_edges(n, data)
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Binary snapshot (fastest round trip, used for caching suites)."""
+    np.savez_compressed(
+        path, row_offsets=graph.row_offsets, col_indices=graph.col_indices
+    )
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Read a graph written by :func:`save_npz`."""
+    with np.load(path) as data:
+        return CSRGraph(data["row_offsets"], data["col_indices"])

@@ -1,0 +1,128 @@
+"""The benchmark suite: scaled stand-ins for the paper's Table I graphs.
+
+Each entry mirrors one DIMACS-challenge input by *class* (see
+DESIGN.md §3).  The default scale produces graphs of a few thousand
+vertices so the whole evaluation runs in minutes of pure Python; pass a
+larger ``scale`` to approach the paper's sizes (the generators are
+linear-time).
+
+>>> from repro.graph.suite import load_suite
+>>> suite = load_suite(scale=1.0, seed=7)
+>>> sorted(suite) == ['caida', 'coPap', 'del', 'eu', 'kron', 'pref', 'small']
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.utils.prng import SeedLike, default_rng
+
+
+@dataclass(frozen=True)
+class BenchmarkGraph:
+    """One suite entry: the graph plus its Table-I metadata."""
+
+    name: str
+    full_name: str
+    significance: str
+    graph: CSRGraph
+
+
+#: name -> (full name, Table-I significance, builder(n, rng) -> CSRGraph,
+#:          base vertex count at scale=1.0)
+SUITE_SPECS: Dict[str, Tuple[str, str, Callable, int]] = {
+    "caida": (
+        "caidaRouterLevel",
+        "Internet Router Level Graph",
+        lambda n, rng: gen.router_level(n, seed=rng),
+        1922,
+    ),
+    "coPap": (
+        "coPapersCiteseer",
+        "Social Network",
+        lambda n, rng: gen.co_papers(n, seed=rng),
+        1400,
+    ),
+    "del": (
+        "delaunay_n20",
+        "Random Triangulation",
+        lambda n, rng: gen.random_triangulation(n, seed=rng),
+        4096,
+    ),
+    "eu": (
+        "eu-2005",
+        "Web Crawl",
+        lambda n, rng: gen.web_crawl(n, seed=rng),
+        2048,
+    ),
+    "kron": (
+        "kron_g500-simple-logn19",
+        "Kronecker Graph",
+        lambda n, rng: gen.kronecker(_log2_ceil(n), edge_factor=16, seed=rng),
+        2048,
+    ),
+    "pref": (
+        "preferentialAttachment",
+        "Scale-free",
+        lambda n, rng: gen.preferential_attachment(n, m=5, seed=rng),
+        2000,
+    ),
+    "small": (
+        "smallworld",
+        "Logarithmic Diameter",
+        lambda n, rng: gen.watts_strogatz(n, k=10, p=0.1, seed=rng),
+        2000,
+    ),
+}
+
+
+def _log2_ceil(n: int) -> int:
+    scale = 1
+    while (1 << scale) < n:
+        scale += 1
+    return scale
+
+
+def make_suite_graph(
+    name: str, scale: float = 1.0, seed: SeedLike = 0
+) -> BenchmarkGraph:
+    """Build a single suite graph by short name (e.g. ``"caida"``)."""
+    if name not in SUITE_SPECS:
+        raise KeyError(
+            f"unknown suite graph {name!r}; choose from {sorted(SUITE_SPECS)}"
+        )
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    full_name, significance, builder, base_n = SUITE_SPECS[name]
+    rng = default_rng(seed)
+    graph = builder(max(32, int(base_n * scale)), rng)
+    return BenchmarkGraph(name, full_name, significance, graph)
+
+
+def load_suite(
+    scale: float = 1.0,
+    seed: SeedLike = 0,
+    names: Optional[Tuple[str, ...]] = None,
+) -> Dict[str, BenchmarkGraph]:
+    """Build the full (or a named subset of the) benchmark suite.
+
+    Seeding is per-graph and independent of subset choice, so
+    ``load_suite(names=("caida",))["caida"]`` equals
+    ``load_suite()["caida"]``.
+    """
+    chosen = tuple(SUITE_SPECS) if names is None else names
+    suite = {}
+    for name in chosen:
+        # Derive a stable per-graph seed from the suite seed + name.
+        sub_seed = _name_seed(seed, name)
+        suite[name] = make_suite_graph(name, scale=scale, seed=sub_seed)
+    return suite
+
+
+def _name_seed(seed: SeedLike, name: str) -> int:
+    base = int(default_rng(seed).integers(0, 2**31 - 1)) if not isinstance(seed, int) else seed
+    return (base * 1_000_003 + sum(ord(c) * 31**i for i, c in enumerate(name))) % (2**63 - 1)

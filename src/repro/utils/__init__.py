@@ -1,0 +1,28 @@
+"""Shared utilities: seeded RNG helpers, table rendering, timers, validation.
+
+These are small, dependency-free building blocks used across the graph,
+GPU-model, and betweenness-centrality packages.
+"""
+
+from repro.utils.prng import default_rng, sample_without_replacement, spawn_rngs
+from repro.utils.tables import format_table, format_float
+from repro.utils.timing import WallTimer
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "default_rng",
+    "sample_without_replacement",
+    "spawn_rngs",
+    "format_table",
+    "format_float",
+    "WallTimer",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_type",
+]

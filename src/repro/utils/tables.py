@@ -1,0 +1,85 @@
+"""Plain-text table rendering for experiment reports.
+
+The CLI and the benchmark harness print paper-style tables (Table I-III)
+to stdout; this module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float compactly: fixed-point for ordinary magnitudes,
+    scientific notation for very small or very large values."""
+    if value != value:  # NaN
+        return "nan"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6 or magnitude < 10 ** (-digits - 1):
+        return f"{value:.{digits}e}"
+    return f"{value:,.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    align: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``align`` is a per-column sequence of ``"l"`` or ``"r"``; numeric
+    columns default to right alignment when ``align`` is omitted.
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns: {row!r}"
+            )
+        str_rows.append(
+            [format_float(c) if isinstance(c, float) else str(c) for c in row]
+        )
+
+    if align is None:
+        align = []
+        for col in range(len(headers)):
+            numeric = all(
+                _is_numeric(r[col]) for r in str_rows
+            ) and str_rows  # empty table -> left
+            align.append("r" if numeric else "l")
+    if len(align) != len(headers):
+        raise ValueError("align must have one entry per column")
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width, a in zip(cells, widths, align):
+            parts.append(cell.rjust(width) if a == "r" else cell.ljust(width))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text.replace(",", "").rstrip("x%"))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,55 @@
+"""Wall-clock timing helpers.
+
+The experiment drivers report both *simulated* time (from the GPU cost
+model) and *wall-clock* time of the vectorized Python implementation;
+``WallTimer`` measures the latter.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class WallTimer:
+    """Context manager / stopwatch around :func:`time.perf_counter`.
+
+    >>> with WallTimer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+
+    The timer can be reused; ``elapsed`` always reflects the most recent
+    completed interval, and ``total`` accumulates across intervals.
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+        self.total: float = 0.0
+
+    def start(self) -> "WallTimer":
+        """Begin an interval; errors if already running."""
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """End the interval, returning and recording its duration."""
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        self.elapsed = time.perf_counter() - self._start
+        self.total += self.elapsed
+        self._start = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "WallTimer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

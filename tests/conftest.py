@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def karate() -> CSRGraph:
+    return gen.zachary_karate()
+
+
+@pytest.fixture
+def path10() -> CSRGraph:
+    return gen.path_graph(10)
+
+
+@pytest.fixture
+def small_er() -> CSRGraph:
+    """A fixed 60-vertex Erdos-Renyi graph, connected enough to be
+    interesting but small enough for exhaustive oracles."""
+    return gen.erdos_renyi(60, 140, seed=7)
+
+
+@pytest.fixture
+def two_components() -> CSRGraph:
+    """Two disjoint paths: 0-1-2-3-4 and 5-6-7-8-9."""
+    edges = [(i, i + 1) for i in range(4)] + [(i, i + 1) for i in range(5, 9)]
+    return CSRGraph.from_edges(10, edges)
+
+
+@pytest.fixture
+def dyn_karate(karate) -> DynamicGraph:
+    return DynamicGraph.from_csr(karate)

@@ -1,0 +1,38 @@
+import pytest
+
+from repro.analysis.config import DEFAULT, PAPER_LIKE, SMOKE, ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        c = ExperimentConfig()
+        assert c.num_sources == 64
+        assert c.num_insertions == 20
+        assert len(c.graphs) == 7
+
+    def test_presets(self):
+        assert SMOKE.scale < DEFAULT.scale < PAPER_LIKE.scale
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExperimentConfig().scale = 2.0
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=0)
+
+    def test_bad_sources(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_sources=0)
+
+    def test_bad_insertions(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_insertions=0)
+
+    def test_unknown_graph(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ExperimentConfig(graphs=("caida", "facebook"))
+
+    def test_subset_ok(self):
+        c = ExperimentConfig(graphs=("caida",))
+        assert c.graphs == ("caida",)

@@ -1,0 +1,136 @@
+"""End-to-end driver tests at smoke scale (Fig 1/2/4, Tables II/III)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.blocks import run_block_sweep, sweep_blocks_for_graph
+from repro.analysis.config import ExperimentConfig
+from repro.analysis.scenarios import aggregate, run_scenario_study
+from repro.analysis.speedup import run_table2, run_table3, summarize_headline
+from repro.analysis.touched import run_touched_study
+from repro.gpu.device import GTX_560, TESLA_C2075
+from repro.graph import generators as gen
+
+CFG = ExperimentConfig(scale=0.2, num_sources=10, num_insertions=4,
+                       graphs=("small", "pref"), seed=7)
+
+
+class TestScenarioStudy:
+    def test_counts_complete(self):
+        results = run_scenario_study(CFG)
+        assert [r.graph_name for r in results] == ["small", "pref"]
+        for r in results:
+            assert r.total == 4 * 10  # insertions x sources
+
+    def test_fractions_sum_to_one(self):
+        results = run_scenario_study(CFG)
+        for r in results:
+            assert sum(r.fraction(c) for c in (1, 2, 3)) == pytest.approx(1.0)
+
+    def test_aggregate_pools(self):
+        results = run_scenario_study(CFG)
+        agg = aggregate(results)
+        assert agg.total == sum(r.total for r in results)
+        assert agg.graph_name == "ALL"
+
+    def test_case2_dominates_work(self):
+        """The paper's central observation: most work-requiring
+        scenarios are Case 2 (73.5% pooled)."""
+        agg = aggregate(run_scenario_study(
+            ExperimentConfig(scale=0.3, num_sources=16, num_insertions=8,
+                             seed=5)
+        ))
+        assert agg.case2_share_of_work > 0.5
+
+
+class TestTouchedStudy:
+    def test_fractions_bounded(self):
+        studies = run_touched_study(CFG)
+        for s in studies:
+            assert np.all(s.fractions >= 0)
+            assert np.all(s.fractions <= 1)
+            assert np.all(np.diff(s.fractions) >= 0)  # sorted
+
+    def test_small_majority(self):
+        """Fig. 4's observation: the median touched fraction is small."""
+        studies = run_touched_study(CFG)
+        pooled = np.concatenate([s.fractions for s in studies])
+        if pooled.size:
+            assert np.median(pooled) < 0.5
+
+
+class TestBlockSweep:
+    def test_speedup_peaks_at_sm_count(self):
+        g = gen.erdos_renyi(150, 500, seed=2)
+        sweeps = sweep_blocks_for_graph(g, "er", devices=(TESLA_C2075,),
+                                        max_sources=60)
+        (sweep,) = sweeps
+        assert sweep.best_blocks == TESLA_C2075.num_sms
+
+    def test_both_devices(self):
+        g = gen.erdos_renyi(100, 300, seed=2)
+        sweeps = sweep_blocks_for_graph(g, "er", max_sources=40)
+        names = {s.device_name for s in sweeps}
+        assert names == {"GTX 560", "Tesla C2075"}
+
+    def test_run_block_sweep_defaults(self):
+        sweeps = run_block_sweep(scale=0.2, seed=3, graphs=("small",),
+                                 max_sources=30)
+        assert len(sweeps) == 2  # one per device
+        for s in sweeps:
+            assert s.speedups[0] == pytest.approx(1.0)  # blocks=1 baseline
+            assert max(s.speedups) > 1.5
+
+
+class TestTables:
+    def test_table2_rows(self):
+        rows = run_table2(CFG, verify=True)
+        assert [r.graph_name for r in rows] == ["small", "pref"]
+        for r in rows:
+            assert r.cpu_seconds > 0
+            assert r.node_speedup > 0
+            # the paper's core finding at any scale:
+            assert r.node_seconds < r.edge_seconds
+
+    def test_table3_rows(self):
+        rows = run_table3(CFG)
+        for r in rows:
+            assert r.fastest <= r.average <= r.slowest
+            assert r.recompute_seconds > 0
+            assert r.fastest_speedup >= r.average_speedup >= r.slowest_speedup
+
+    def test_table3_updates_beat_recompute(self):
+        """'even in the worst case for each graph a dynamic update is
+        faster than a static recomputation' — holds on average at any
+        scale; the slowest-case guarantee needs larger graphs."""
+        rows = run_table3(ExperimentConfig(scale=0.5, num_sources=16,
+                                           num_insertions=6,
+                                           graphs=("small",), seed=3))
+        for r in rows:
+            assert r.average_speedup > 1.0
+
+    def test_headline_summary(self):
+        t2 = run_table2(CFG)
+        t3 = run_table3(CFG)
+        head = summarize_headline(t2, t3)
+        assert head.max_cpu_speedup > 0
+        assert head.mean_update_vs_recompute > 0
+
+
+class TestSubcaseStudy:
+    def test_subcases_refine_cases(self):
+        from repro.analysis.scenarios import run_subcase_study
+
+        coarse = run_scenario_study(CFG)
+        fine = run_subcase_study(CFG)
+        for dist in coarse:
+            sub = fine[dist.graph_name]
+            assert (
+                sub.get("1-connected", 0) + sub.get("1-disconnected", 0)
+                == dist.counts.get(1, 0)
+            )
+            assert sub.get("2", 0) == dist.counts.get(2, 0)
+            assert (
+                sub.get("3-connected", 0) + sub.get("3-merge", 0)
+                == dist.counts.get(3, 0)
+            )

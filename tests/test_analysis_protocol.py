@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.analysis.config import ExperimentConfig
+from repro.analysis.protocol import prepare_stream, replay_stream
+
+TINY = ExperimentConfig(scale=0.2, num_sources=8, num_insertions=4,
+                        graphs=("small",), seed=99)
+
+
+class TestPrepareStream:
+    def test_deterministic(self):
+        _, dyn_a, removed_a = prepare_stream(TINY, "small")
+        _, dyn_b, removed_b = prepare_stream(TINY, "small")
+        assert np.array_equal(removed_a, removed_b)
+        assert dyn_a.snapshot() == dyn_b.snapshot()
+
+    def test_edges_removed(self):
+        bench, dyn, removed = prepare_stream(TINY, "small")
+        assert dyn.num_edges == bench.graph.num_edges - 4
+        for u, v in removed:
+            assert not dyn.has_edge(int(u), int(v))
+            assert bench.graph.has_edge(int(u), int(v))
+
+    def test_metadata(self):
+        bench, _, _ = prepare_stream(TINY, "small")
+        assert bench.name == "small"
+
+
+class TestReplayStream:
+    def test_produces_report_per_insertion(self):
+        run = replay_stream(TINY, "small", "gpu-node")
+        assert len(run.reports) == 4
+        assert run.total_simulated > 0
+        assert run.per_update_simulated.shape == (4,)
+
+    def test_final_graph_restored(self):
+        bench, _, _ = prepare_stream(TINY, "small")
+        run = replay_stream(TINY, "small", "gpu-node")
+        assert run.engine.graph.snapshot() == bench.graph
+
+    def test_verify_every(self):
+        # must not raise: state equals scratch after each insertion
+        replay_stream(TINY, "small", "cpu", verify_every=1)
+
+    def test_shared_initial_state_equivalent(self):
+        """Passing a precomputed state must not change any result."""
+        from repro.analysis.protocol import compute_initial_state
+
+        state = compute_initial_state(TINY, "small")
+        fresh = replay_stream(TINY, "small", "gpu-node")
+        shared = replay_stream(TINY, "small", "gpu-node",
+                               initial_state=state)
+        assert np.allclose(fresh.engine.bc_scores, shared.engine.bc_scores)
+        assert fresh.total_simulated == pytest.approx(shared.total_simulated)
+
+    def test_backends_paired(self):
+        """Same stream across backends -> same per-update cases."""
+        a = replay_stream(TINY, "small", "cpu")
+        b = replay_stream(TINY, "small", "gpu-edge")
+        for ra, rb in zip(a.reports, b.reports):
+            assert ra.edge == rb.edge
+            assert np.array_equal(ra.cases, rb.cases)

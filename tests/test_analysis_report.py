@@ -1,0 +1,93 @@
+import numpy as np
+
+from repro.analysis.blocks import BlockSweepResult
+from repro.analysis.report import (
+    render_fig1,
+    render_fig2,
+    render_fig4,
+    render_headline,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.analysis.scenarios import ScenarioDistribution
+from repro.analysis.speedup import HeadlineSummary, Table2Row, Table3Row
+from repro.analysis.touched import TouchedStudy
+from repro.graph.properties import analyze
+from repro.graph.suite import make_suite_graph
+
+
+class TestRenderers:
+    def test_table1(self):
+        bench = make_suite_graph("small", scale=0.2, seed=1)
+        out = render_table1([bench], [analyze(bench.graph)])
+        assert "smallworld" in out
+        assert "TABLE I" in out
+
+    def test_fig1(self):
+        r = BlockSweepResult("caida", "Tesla C2075", [1, 7, 14],
+                             [1.0, 6.5, 12.1])
+        out = render_fig1([r])
+        assert "caida" in out and "12.10x" in out
+        assert "best grid: 14" in out
+
+    def test_fig2(self):
+        r = ScenarioDistribution("pref", {1: 10, 2: 25, 3: 5})
+        out = render_fig2([r])
+        assert "pref" in out
+        assert "62.5%" in out  # 25/40 of all
+        assert "83.3%" in out  # 25/30 of work
+
+    def test_table2(self):
+        row = Table2Row("caida", cpu_seconds=100.0, edge_seconds=10.0,
+                        node_seconds=1.0)
+        out = render_table2([row])
+        assert "10.00x" in out and "100.00x" in out
+
+    def test_table3(self):
+        row = Table3Row("eu", recompute_seconds=10.0, slowest=2.0,
+                        average=1.0, fastest=0.1)
+        out = render_table3([row])
+        assert "Slowest" in out and "Average" in out and "Fastest" in out
+        assert "5.00x" in out and "100.00x" in out
+
+    def test_fig4(self):
+        s = TouchedStudy("kron", np.array([0.001, 0.01, 0.35]))
+        out = render_fig4([s])
+        assert "kron" in out and "max=0.3500" in out
+
+    def test_headline(self):
+        out = render_headline(HeadlineSummary(110.4, 45.2))
+        assert "110.4x" in out and "45.2x" in out
+
+
+class TestCsvExports:
+    def test_fig1_csv(self):
+        from repro.analysis.report import fig1_csv
+
+        r = BlockSweepResult("caida", "Tesla C2075", [1, 14], [1.0, 12.5])
+        csv = fig1_csv([r])
+        lines = csv.splitlines()
+        assert lines[0] == "graph,device,blocks,speedup"
+        assert lines[1].startswith("caida,Tesla C2075,1,1.0")
+        assert len(lines) == 3
+
+    def test_fig4_csv(self):
+        from repro.analysis.report import fig4_csv
+
+        s = TouchedStudy("kron", np.array([0.01, 0.35]))
+        csv = fig4_csv([s])
+        lines = csv.splitlines()
+        assert lines[0] == "graph,rank,touched_fraction"
+        assert lines[2] == "kron,1,0.35000000"
+
+
+class TestSubcaseRenderer:
+    def test_render_subcases(self):
+        from repro.analysis.report import render_subcases
+
+        out = render_subcases({
+            "pref": {"1-connected": 3, "2": 5, "3-merge": 1},
+        })
+        assert "pref" in out
+        assert "3 merge" in out

@@ -1,0 +1,44 @@
+import pytest
+
+from repro.analysis.config import ExperimentConfig
+from repro.analysis.scaling import render_scaling, run_scaling_study
+from repro.gpu.device import TESLA_C2075
+
+CFG = ExperimentConfig(scale=0.25, num_sources=56, num_insertions=4,
+                       graphs=("small",), seed=7)
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_scaling_study(CFG, "small", sm_multipliers=(1, 2, 4))
+
+    def test_baseline_is_one(self, study):
+        assert study.points[0].speedup == pytest.approx(1.0)
+        assert study.points[0].num_sms == TESLA_C2075.num_sms
+
+    def test_speedup_monotone(self, study):
+        speeds = [p.speedup for p in study.points]
+        assert speeds == sorted(speeds)
+
+    def test_scaling_helps_but_saturates(self, study):
+        """Extra SMs help while sources are plentiful, but dynamic
+        updates saturate at the heaviest source's critical path — a
+        refinement of the paper's §VI strong-scaling prediction."""
+        assert study.points[1].speedup > 1.05
+        assert study.points[-1].seconds >= study.critical_path_seconds * 0.99
+
+    def test_efficiency_decays_when_starved(self):
+        """With fewer sources than SMs, extra SMs idle."""
+        starved = run_scaling_study(
+            ExperimentConfig(scale=0.25, num_sources=14, num_insertions=3,
+                             graphs=("small",), seed=7),
+            "small", sm_multipliers=(1, 8),
+        )
+        assert starved.points[-1].efficiency < 0.5
+
+    def test_render(self, study):
+        out = render_scaling(study)
+        assert "Strong scaling" in out
+        assert "efficiency" in out
+        assert "critical path" in out

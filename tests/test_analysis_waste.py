@@ -1,0 +1,38 @@
+import pytest
+
+from repro.analysis.config import ExperimentConfig
+from repro.analysis.waste import render_waste, run_waste_study
+
+CFG = ExperimentConfig(scale=0.25, num_sources=10, num_insertions=4,
+                       graphs=("small",), seed=11)
+
+
+class TestWasteStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_waste_study(CFG, "small")
+
+    def test_cpu_is_the_efficiency_baseline(self, study):
+        rows = study.by_backend()
+        assert rows["cpu"].efficiency == pytest.approx(1.0)
+
+    def test_edge_parallel_wastes_most(self, study):
+        rows = study.by_backend()
+        assert rows["gpu-edge"].work_items > rows["gpu-node"].work_items
+        assert rows["gpu-edge"].efficiency < rows["gpu-node"].efficiency
+
+    def test_node_parallel_near_efficient(self, study):
+        """Node-parallel's only overheads are QQ re-checks and the
+        dedup pipeline — efficiency should stay within an order of
+        magnitude of 1, far above edge-parallel's."""
+        rows = study.by_backend()
+        assert rows["gpu-node"].efficiency > 5 * rows["gpu-edge"].efficiency
+
+    def test_traffic_ordering(self, study):
+        rows = study.by_backend()
+        assert rows["gpu-edge"].bytes_moved > rows["gpu-node"].bytes_moved
+
+    def test_render(self, study):
+        out = render_waste(study)
+        assert "Work efficiency" in out
+        assert "gpu-edge" in out

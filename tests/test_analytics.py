@@ -1,0 +1,215 @@
+"""Tests for the dynamic distance oracle and derived centralities."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.closeness import (
+    closeness_of_sources,
+    harmonic_centrality_estimate,
+)
+from repro.analytics.distances import DynamicDistances
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph, DIST_INF
+from repro.graph.dynamic import DynamicGraph
+
+
+class TestConstruction:
+    def test_rows_match_bfs(self, karate):
+        oracle = DynamicDistances(karate, [0, 5, 33])
+        for i, s in enumerate(oracle.sources):
+            assert np.array_equal(oracle.d[i],
+                                  karate.bfs_distances(int(s)))
+
+    def test_random_sources(self, karate):
+        oracle = DynamicDistances.with_random_sources(karate, 6, seed=1)
+        assert oracle.num_sources == 6
+        oracle.verify()
+
+    def test_duplicate_sources_rejected(self, karate):
+        with pytest.raises(ValueError):
+            DynamicDistances(karate, [0, 0, 1])
+
+
+class TestInsertions:
+    def test_shortcut_repairs_distances(self):
+        oracle = DynamicDistances(gen.path_graph(10), [0])
+        rep = oracle.insert_edge(0, 9)
+        assert rep.moved[0] >= 4
+        oracle.verify()
+
+    def test_case2_moves_nothing(self):
+        # diamond-to-be: inserting (1, 3) is Case 2 for source 0
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (2, 3)])
+        oracle = DynamicDistances(g, [0])
+        rep = oracle.insert_edge(1, 3)
+        assert rep.cases[0] == 2
+        assert rep.moved[0] == 0  # adjacent levels: distances untouched
+        oracle.verify()
+
+    def test_case1_moves_nothing(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)])
+        oracle = DynamicDistances(g, [0])
+        rep = oracle.insert_edge(1, 2)
+        assert rep.cases[0] == 1
+        assert rep.moved[0] == 0
+        oracle.verify()
+
+    def test_component_merge(self, two_components):
+        oracle = DynamicDistances(two_components, [0])
+        rep = oracle.insert_edge(4, 5)
+        assert rep.moved[0] == 5  # the whole second path gains distances
+        assert oracle.d[0][9] == 9
+        oracle.verify()
+
+    def test_random_stream_verifies(self, rng):
+        g = gen.erdos_renyi(80, 160, seed=6)
+        oracle = DynamicDistances.with_random_sources(g, 8, seed=2)
+        for u, v in g.undirected_non_edges(rng, 15).tolist():
+            if not oracle.graph.has_edge(u, v):
+                oracle.insert_edge(u, v)
+        oracle.verify()
+
+    def test_existing_edge_rejected(self, karate):
+        oracle = DynamicDistances(karate, [0])
+        with pytest.raises(ValueError):
+            oracle.insert_edge(0, 1)
+
+    def test_simulated_time_positive(self, karate):
+        oracle = DynamicDistances(karate, [0, 3])
+        rep = oracle.insert_edge(15, 16)
+        assert rep.simulated_seconds > 0
+
+
+class TestDeletions:
+    def test_redundant_deletion_no_recompute(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        oracle = DynamicDistances(g, [0])
+        rep = oracle.delete_edge(1, 3)
+        assert rep.recomputed_rows == 0
+        oracle.verify()
+
+    def test_bridge_deletion_recomputes(self, path10):
+        oracle = DynamicDistances(path10, [0, 9])
+        rep = oracle.delete_edge(4, 5)
+        assert rep.recomputed_rows == 2
+        assert oracle.d[0][9] == DIST_INF
+        oracle.verify()
+
+    def test_non_dag_arc_free(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        oracle = DynamicDistances(g, [0])
+        rep = oracle.delete_edge(1, 2)  # same-level edge for source 0
+        assert rep.recomputed_rows == 0
+        oracle.verify()
+
+    def test_mixed_churn(self, rng):
+        g = gen.watts_strogatz(60, k=4, p=0.1, seed=4)
+        oracle = DynamicDistances.with_random_sources(g, 6, seed=3)
+        for _ in range(30):
+            u, v = int(rng.integers(0, 60)), int(rng.integers(0, 60))
+            if u == v:
+                continue
+            if oracle.graph.has_edge(u, v):
+                oracle.delete_edge(u, v)
+            else:
+                oracle.insert_edge(u, v)
+        oracle.verify()
+
+    def test_missing_edge_rejected(self, karate):
+        oracle = DynamicDistances(karate, [0])
+        with pytest.raises(ValueError):
+            oracle.delete_edge(0, 9)
+
+
+class TestCloseness:
+    def test_matches_networkx(self, karate):
+        import networkx as nx
+
+        oracle = DynamicDistances(karate, range(34))
+        ours = closeness_of_sources(oracle)
+        G = nx.karate_club_graph()
+        theirs = np.array([nx.closeness_centrality(G, u=v) for v in range(34)])
+        assert np.allclose(ours, theirs)
+
+    def test_disconnected_normalization(self, two_components):
+        oracle = DynamicDistances(two_components, [0])
+        c = closeness_of_sources(oracle)[0]
+        # component-aware: (r-1)/sum * (r-1)/(n-1)  with r=5, n=10
+        assert c == pytest.approx((4 / 10) * (4 / 9))
+
+    def test_isolated_source_zero(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        oracle = DynamicDistances(g, [2])
+        assert closeness_of_sources(oracle)[0] == 0.0
+
+    def test_updates_shift_closeness(self):
+        oracle = DynamicDistances(gen.path_graph(10), [0])
+        before = closeness_of_sources(oracle)[0]
+        oracle.insert_edge(0, 9)
+        after = closeness_of_sources(oracle)[0]
+        assert after > before  # endpoints got closer to everything
+
+
+class TestHarmonic:
+    def test_exact_with_all_sources(self, karate):
+        import networkx as nx
+
+        oracle = DynamicDistances(karate, range(34))
+        ours = harmonic_centrality_estimate(oracle)
+        G = nx.karate_club_graph()
+        theirs = np.array([v for _, v in
+                           sorted(nx.harmonic_centrality(G).items())])
+        # with k = n the estimator is exact up to the (n-1)/k scaling
+        assert np.allclose(ours * 34 / 33, theirs)
+
+    def test_sampled_correlates(self, karate, rng):
+        import networkx as nx
+
+        oracle = DynamicDistances.with_random_sources(karate, 17, seed=5)
+        est = harmonic_centrality_estimate(oracle)
+        G = nx.karate_club_graph()
+        exact = np.array([v for _, v in
+                          sorted(nx.harmonic_centrality(G).items())])
+        corr = np.corrcoef(est, exact)[0, 1]
+        assert corr > 0.8
+
+    def test_disconnected_contributions_zero(self, two_components):
+        oracle = DynamicDistances(two_components, [0])
+        est = harmonic_centrality_estimate(oracle)
+        assert np.all(est[5:] == 0.0)
+
+    def test_empty_oracle(self):
+        g = CSRGraph.empty(4)
+        oracle = DynamicDistances(g, [])
+        assert np.all(harmonic_centrality_estimate(oracle) == 0.0)
+
+
+class TestPropertyBased:
+    """Hypothesis: the distance oracle equals scratch BFS under
+    arbitrary update streams."""
+
+    def test_random_streams(self):
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        N = 12
+        pool = [(u, v) for u in range(N) for v in range(u + 1, N)]
+
+        @given(
+            initial=st.lists(st.sampled_from(pool), max_size=20, unique=True),
+            ops=st.lists(st.sampled_from(pool), min_size=1, max_size=10),
+            k=st.integers(1, N),
+        )
+        @settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        def run(initial, ops, k):
+            g = CSRGraph.from_edges(N, initial or [])
+            oracle = DynamicDistances(g, range(k))
+            for u, v in ops:
+                if oracle.graph.has_edge(u, v):
+                    oracle.delete_edge(u, v)
+                else:
+                    oracle.insert_edge(u, v)
+            oracle.verify()
+
+        run()

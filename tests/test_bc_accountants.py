@@ -1,0 +1,118 @@
+import pytest
+
+from repro.bc.accountants import (
+    ACCOUNTANTS,
+    CPUAccountant,
+    EdgeParallelAccountant,
+    NodeParallelAccountant,
+    make_accountant,
+)
+
+
+@pytest.fixture(params=sorted(ACCOUNTANTS))
+def accountant(request):
+    return make_accountant(request.param, num_vertices=1000, total_arcs=10000)
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(ACCOUNTANTS) == {"cpu", "gpu-edge", "gpu-node",
+                                    "gpu-node-atomic"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_accountant("fpga", 10, 20)
+
+    def test_instances(self):
+        assert isinstance(make_accountant("cpu", 10, 20), CPUAccountant)
+        assert isinstance(make_accountant("gpu-edge", 10, 20),
+                          EdgeParallelAccountant)
+        assert isinstance(make_accountant("gpu-node", 10, 20),
+                          NodeParallelAccountant)
+
+
+class TestSharedEvents:
+    def test_classify_cheap(self, accountant):
+        accountant.classify()
+        assert accountant.trace.total_items == 1
+
+    def test_init_charges_n(self, accountant):
+        accountant.init(1000)
+        assert accountant.trace.total_items >= 1000
+
+    def test_commit_atomics_track_touched(self, accountant):
+        accountant.commit(1000, touched=37)
+        assert accountant.trace.total_atomics == 37
+
+    def test_finish_returns_trace(self, accountant):
+        accountant.classify()
+        assert accountant.finish() is accountant.trace
+
+
+class TestWorkMapping:
+    """The heart of the paper: the same event costs very different
+    amounts under the three mappings."""
+
+    def _sp(self, acc):
+        acc.sp_level(frontier=4, arcs=40, onpath=10, raw_new=8, new=5)
+        return acc.trace.total_items
+
+    def test_edge_charges_all_arcs_per_level(self):
+        acc = make_accountant("gpu-edge", 1000, 10000)
+        assert self._sp(acc) >= 10000
+
+    def test_node_charges_frontier_only(self):
+        acc = make_accountant("gpu-node", 1000, 10000)
+        items = self._sp(acc)
+        assert items < 1000  # frontier + arcs + dedup pipeline
+
+    def test_cpu_charges_useful_work(self):
+        acc = make_accountant("cpu", 1000, 10000)
+        assert self._sp(acc) == 4 + 40 + 10 + 5
+
+    def test_dep_level_edge_vs_node(self):
+        edge = make_accountant("gpu-edge", 1000, 10000)
+        node = make_accountant("gpu-node", 1000, 10000)
+        for acc in (edge, node):
+            acc.dep_level(qq=20, level_nodes=6, arcs=60, adds=12, subs=3,
+                          new_up=4)
+        assert edge.trace.total_items > node.trace.total_items
+
+    def test_node_dep_scans_whole_qq(self):
+        node = make_accountant("gpu-node", 1000, 10000)
+        node.dep_level(qq=500, level_nodes=1, arcs=2, adds=1, subs=0, new_up=0)
+        assert node.trace.total_items >= 500
+
+    def test_cpu_dep_ignores_qq_size(self):
+        cpu = make_accountant("cpu", 1000, 10000)
+        cpu.dep_level(qq=500, level_nodes=1, arcs=2, adds=1, subs=0, new_up=0)
+        assert cpu.trace.total_items < 20
+
+    def test_node_dedup_pipeline_charged(self):
+        with_dups = make_accountant("gpu-node", 1000, 10000)
+        without = make_accountant("gpu-node", 1000, 10000)
+        with_dups.sp_level(frontier=4, arcs=40, onpath=10, raw_new=32, new=5)
+        without.sp_level(frontier=4, arcs=40, onpath=10, raw_new=1, new=1)
+        assert len(with_dups.trace) > len(without.trace)
+
+    def test_atomic_accounting(self):
+        node = make_accountant("gpu-node", 1000, 10000)
+        node.sp_level(frontier=4, arcs=40, onpath=10, raw_new=8, new=5,
+                      max_conflict=3)
+        assert node.trace.total_atomics >= 18  # sigma hits + Q2 appends
+
+    def test_prepass_and_pull_implemented_everywhere(self):
+        for name in ACCOUNTANTS:
+            acc = make_accountant(name, 1000, 10000)
+            acc.pull_level(frontier=3, pull_arcs=12, scan_arcs=30, raw_new=6,
+                           new=4)
+            acc.prepass(moved=5, arcs=50, subs=7)
+            assert acc.trace.total_items > 0
+
+    def test_cpu_access_cycles_scale_cost(self):
+        slow = make_accountant("cpu", 1000, 10000, access_cycles=200.0)
+        fast = make_accountant("cpu", 1000, 10000, access_cycles=8.0)
+        for acc in (slow, fast):
+            acc.sp_level(frontier=4, arcs=40, onpath=10, raw_new=8, new=5)
+        assert slow.trace.steps[0].cycles_per_item > \
+            fast.trace.steps[0].cycles_per_item

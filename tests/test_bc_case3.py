@@ -1,0 +1,143 @@
+"""Correctness of the Case-3 (distant-level) update, including the
+component-merge variant and the moved-vertex pre-pass."""
+
+import numpy as np
+import pytest
+
+from repro.bc.accountants import make_accountant
+from repro.bc.brandes import single_source_state
+from repro.bc.cases import Case, classify_insertion
+from repro.bc.state import BCState
+from repro.bc.update_core import distant_level_update
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph, DIST_INF
+from repro.graph.dynamic import DynamicGraph
+
+
+def apply_case3(graph_after, source, rows, bc, u_high, u_low, strategy="cpu"):
+    d, sigma, delta = rows
+    acc = make_accountant(strategy, graph_after.num_vertices,
+                          2 * graph_after.num_edges)
+    return distant_level_update(graph_after, source, d, sigma, delta, bc,
+                                u_high, u_low, acc)
+
+
+def check_against_scratch(graph_before, source, u, v, strategy="cpu"):
+    """Insert (u, v), update via Case-3 core, compare with recompute."""
+    d, sigma, delta, _ = single_source_state(graph_before, source)
+    delta[source] = 0.0
+    case, u_high, u_low = classify_insertion(d, u, v)
+    assert case == Case.DISTANT_LEVEL, "test setup must produce Case 3"
+    dyn = DynamicGraph.from_csr(graph_before)
+    dyn.insert_edge(u, v)
+    after = dyn.snapshot()
+    bc = np.zeros(graph_before.num_vertices)
+    bc_before = bc.copy()
+    stats = apply_case3(after, source, (d, sigma, delta), bc, u_high, u_low,
+                        strategy)
+    dn, sn, den, _ = single_source_state(after, source)
+    den[source] = 0.0
+    assert np.array_equal(d, dn), "distances after Case 3"
+    assert np.allclose(sigma, sn), "sigma after Case 3"
+    assert np.allclose(delta, den), "delta after Case 3"
+    # BC difference equals dependency difference
+    d0, s0, de0, _ = single_source_state(graph_before, source)
+    de0[source] = 0.0
+    assert np.allclose(bc - bc_before, den - de0)
+    return stats
+
+
+class TestPathShortcuts:
+    def test_long_shortcut_on_path(self):
+        # path 0..9, insert (0, 9): everything past the middle moves
+        stats = check_against_scratch(gen.path_graph(10), 0, 0, 9)
+        assert stats.moved >= 4
+
+    def test_mid_shortcut(self):
+        check_against_scratch(gen.path_graph(12), 0, 2, 9)
+
+    def test_shortcut_near_source(self):
+        check_against_scratch(gen.path_graph(8), 1, 0, 6)
+
+    @pytest.mark.parametrize("strategy", ["cpu", "gpu-edge", "gpu-node"])
+    def test_strategies_agree(self, strategy):
+        check_against_scratch(gen.path_graph(10), 0, 1, 8, strategy)
+
+
+class TestComponentMerge:
+    def test_two_paths_joined(self, two_components):
+        stats = check_against_scratch(two_components, 0, 2, 7)
+        assert stats.moved == 5  # the whole second path gets distances
+
+    def test_source_component_absorbs_isolated(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (1, 2)])  # 3, 4 isolated
+        check_against_scratch(g, 0, 1, 3)
+
+    def test_star_plus_far_island(self):
+        edges = [(0, i) for i in range(1, 5)] + [(5, 6), (6, 7)]
+        g = CSRGraph.from_edges(8, edges)
+        stats = check_against_scratch(g, 0, 2, 5)
+        assert stats.moved == 3
+
+    def test_merge_deep_island(self):
+        # island is itself a path; merged at its middle
+        edges = [(0, 1)] + [(i, i + 1) for i in range(2, 9)]
+        g = CSRGraph.from_edges(10, edges)
+        check_against_scratch(g, 0, 1, 5)
+
+
+class TestDenseGraphs:
+    def test_er_random_case3_insertions(self, rng):
+        g = gen.erdos_renyi(70, 110, seed=13)
+        sources = [0, 9, 44]
+        done = 0
+        for u, v in g.undirected_non_edges(rng, 300).tolist():
+            for s in sources:
+                d, _, _, _ = single_source_state(g, s)
+                case, _, _ = classify_insertion(d, u, v)
+                if case == Case.DISTANT_LEVEL:
+                    check_against_scratch(g, s, u, v)
+                    done += 1
+            if done >= 6:
+                break
+        assert done >= 3
+
+    def test_full_multisource_state(self, rng):
+        """End-to-end: mixed Case 2/3 insertions, full state verify."""
+        g = gen.watts_strogatz(80, k=4, p=0.05, seed=2)
+        st = BCState.compute(g, [0, 20, 40])
+        dyn = DynamicGraph.from_csr(g)
+        from repro.bc.update_core import adjacent_level_update
+
+        inserted = 0
+        for u, v in g.undirected_non_edges(rng, 100).tolist():
+            if not dyn.insert_edge(u, v):
+                continue
+            after = dyn.snapshot()
+            for i, s in enumerate(st.sources):
+                case, high, low = classify_insertion(st.d[i], u, v)
+                acc = make_accountant("cpu", after.num_vertices,
+                                      2 * after.num_edges)
+                if case == Case.ADJACENT_LEVEL:
+                    adjacent_level_update(after, int(s), st.d[i], st.sigma[i],
+                                          st.delta[i], st.bc, high, low, acc)
+                elif case == Case.DISTANT_LEVEL:
+                    distant_level_update(after, int(s), st.d[i], st.sigma[i],
+                                         st.delta[i], st.bc, high, low, acc)
+            inserted += 1
+            if inserted == 12:
+                break
+        st.verify_against(dyn.snapshot())
+
+
+class TestPreconditions:
+    def test_requires_distant_levels(self, path10):
+        d, sigma, delta, _ = single_source_state(path10, 0)
+        acc = make_accountant("cpu", 10, 18)
+        bc = np.zeros(10)
+        with pytest.raises(ValueError, match="distant-level"):
+            distant_level_update(path10, 0, d, sigma, delta, bc, 0, 1, acc)
+
+    def test_moved_vertices_counted(self):
+        stats = check_against_scratch(gen.path_graph(10), 0, 0, 9)
+        assert stats.touched >= stats.moved > 0

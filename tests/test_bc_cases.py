@@ -1,0 +1,174 @@
+import numpy as np
+import pytest
+
+from repro.bc.brandes import single_source_state
+from repro.bc.cases import (
+    Case,
+    classify_deletion,
+    classify_insertion,
+    classify_insertion_batch,
+)
+from repro.graph.csr import CSRGraph, DIST_INF
+from repro.graph import generators as gen
+
+
+@pytest.fixture
+def path_state(path10):
+    d, _, _, _ = single_source_state(path10, 0)
+    return d
+
+
+class TestClassifyInsertion:
+    def test_case1_same_level(self):
+        # 0-1, 0-2: vertices 1 and 2 both at level 1
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)])
+        d, _, _, _ = single_source_state(g, 0)
+        case, _, _ = classify_insertion(d, 1, 2)
+        assert case == Case.SAME_LEVEL
+
+    def test_case1_both_unreachable(self, two_components):
+        d, _, _, _ = single_source_state(two_components, 0)
+        case, _, _ = classify_insertion(d, 6, 8)
+        assert case == Case.SAME_LEVEL
+
+    def test_case2_adjacent(self, path_state):
+        case, high, low = classify_insertion(path_state, 3, 4)
+        assert case == Case.ADJACENT_LEVEL
+        assert (high, low) == (3, 4)
+
+    def test_case2_order_normalized(self, path_state):
+        _, high, low = classify_insertion(path_state, 4, 3)
+        assert (high, low) == (3, 4)
+
+    def test_case3_distant(self, path_state):
+        case, high, low = classify_insertion(path_state, 1, 7)
+        assert case == Case.DISTANT_LEVEL
+        assert (high, low) == (1, 7)
+
+    def test_case3_component_merge(self, two_components):
+        d, _, _, _ = single_source_state(two_components, 0)
+        case, high, low = classify_insertion(d, 2, 7)
+        assert case == Case.DISTANT_LEVEL
+        assert (high, low) == (2, 7)
+
+    def test_source_to_unreachable_is_case3(self, two_components):
+        # regression guard: with a -1 sentinel this would misclassify
+        # as Case 2 (|0 - (-1)| == 1)
+        d, _, _, _ = single_source_state(two_components, 0)
+        case, _, _ = classify_insertion(d, 0, 7)
+        assert case == Case.DISTANT_LEVEL
+
+    def test_batch_matches_scalar(self, karate):
+        from repro.bc.state import BCState
+
+        st = BCState.compute(karate, range(10))
+        batch = classify_insertion_batch(st.d, 0, 9)
+        for i in range(10):
+            scalar, _, _ = classify_insertion(st.d[i], 0, 9)
+            assert batch[i] == int(scalar)
+
+
+class TestClassifyDeletion:
+    def test_same_level_edge_is_case1(self, karate):
+        d, _, _, _ = single_source_state(karate, 0)
+        # find an existing same-level edge
+        for u, v in karate.edge_list():
+            if d[u] == d[v]:
+                case, _, _ = classify_deletion(d, None, karate, int(u), int(v))
+                assert case == Case.SAME_LEVEL
+                return
+        pytest.skip("no same-level edge in fixture")
+
+    def test_redundant_pred_is_case2(self):
+        # 0-1, 0-2, 1-3, 2-3: removing (1,3) keeps d[3]=2 via 2
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        d, sigma, _, _ = single_source_state(g, 0)
+        case, high, low = classify_deletion(d, sigma, g, 1, 3)
+        assert case == Case.ADJACENT_LEVEL
+        assert (high, low) == (1, 3)
+
+    def test_sole_pred_is_case3(self, path10):
+        d, sigma, _, _ = single_source_state(path10, 0)
+        case, _, _ = classify_deletion(d, sigma, path10, 4, 5)
+        assert case == Case.DISTANT_LEVEL
+
+    def test_stale_state_detected(self, path10):
+        d = np.zeros(10, dtype=np.int64)
+        d[5] = 3  # inconsistent with any BFS containing edge (4,5)
+        with pytest.raises(ValueError, match="spans"):
+            classify_deletion(d, None, path10, 4, 5)
+
+
+class TestTrichotomy:
+    def test_every_pair_gets_exactly_one_case(self, karate, rng):
+        d, _, _, _ = single_source_state(karate, 5)
+        for _ in range(50):
+            u, v = rng.integers(0, 34, 2)
+            if u == v:
+                continue
+            case, high, low = classify_insertion(d, int(u), int(v))
+            assert case in (Case.SAME_LEVEL, Case.ADJACENT_LEVEL,
+                            Case.DISTANT_LEVEL)
+            assert {high, low} == {int(u), int(v)}
+            gap = abs(int(d[u]) - int(d[v]))
+            expected = (Case.SAME_LEVEL if gap == 0 else
+                        Case.ADJACENT_LEVEL if gap == 1 else
+                        Case.DISTANT_LEVEL)
+            assert case == expected
+            if case != Case.SAME_LEVEL:
+                assert d[high] < d[low]
+
+
+class TestSubCases:
+    def test_case1_connected(self):
+        from repro.bc.cases import SubCase, classify_insertion_detailed
+
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)])
+        d, _, _, _ = single_source_state(g, 0)
+        sub, _, _ = classify_insertion_detailed(d, 1, 2)
+        assert sub == SubCase.SAME_LEVEL_CONNECTED
+        assert sub.case == Case.SAME_LEVEL
+
+    def test_case1_disconnected(self, two_components):
+        from repro.bc.cases import SubCase, classify_insertion_detailed
+
+        d, _, _, _ = single_source_state(two_components, 0)
+        sub, _, _ = classify_insertion_detailed(d, 6, 8)
+        assert sub == SubCase.SAME_LEVEL_DISCONNECTED
+        assert sub.case == Case.SAME_LEVEL
+
+    def test_case2(self, path10):
+        from repro.bc.cases import SubCase, classify_insertion_detailed
+
+        d, _, _, _ = single_source_state(path10, 0)
+        sub, high, low = classify_insertion_detailed(d, 3, 4)
+        assert sub == SubCase.ADJACENT_LEVEL
+        assert sub.case == Case.ADJACENT_LEVEL
+
+    def test_case3_connected(self, path10):
+        from repro.bc.cases import SubCase, classify_insertion_detailed
+
+        d, _, _, _ = single_source_state(path10, 0)
+        sub, _, _ = classify_insertion_detailed(d, 1, 7)
+        assert sub == SubCase.DISTANT_LEVEL_CONNECTED
+
+    def test_case3_merge(self, two_components):
+        from repro.bc.cases import SubCase, classify_insertion_detailed
+
+        d, _, _, _ = single_source_state(two_components, 0)
+        sub, high, low = classify_insertion_detailed(d, 2, 7)
+        assert sub == SubCase.DISTANT_LEVEL_MERGE
+        assert (high, low) == (2, 7)
+
+    def test_subcase_matches_coarse(self, karate, rng):
+        from repro.bc.cases import classify_insertion_detailed
+
+        d, _, _, _ = single_source_state(karate, 3)
+        for _ in range(40):
+            u, v = rng.integers(0, 34, 2)
+            if u == v:
+                continue
+            coarse, ch, cl = classify_insertion(d, int(u), int(v))
+            sub, sh, sl = classify_insertion_detailed(d, int(u), int(v))
+            assert sub.case == coarse
+            assert (sh, sl) == (ch, cl)

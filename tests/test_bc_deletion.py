@@ -1,0 +1,101 @@
+"""Edge-deletion support: distance-preserving Case-2 duals and the
+distance-increasing recompute fallback (see repro/bc/deletion.py)."""
+
+import numpy as np
+import pytest
+
+from repro.bc.deletion import (
+    connectivity_preserving_removals,
+    removal_reinsertion_protocol,
+)
+from repro.bc.engine import DynamicBC
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+
+
+class TestEngineDeletion:
+    @pytest.mark.parametrize("backend", ["cpu", "gpu-edge", "gpu-node"])
+    def test_random_deletions_verify(self, backend, rng):
+        g = gen.erdos_renyi(60, 150, seed=4)
+        eng = DynamicBC.from_graph(g, num_sources=15, backend=backend, seed=1)
+        edges = g.edge_list()
+        for idx in rng.choice(len(edges), 10, replace=False):
+            u, v = map(int, edges[idx])
+            if eng.graph.has_edge(u, v):
+                eng.delete_edge(u, v)
+        eng.verify()
+
+    def test_delete_missing_raises(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=5, seed=1)
+        with pytest.raises(ValueError):
+            eng.delete_edge(0, 9)
+
+    def test_delete_bridge_disconnects(self, path10):
+        """Deleting a bridge (Case-3 deletion) falls back to recompute
+        and still matches scratch."""
+        eng = DynamicBC.from_graph(path10, sources=[0, 5], backend="cpu")
+        eng.delete_edge(4, 5)
+        eng.verify()
+        from repro.graph.csr import DIST_INF
+
+        assert eng.state.d[0][9] == DIST_INF  # source 0 lost the far half
+
+    def test_insert_then_delete_restores_scores(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=10, seed=3)
+        before = eng.bc_scores.copy()
+        eng.insert_edge(0, 9)
+        eng.delete_edge(0, 9)
+        assert np.allclose(eng.bc_scores, before, atol=1e-9)
+        eng.verify()
+
+    def test_delete_then_reinsert_restores_scores(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=10, seed=3)
+        before = eng.bc_scores.copy()
+        eng.delete_edge(0, 1)
+        eng.insert_edge(0, 1)
+        assert np.allclose(eng.bc_scores, before, atol=1e-9)
+
+    def test_same_level_deletion_is_free(self):
+        # 0-1, 0-2, 1-2: edge (1,2) joins same-level vertices for source 0
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        eng = DynamicBC.from_graph(g, sources=[0], backend="gpu-node")
+        rep = eng.delete_edge(1, 2)
+        assert rep.case_histogram == {1: 1}
+        assert rep.touched[0] == 0
+        eng.verify()
+
+    def test_mixed_stream(self, rng):
+        """Interleaved insertions and deletions stay exact."""
+        g = gen.watts_strogatz(50, k=4, p=0.1, seed=5)
+        eng = DynamicBC.from_graph(g, num_sources=12, backend="gpu-node",
+                                   seed=2)
+        for step in range(30):
+            u, v = int(rng.integers(0, 50)), int(rng.integers(0, 50))
+            if u == v:
+                continue
+            if eng.graph.has_edge(u, v):
+                eng.delete_edge(u, v)
+            else:
+                eng.insert_edge(u, v)
+        eng.verify()
+
+
+class TestProtocolHelpers:
+    def test_removal_protocol(self, karate, rng):
+        dyn = DynamicGraph.from_csr(karate)
+        removed = removal_reinsertion_protocol(dyn, 10, seed=1)
+        assert removed.shape == (10, 2)
+        assert dyn.num_edges == 68
+
+    def test_removal_protocol_deterministic(self, karate):
+        a = removal_reinsertion_protocol(DynamicGraph.from_csr(karate), 5, seed=9)
+        b = removal_reinsertion_protocol(DynamicGraph.from_csr(karate), 5, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_connectivity_preserving(self, karate):
+        dyn = DynamicGraph.from_csr(karate)
+        removed = connectivity_preserving_removals(dyn, 5, seed=2)
+        assert removed.shape == (5, 2)
+        # karate is connected and stays connected
+        assert np.all(dyn.snapshot().connected_components() == 0)

@@ -1,0 +1,266 @@
+import numpy as np
+import pytest
+
+from repro.bc.brandes import brandes_bc
+from repro.bc.engine import BACKENDS, DynamicBC, UpdateReport
+from repro.bc.state import BCState
+from repro.gpu.device import CORE_I7_2600K, GTX_560, TESLA_C2075
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+
+
+class TestConstruction:
+    def test_backends_enumerated(self):
+        assert set(BACKENDS) == {"cpu", "gpu-edge", "gpu-node",
+                                 "gpu-node-atomic"}
+
+    def test_unknown_backend_raises(self, karate):
+        with pytest.raises(ValueError, match="backend"):
+            DynamicBC.from_graph(karate, num_sources=4, backend="tpu")
+
+    def test_default_devices(self, karate):
+        cpu = DynamicBC.from_graph(karate, num_sources=4, backend="cpu")
+        gpu = DynamicBC.from_graph(karate, num_sources=4, backend="gpu-node")
+        assert cpu.device is CORE_I7_2600K
+        assert gpu.device is TESLA_C2075
+
+    def test_explicit_device(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=4, backend="gpu-node",
+                                   device=GTX_560)
+        assert eng.device is GTX_560
+        assert eng.num_blocks == 7
+
+    def test_explicit_sources(self, karate):
+        eng = DynamicBC.from_graph(karate, sources=[3, 1, 2])
+        assert np.array_equal(eng.sources, [1, 2, 3])
+
+    def test_exact_mode_all_sources(self, path10):
+        eng = DynamicBC.from_graph(path10)
+        assert eng.state.num_sources == 10
+        assert np.allclose(eng.bc_scores, brandes_bc(path10))
+
+    def test_accepts_dynamic_graph(self, karate):
+        dyn = DynamicGraph.from_csr(karate)
+        eng = DynamicBC.from_graph(dyn, num_sources=4, seed=1)
+        assert eng.graph is dyn
+
+    def test_state_graph_mismatch_rejected(self, karate, path10):
+        st = BCState.compute(path10, [0])
+        with pytest.raises(ValueError):
+            DynamicBC(karate, st)
+
+
+class TestInsert:
+    def test_report_fields(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        rep = eng.insert_edge(0, 9)
+        assert isinstance(rep, UpdateReport)
+        assert rep.edge == (0, 9)
+        assert rep.operation == "insert"
+        assert rep.cases.shape == (8,)
+        assert rep.per_source_seconds.shape == (8,)
+        assert rep.simulated_seconds > 0
+        assert rep.wall_seconds > 0
+        assert sum(rep.case_histogram.values()) == 8
+
+    def test_existing_edge_raises(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=4, seed=1)
+        with pytest.raises(ValueError):
+            eng.insert_edge(0, 1)
+
+    def test_self_loop_raises(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=4, seed=1)
+        with pytest.raises(ValueError):
+            eng.insert_edge(3, 3)
+
+    def test_scores_track_exact(self, path10):
+        eng = DynamicBC.from_graph(path10)  # exact: all sources
+        eng.insert_edge(0, 9)
+        expected = brandes_bc(eng.graph.snapshot())
+        assert np.allclose(eng.bc_scores, expected)
+
+    def test_case1_touches_nothing(self, two_components):
+        # both endpoints unreachable from sources in the first component
+        eng = DynamicBC.from_graph(two_components, sources=[0])
+        rep = eng.insert_edge(6, 8)
+        assert rep.case_histogram == {1: 1}
+        assert rep.touched[0] == 0
+        eng.verify()
+
+    def test_counters_accumulate(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
+        eng.insert_edge(0, 9)
+        first = eng.counters.work_items
+        eng.insert_edge(4, 20)
+        assert eng.counters.work_items > first
+        assert eng.counters.kernel_launches == 8
+
+    def test_per_source_seconds_positive_for_work(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
+        rep = eng.insert_edge(0, 9)
+        worked = rep.cases >= 2
+        assert np.all(rep.per_source_seconds[worked] > 0)
+
+
+class TestRecompute:
+    def test_recompute_equals_incremental(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=5)
+        eng.insert_edge(0, 9)
+        eng.insert_edge(15, 16)
+        incremental = eng.bc_scores.copy()
+        eng.recompute()
+        assert np.allclose(eng.bc_scores, incremental, atol=1e-9)
+
+    def test_verify_passes_after_stream(self, karate, rng):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=5)
+        for u, v in karate.undirected_non_edges(rng, 10).tolist():
+            if not eng.graph.has_edge(u, v):
+                eng.insert_edge(u, v)
+        eng.verify()
+
+
+class TestBackendEquivalence:
+    def test_all_backends_same_scores(self, small_er, rng):
+        """The three strategies are different *cost* models over the
+        same state transitions — scores must match bitwise-close."""
+        results = {}
+        for backend in BACKENDS:
+            dyn = DynamicGraph.from_csr(small_er)
+            removed = dyn.remove_random_edges(np.random.default_rng(3), 8)
+            eng = DynamicBC.from_graph(dyn, num_sources=10, backend=backend,
+                                       seed=7)
+            for u, v in removed:
+                eng.insert_edge(int(u), int(v))
+            results[backend] = eng.bc_scores.copy()
+        assert np.allclose(results["cpu"], results["gpu-edge"])
+        assert np.allclose(results["cpu"], results["gpu-node"])
+
+    def test_simulated_times_differ(self, small_er):
+        """...but their simulated costs must NOT match (that is the
+        entire point of the paper)."""
+        times = {}
+        for backend in BACKENDS:
+            dyn = DynamicGraph.from_csr(small_er)
+            removed = dyn.remove_random_edges(np.random.default_rng(3), 8)
+            eng = DynamicBC.from_graph(dyn, num_sources=10, backend=backend,
+                                       seed=7)
+            times[backend] = sum(
+                eng.insert_edge(int(u), int(v)).simulated_seconds
+                for u, v in removed
+            )
+        assert times["gpu-node"] < times["gpu-edge"]
+
+    def test_repr(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=4, seed=1)
+        assert "gpu-node" in repr(eng)
+
+
+class TestMemoryReport:
+    def test_okn_accounting(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        report = eng.memory_report()
+        n, k = 34, 8
+        assert report["d"] == k * n * 8
+        assert report["sigma"] == k * n * 8
+        assert report["delta"] == k * n * 8
+        assert report["bc"] == n * 8
+        assert report["total"] == sum(v for kk, v in report.items()
+                                      if kk != "total")
+
+    def test_grows_with_sources(self, karate):
+        small = DynamicBC.from_graph(karate, num_sources=4, seed=1)
+        big = DynamicBC.from_graph(karate, num_sources=16, seed=1)
+        assert big.memory_report()["total"] > small.memory_report()["total"]
+
+
+class TestSpotCheck:
+    def test_passes_on_healthy_state(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        eng.insert_edge(0, 9)
+        eng.spot_check(num_sources=8, seed=2)
+
+    def test_detects_corruption(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        eng.state.sigma[3, 7] += 1.0
+        with pytest.raises(AssertionError, match="sigma"):
+            eng.spot_check(num_sources=8, seed=2)
+
+    def test_sample_smaller_than_k(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        eng.spot_check(num_sources=2, seed=3)  # must not raise
+
+
+class TestStageBreakdown:
+    def test_stages_present_and_sum(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        rep = eng.insert_edge(0, 9)
+        assert "classify" in rep.stage_seconds
+        if (rep.cases >= 2).any():
+            assert "init" in rep.stage_seconds
+            assert "commit" in rep.stage_seconds
+        total = sum(rep.stage_seconds.values())
+        assert total == pytest.approx(rep.per_source_seconds.sum(), rel=1e-9)
+
+    def test_cpu_init_dominates_on_sparse_touch(self):
+        """On a large graph with a tiny touched set, the O(n) init is
+        the sequential baseline's dominant cost — the structural reason
+        dynamic updates still cost milliseconds on the CPU."""
+        g = gen.watts_strogatz(4000, k=6, p=0.05, seed=9)
+        eng = DynamicBC.from_graph(g, num_sources=16, backend="cpu", seed=2)
+        rng = np.random.default_rng(5)
+        u, v = g.undirected_non_edges(rng, 1)[0]
+        rep = eng.insert_edge(int(u), int(v))
+        if (rep.cases >= 2).any():
+            stages = rep.stage_seconds
+            traversal = stages.get("sp", 0) + stages.get("dep", 0) + \
+                stages.get("pull", 0)
+            assert stages["init"] + stages["commit"] > traversal
+
+
+class TestCustomOpCosts:
+    def test_costlier_ops_slow_simulation(self, karate):
+        from repro.gpu.costmodel import OpCosts
+
+        expensive = OpCosts(edge_check_cycles=400.0, edge_check_bytes=900.0)
+        base = DynamicBC.from_graph(karate, num_sources=8, seed=1,
+                                    backend="gpu-edge")
+        costly = DynamicBC.from_graph(karate, num_sources=8, seed=1,
+                                      backend="gpu-edge",
+                                      op_costs=expensive)
+        t_base = base.insert_edge(0, 9).simulated_seconds
+        t_costly = costly.insert_edge(0, 9).simulated_seconds
+        assert t_costly > t_base
+
+    def test_num_blocks_override(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1,
+                                   backend="gpu-node", num_blocks=7)
+        assert eng.num_blocks == 7
+        rep = eng.insert_edge(0, 9)
+        assert rep.simulated_seconds > 0
+
+
+class TestTopK:
+    def test_descending_pairs(self, karate):
+        eng = DynamicBC.from_graph(karate)  # exact
+        top = eng.top_k(5)
+        assert len(top) == 5
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+        # karate's most central vertices are the two club leaders + 32
+        assert top[0][0] in (0, 33)
+
+    def test_k_clamped(self, path10):
+        eng = DynamicBC.from_graph(path10)
+        assert len(eng.top_k(100)) == 10
+
+    def test_bad_k(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=4, seed=1)
+        with pytest.raises(ValueError):
+            eng.top_k(0)
+
+    def test_tracks_updates(self, path10):
+        eng = DynamicBC.from_graph(path10)
+        assert eng.top_k(1)[0][0] in (4, 5)  # path middle
+        eng.insert_edge(0, 9)  # now a cycle: symmetric, all equal
+        scores = [s for _, s in eng.top_k(10)]
+        assert max(scores) - min(scores) < 1e-9

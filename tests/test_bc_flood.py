@@ -1,0 +1,92 @@
+"""The literal (unguarded) Algorithm 4/6 flood must produce identical
+analytics while touching vastly more of the graph."""
+
+import numpy as np
+import pytest
+
+from repro.bc.accountants import make_accountant
+from repro.bc.brandes import single_source_state
+from repro.bc.cases import Case, classify_insertion
+from repro.bc.flood import flood_adjacent_level_update
+from repro.bc.update_core import adjacent_level_update
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+
+
+def run_both(graph_before, source, u_high, u_low):
+    """Apply the same Case-2 insertion via the guarded core and the
+    flood; return (guarded_rows, flood_rows, guarded_stats, flood_stats,
+    traces)."""
+    dyn = DynamicGraph.from_csr(graph_before)
+    dyn.insert_edge(u_high, u_low)
+    after = dyn.snapshot()
+    out = []
+    for fn in (adjacent_level_update, flood_adjacent_level_update):
+        d, sigma, delta, _ = single_source_state(graph_before, source)
+        delta[source] = 0.0
+        bc = np.zeros(graph_before.num_vertices)
+        acc = make_accountant("gpu-edge", after.num_vertices,
+                              2 * after.num_edges)
+        kwargs = {} if fn is flood_adjacent_level_update else {"insert": True}
+        stats = fn(after, source, d, sigma, delta, bc, u_high, u_low, acc,
+                   **kwargs)
+        out.append((d, sigma, delta, bc, stats, acc.finish()))
+    return out
+
+
+def find_case2(graph, source, rng):
+    d, _, _, _ = single_source_state(graph, source)
+    for u, v in graph.undirected_non_edges(rng, 300).tolist():
+        case, high, low = classify_insertion(d, u, v)
+        if case == Case.ADJACENT_LEVEL:
+            return high, low
+    pytest.skip("no case-2 insertion found")
+
+
+class TestFloodCorrectness:
+    @pytest.mark.parametrize("source", [0, 12, 30])
+    def test_identical_state_karate(self, karate, source, rng):
+        u_high, u_low = find_case2(karate, source, rng)
+        guarded, flood = run_both(karate, source, u_high, u_low)
+        for g, f in zip(guarded[:4], flood[:4]):
+            assert np.allclose(g, f)
+
+    def test_identical_state_er(self, small_er, rng):
+        u_high, u_low = find_case2(small_er, 7, rng)
+        guarded, flood = run_both(small_er, 7, u_high, u_low)
+        for g, f in zip(guarded[:4], flood[:4]):
+            assert np.allclose(g, f)
+
+    def test_flood_stays_in_component(self):
+        """The flood covers the source's cone but cannot spill into
+        unreachable components (they have no BFS level)."""
+        from repro.graph.csr import CSRGraph
+
+        # component A: 0-1, 1-2, 0-3, 3-4 (so (1, 4) is a case-2 pair
+        # for source 0: d[1]=1, d[4]=2); component B: 5-6-7
+        g = CSRGraph.from_edges(
+            8, [(0, 1), (1, 2), (0, 3), (3, 4), (5, 6), (6, 7)]
+        )
+        guarded, flood = run_both(g, 0, 1, 4)
+        assert flood[4].touched <= 5  # never vertices 5-7
+        for g_arr, f_arr in zip(guarded[:4], flood[:4]):
+            assert np.allclose(g_arr, f_arr)
+
+
+class TestFloodCost:
+    def test_flood_touches_more(self, karate, rng):
+        source = 0
+        u_high, u_low = find_case2(karate, source, rng)
+        guarded, flood = run_both(karate, source, u_high, u_low)
+        g_stats, f_stats = guarded[4], flood[4]
+        assert f_stats.touched >= g_stats.touched
+
+    def test_flood_costs_more(self, rng):
+        """On a deep sparse graph the flood is dramatically worse."""
+        g = gen.random_triangulation(400, seed=8)
+        source = 5
+        u_high, u_low = find_case2(g, source, rng)
+        guarded, flood = run_both(g, source, u_high, u_low)
+        g_trace, f_trace = guarded[5], flood[5]
+        assert f_trace.total_items >= g_trace.total_items
+        assert flood[4].dep_levels >= guarded[4].dep_levels

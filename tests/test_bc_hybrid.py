@@ -1,0 +1,140 @@
+import numpy as np
+import pytest
+
+from repro.bc.engine import DynamicBC
+from repro.bc.hybrid import HybridDynamicBC
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+
+
+@pytest.fixture
+def workload():
+    graph = gen.erdos_renyi(150, 400, seed=8)
+    rng = np.random.default_rng(4)
+    edges = graph.undirected_non_edges(rng, 6)
+    return graph, edges
+
+
+class TestCorrectness:
+    def test_matches_scratch(self, workload):
+        graph, edges = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=20, seed=3,
+                                            cpu_fraction=0.25)
+        for u, v in edges.tolist():
+            hybrid.insert_edge(u, v)
+        hybrid.verify()
+
+    def test_matches_homogeneous_engine(self, workload):
+        graph, edges = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=20, seed=3,
+                                            cpu_fraction=0.3)
+        pure = DynamicBC.from_graph(graph, num_sources=20, seed=3,
+                                    backend="gpu-node")
+        for u, v in edges.tolist():
+            hybrid.insert_edge(u, v)
+            pure.insert_edge(u, v)
+        assert np.allclose(hybrid.bc_scores, pure.bc_scores)
+
+    def test_existing_edge_rejected(self, workload):
+        graph, _ = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=10, seed=3)
+        u, v = map(int, graph.edge_list()[0])
+        with pytest.raises(ValueError):
+            hybrid.insert_edge(u, v)
+
+
+class TestPartitioning:
+    def test_fraction_zero_is_pure_gpu(self, workload):
+        graph, edges = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=20, seed=3,
+                                            cpu_fraction=0.0)
+        rep = hybrid.insert_edge(*edges[0].tolist())
+        assert rep.cpu_sources == 0
+        assert rep.cpu_seconds == 0.0
+        assert rep.simulated_seconds == rep.gpu_seconds
+
+    def test_invalid_fraction_rejected(self, workload):
+        graph, _ = workload
+        with pytest.raises(ValueError):
+            HybridDynamicBC.from_graph(graph, num_sources=10, seed=3,
+                                       cpu_fraction=1.0)
+
+    def test_auto_fraction_small_but_positive(self, workload):
+        graph, _ = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=10, seed=3)
+        # one CPU core against a 14-SM GPU: a thin slice
+        assert 0.0 <= hybrid.cpu_fraction < 0.4
+
+    def test_partition_sizes_sum(self, workload):
+        graph, edges = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=20, seed=3,
+                                            cpu_fraction=0.25)
+        rep = hybrid.insert_edge(*edges[0].tolist())
+        assert rep.gpu_sources + rep.cpu_sources == 20
+        assert rep.cpu_sources == 5
+
+    def test_report_balance_bounded(self, workload):
+        graph, edges = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=20, seed=3,
+                                            cpu_fraction=0.2)
+        rep = hybrid.insert_edge(*edges[0].tolist())
+        assert 0.0 <= rep.balance <= 1.0
+
+    def test_adaptive_rebalances(self, workload):
+        graph, edges = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=20, seed=3,
+                                            cpu_fraction=0.45, adaptive=True)
+        start = hybrid.cpu_fraction
+        for u, v in edges.tolist():
+            hybrid.insert_edge(u, v)
+        # an oversized CPU slice must shrink toward balance
+        assert hybrid.cpu_fraction < start
+        hybrid.verify()
+
+    def test_adaptive_still_exact(self, workload):
+        graph, edges = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=20, seed=3,
+                                            adaptive=True)
+        pure = DynamicBC.from_graph(graph, num_sources=20, seed=3,
+                                    backend="gpu-node")
+        for u, v in edges.tolist():
+            hybrid.insert_edge(u, v)
+            pure.insert_edge(u, v)
+        assert np.allclose(hybrid.bc_scores, pure.bc_scores)
+
+    def test_repr(self, workload):
+        graph, _ = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=10, seed=3,
+                                            cpu_fraction=0.2)
+        assert "Tesla" in repr(hybrid)
+
+
+class TestHybridDeletion:
+    def test_delete_and_verify(self, workload):
+        graph, _ = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=15, seed=3,
+                                            cpu_fraction=0.3)
+        edges = graph.edge_list()
+        rng = np.random.default_rng(6)
+        for idx in rng.choice(len(edges), 6, replace=False):
+            u, v = map(int, edges[idx])
+            if hybrid.graph.has_edge(u, v):
+                hybrid.delete_edge(u, v)
+        hybrid.verify()
+
+    def test_insert_delete_round_trip(self, workload):
+        graph, edges = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=12, seed=3,
+                                            cpu_fraction=0.25)
+        before = hybrid.bc_scores.copy()
+        u, v = edges[0].tolist()
+        hybrid.insert_edge(u, v)
+        hybrid.delete_edge(u, v)
+        assert np.allclose(hybrid.bc_scores, before, atol=1e-9)
+
+    def test_delete_missing_rejected(self, workload):
+        graph, edges = workload
+        hybrid = HybridDynamicBC.from_graph(graph, num_sources=5, seed=3)
+        u, v = edges[0].tolist()
+        with pytest.raises(ValueError):
+            hybrid.delete_edge(u, v)

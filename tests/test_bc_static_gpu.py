@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.bc.brandes import brandes_bc
+from repro.bc.static_gpu import (
+    STATIC_STRATEGIES,
+    static_bc_gpu,
+    trace_static_source,
+)
+from repro.gpu.device import CORE_I7_2600K, GTX_560, TESLA_C2075
+from repro.graph import generators as gen
+
+
+class TestScores:
+    @pytest.mark.parametrize("strategy", STATIC_STRATEGIES)
+    def test_matches_brandes(self, karate, strategy):
+        res = static_bc_gpu(karate, strategy=strategy)
+        assert np.allclose(res.bc, brandes_bc(karate))
+
+    def test_subset_sources(self, karate):
+        res = static_bc_gpu(karate, sources=[0, 1, 2])
+        assert np.allclose(res.bc, brandes_bc(karate, sources=[0, 1, 2]))
+
+    def test_unknown_strategy_raises(self, karate):
+        with pytest.raises(ValueError):
+            static_bc_gpu(karate, strategy="quantum")
+
+
+class TestTraces:
+    def test_one_trace_per_source(self, karate):
+        res = static_bc_gpu(karate, sources=range(5))
+        assert len(res.traces) == 5
+
+    def test_edge_strategy_charges_full_scans(self, karate):
+        """Edge-parallel scans all 2m arcs per level — its work count
+        must exceed node-parallel's on the same graph."""
+        edge = static_bc_gpu(karate, sources=[0], strategy="gpu-edge")
+        node = static_bc_gpu(karate, sources=[0], strategy="gpu-node")
+        cpu = static_bc_gpu(karate, sources=[0], strategy="cpu")
+        assert edge.counters.work_items > node.counters.work_items
+        assert node.counters.work_items > cpu.counters.work_items
+
+    def test_cpu_access_cycles_raise_cost(self, karate):
+        cheap = trace_static_source(karate, 0, "cpu", access_cycles=4.0)[1]
+        costly = trace_static_source(karate, 0, "cpu", access_cycles=200.0)[1]
+        from repro.gpu.costmodel import CostModel
+
+        model = CostModel(CORE_I7_2600K)
+        assert model.trace_seconds(costly) > model.trace_seconds(cheap)
+
+
+class TestTiming:
+    def test_more_sms_is_faster(self, small_er):
+        res = static_bc_gpu(small_er, sources=range(56), strategy="gpu-edge")
+        t_gtx = res.timing(GTX_560).total_seconds
+        t_tesla = res.timing(TESLA_C2075).total_seconds
+        assert t_tesla < t_gtx * 1.5  # 14 SMs vs 7 (clocks differ)
+
+    def test_block_sweep_peaks_at_sm_count(self, small_er):
+        res = static_bc_gpu(small_er, sources=range(56), strategy="gpu-edge")
+        times = {b: res.timing(TESLA_C2075, b).total_seconds
+                 for b in (1, 7, 14, 28)}
+        assert times[14] < times[1]
+        assert times[14] < times[7]
+        assert times[14] <= times[28]
+
+    def test_speedup_near_linear_below_sms(self, small_er):
+        res = static_bc_gpu(small_er, sources=range(56), strategy="gpu-edge")
+        t1 = res.timing(TESLA_C2075, 1).total_seconds
+        t7 = res.timing(TESLA_C2075, 7).total_seconds
+        assert 5.0 < t1 / t7 < 7.5

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bc.brandes import brandes_bc
+from repro.bc.tree import bc_auto, is_forest, tree_bc
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+
+class TestIsForest:
+    def test_path(self):
+        assert is_forest(gen.path_graph(10))
+
+    def test_star(self):
+        assert is_forest(gen.star_graph(8))
+
+    def test_cycle(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert not is_forest(g)
+
+    def test_forest_of_two_trees(self, two_components):
+        assert is_forest(two_components)
+
+    def test_empty(self):
+        assert is_forest(CSRGraph.empty(4))
+
+
+class TestTreeBC:
+    def test_path_matches_brandes(self):
+        g = gen.path_graph(12)
+        assert np.allclose(tree_bc(g), brandes_bc(g))
+
+    def test_star_matches_brandes(self):
+        g = gen.star_graph(9)
+        assert np.allclose(tree_bc(g), brandes_bc(g))
+
+    def test_forest_matches_brandes(self, two_components):
+        assert np.allclose(tree_bc(two_components),
+                           brandes_bc(two_components))
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.empty(5)
+        assert np.all(tree_bc(g) == 0)
+
+    def test_caterpillar(self):
+        edges = [(i, i + 1) for i in range(5)] + [(2, 6), (2, 7), (4, 8)]
+        g = CSRGraph.from_edges(9, edges)
+        assert np.allclose(tree_bc(g), brandes_bc(g))
+
+    def test_cycle_rejected(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        with pytest.raises(ValueError, match="forest"):
+            tree_bc(g)
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_trees_match_brandes(self, seeds):
+        """Random tree via random parent attachment."""
+        n = len(seeds) + 1
+        edges = [(seed % (i + 1), i + 1) for i, seed in enumerate(seeds)]
+        g = CSRGraph.from_edges(n, edges)
+        assert np.allclose(tree_bc(g), brandes_bc(g))
+
+
+class TestAuto:
+    def test_dispatches_to_tree(self):
+        g = gen.path_graph(8)
+        assert np.allclose(bc_auto(g), brandes_bc(g))
+
+    def test_dispatches_to_brandes(self, karate):
+        assert np.allclose(bc_auto(karate), brandes_bc(karate))

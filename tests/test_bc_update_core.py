@@ -1,0 +1,151 @@
+"""Correctness of the Case-2 update core against (a) a literal
+transcription of Green et al.'s Algorithm 2 and (b) full recomputation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bc.accountants import make_accountant
+from repro.bc.brandes import single_source_state
+from repro.bc.cases import Case, classify_insertion
+from repro.bc.reference import case2_reference
+from repro.bc.state import BCState
+from repro.bc.update_core import UNTOUCHED, adjacent_level_update
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+
+
+def apply_case2(graph_after, source, state_row, bc, u_high, u_low,
+                strategy="cpu", insert=True):
+    d, sigma, delta = state_row
+    acc = make_accountant(strategy, graph_after.num_vertices,
+                          2 * graph_after.num_edges)
+    return adjacent_level_update(graph_after, source, d, sigma, delta, bc,
+                                 u_high, u_low, acc, insert=insert), acc
+
+
+def find_case2_edges(graph, d, count=10, rng=None):
+    """Non-edges whose insertion is Case 2 for the source owning d."""
+    rng = rng or np.random.default_rng(0)
+    out = []
+    for u, v in graph.undirected_non_edges(rng, 200).tolist():
+        case, high, low = classify_insertion(d, u, v)
+        if case == Case.ADJACENT_LEVEL:
+            out.append((high, low))
+            if len(out) == count:
+                break
+    return out
+
+
+class TestAgainstGreenReference:
+    @pytest.mark.parametrize("source", [0, 11, 33])
+    def test_karate_matches_algorithm2(self, karate, source):
+        d, sigma, delta = (x.copy() for x in single_source_state(karate, source)[:3])
+        delta[source] = 0.0
+        bc = np.zeros(34)
+        pairs = find_case2_edges(karate, d, count=5)
+        assert pairs, "fixture must yield Case-2 insertions"
+        for u_high, u_low in pairs:
+            dyn = DynamicGraph.from_csr(karate)
+            dyn.insert_edge(u_high, u_low)
+            after = dyn.snapshot()
+            ref_sigma, ref_delta, ref_bc = case2_reference(
+                after, source, d, sigma, delta, bc, u_high, u_low
+            )
+            my_d, my_sigma, my_delta = d.copy(), sigma.copy(), delta.copy()
+            my_bc = bc.copy()
+            apply_case2(after, source, (my_d, my_sigma, my_delta), my_bc,
+                        u_high, u_low)
+            assert np.array_equal(my_d, d)  # Case 2 never moves distances
+            assert np.allclose(my_sigma, ref_sigma)
+            assert np.allclose(my_delta, ref_delta)
+            assert np.allclose(my_bc, ref_bc)
+
+
+class TestAgainstRecompute:
+    @pytest.mark.parametrize("strategy", ["cpu", "gpu-edge", "gpu-node"])
+    def test_all_strategies_identical_state(self, karate, strategy):
+        source = 0
+        d, sigma, delta = (x.copy() for x in single_source_state(karate, source)[:3])
+        delta[source] = 0.0
+        pairs = find_case2_edges(karate, d, count=3)
+        for u_high, u_low in pairs:
+            dyn = DynamicGraph.from_csr(karate)
+            dyn.insert_edge(u_high, u_low)
+            after = dyn.snapshot()
+            my = [d.copy(), sigma.copy(), delta.copy()]
+            bc = np.zeros(34)
+            apply_case2(after, source, my, bc, u_high, u_low, strategy)
+            dn, sn, den, _ = single_source_state(after, source)
+            den[source] = 0.0
+            assert np.allclose(my[1], sn)
+            assert np.allclose(my[2][my[0] < 10**9], den[my[0] < 10**9])
+
+    def test_full_state_on_er(self, small_er, rng):
+        sources = [0, 5, 17]
+        st = BCState.compute(small_er, sources)
+        dyn = DynamicGraph.from_csr(small_er)
+        inserted = 0
+        for u, v in small_er.undirected_non_edges(rng, 150).tolist():
+            # only apply if Case 2 for every source (else other machinery)
+            cls = [classify_insertion(st.d[i], u, v) for i in range(3)]
+            if not all(c[0] == Case.ADJACENT_LEVEL for c in cls):
+                continue
+            dyn.insert_edge(u, v)
+            after = dyn.snapshot()
+            for i in range(3):
+                _, high, low = cls[i]
+                apply_case2(after, sources[i],
+                            (st.d[i], st.sigma[i], st.delta[i]), st.bc,
+                            high, low)
+            inserted += 1
+            if inserted == 4:
+                break
+        assert inserted > 0
+        st.verify_against(dyn.snapshot())
+
+
+class TestStats:
+    def test_touched_counts_reported(self, karate):
+        source = 0
+        d, sigma, delta = (x.copy() for x in single_source_state(karate, source)[:3])
+        delta[source] = 0.0
+        u_high, u_low = find_case2_edges(karate, d, count=1)[0]
+        dyn = DynamicGraph.from_csr(karate)
+        dyn.insert_edge(u_high, u_low)
+        bc = np.zeros(34)
+        stats, acc = apply_case2(dyn.snapshot(), source, (d, sigma, delta),
+                                 bc, u_high, u_low)
+        assert stats.touched >= 1  # at least u_low
+        assert stats.sp_levels >= 1
+        assert stats.dep_levels >= 1
+        assert len(acc.trace) > 0
+
+    def test_precondition_checked(self, karate):
+        d, sigma, delta = (x.copy() for x in single_source_state(karate, 0)[:3])
+        dyn = DynamicGraph.from_csr(karate)
+        bc = np.zeros(34)
+        acc = make_accountant("cpu", 34, 2 * 78)
+        with pytest.raises(ValueError, match="adjacent-level"):
+            adjacent_level_update(dyn.snapshot(), 0, d, sigma, delta, bc,
+                                  0, 0, acc)
+
+    def test_source_delta_stays_zero(self, karate):
+        # insert an edge adjacent to the source itself
+        source = 0
+        d, sigma, delta = (x.copy() for x in single_source_state(karate, source)[:3])
+        delta[source] = 0.0
+        dyn = DynamicGraph.from_csr(karate)
+        # a pair whose higher endpoint sits at depth 1 guarantees the
+        # up-cascade reaches the source itself
+        pairs = [(h, l) for h, l in find_case2_edges(karate, d, count=10)
+                 if d[h] == 1]
+        assert pairs, "karate must yield a depth-1 case-2 pair"
+        u_high, u_low = pairs[0]
+        dyn.insert_edge(u_high, u_low)
+        bc = np.zeros(34)
+        apply_case2(dyn.snapshot(), source, (d, sigma, delta), bc,
+                    u_high, u_low)
+        assert delta[source] == 0.0
+        assert bc[source] == 0.0

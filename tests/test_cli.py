@@ -1,0 +1,76 @@
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main, run_artifact
+
+FAST = ["--scale", "0.2", "--sources", "6", "--insertions", "3",
+        "--graphs", "small"]
+
+
+class TestParser:
+    def test_artifact_choices(self):
+        assert set(ARTIFACTS) == {"table1", "fig1", "fig2", "table2",
+                                  "table3", "fig4", "all"}
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == 1.0
+        assert args.sources == 64
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestRunArtifact:
+    @pytest.mark.parametrize("artifact", ["table1", "fig2", "table2",
+                                          "table3", "fig4"])
+    def test_each_artifact_renders(self, artifact):
+        args = build_parser().parse_args([artifact] + FAST)
+        sections = run_artifact(artifact, args)
+        assert sections
+        assert all(isinstance(s, str) and s for s in sections)
+
+    def test_fig1_renders(self):
+        args = build_parser().parse_args(["fig1", "--scale", "0.2",
+                                          "--seed", "3"])
+        sections = run_artifact("fig1", args)
+        assert any("speedup" in s for s in sections)
+
+    def test_all_includes_headline(self):
+        args = build_parser().parse_args(["all"] + FAST)
+        sections = run_artifact("all", args)
+        assert any("Headline" in s for s in sections)
+        assert len(sections) >= 7
+
+    def test_unknown_graph_rejected(self):
+        args = build_parser().parse_args(["table1", "--graphs", "nope"])
+        with pytest.raises(ValueError):
+            run_artifact("table1", args)
+
+
+class TestMain:
+    def test_main_runs(self, capsys):
+        rc = main(["fig2"] + FAST)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+    def test_main_verify_flag(self, capsys):
+        rc = main(["table2"] + FAST + ["--verify"])
+        assert rc == 0
+        assert "TABLE II" in capsys.readouterr().out
+
+    def test_save_writes_sections_and_csv(self, tmp_path, capsys):
+        rc = main(["fig4"] + FAST + ["--save", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig4.txt").exists()
+        csv = (tmp_path / "fig4.csv").read_text()
+        assert csv.startswith("graph,rank,touched_fraction")
+
+    def test_save_fig1_csv(self, tmp_path):
+        rc = main(["fig1", "--scale", "0.2", "--seed", "3",
+                   "--save", str(tmp_path)])
+        assert rc == 0
+        csv = (tmp_path / "fig1.csv").read_text()
+        assert csv.startswith("graph,device,blocks,speedup")
+        assert "Tesla C2075" in csv

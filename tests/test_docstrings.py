@@ -1,0 +1,51 @@
+"""Quality gate: every public module, class, and function in the
+library carries a docstring (deliverable (e): doc comments on every
+public item)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+            continue
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                if inspect.isfunction(member) and not inspect.getdoc(
+                    getattr(obj, mname)  # resolves inherited docstrings
+                ):
+                    undocumented.append(f"{name}.{mname}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {undocumented}"
+    )

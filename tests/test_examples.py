@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts (they are deliverables too).
+
+Only the fast examples run here; ``make examples`` exercises all six.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "verified" in out
+        assert "top-5 central vertices" in out
+
+    def test_streaming_throughput(self):
+        out = run_example("streaming_throughput.py")
+        assert "Keeps up?" in out
+        assert "gpu-node" in out
+
+    def test_examples_directory_complete(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert names == {
+            "quickstart.py",
+            "social_network_stream.py",
+            "power_grid_contingency.py",
+            "gpu_tuning.py",
+            "approximation_quality.py",
+            "streaming_throughput.py",
+        }

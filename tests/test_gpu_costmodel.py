@@ -1,0 +1,160 @@
+import math
+
+import pytest
+
+from repro.gpu.costmodel import (
+    CostModel,
+    OpCosts,
+    cpu_access_cycles,
+    traversal_working_set_bytes,
+)
+from repro.gpu.counters import Step, Trace
+from repro.gpu.device import CORE_I7_2600K, GTX_560, TESLA_C2075
+
+
+class TestStepSeconds:
+    def test_compute_bound_scaling(self):
+        model = CostModel(TESLA_C2075)
+        cheap = Step(work_items=1024, cycles_per_item=100.0, bytes_moved=0.0)
+        costly = Step(work_items=10 * 1024, cycles_per_item=100.0, bytes_moved=0.0)
+        assert model.step_seconds(costly) == pytest.approx(
+            10 * model.step_seconds(cheap)
+        )
+
+    def test_threads_strip_mine(self):
+        model = CostModel(TESLA_C2075)
+        one_wave = Step(1024, 1000.0, 0.0)
+        partial = Step(1, 1000.0, 0.0)
+        assert model.step_seconds(one_wave) == pytest.approx(
+            model.step_seconds(partial)
+        )
+
+    def test_memory_bound_dominates(self):
+        model = CostModel(TESLA_C2075)
+        mem = Step(work_items=1, cycles_per_item=1.0, bytes_moved=1e6)
+        expected = 1e6 / (min(TESLA_C2075.sm_mem_gbs,
+                              TESLA_C2075.mem_bandwidth_gbs / 14) * 1e9)
+        assert model.step_seconds(mem) == pytest.approx(expected, rel=0.05)
+
+    def test_conflicting_atomics_serialize(self):
+        model = CostModel(TESLA_C2075)
+        free = Step(1, 1.0, 0.0, atomic_ops=64, max_conflict=1)
+        contended = Step(1, 1.0, 0.0, atomic_ops=64, max_conflict=64)
+        assert model.step_seconds(contended) > model.step_seconds(free)
+
+    def test_monotone_in_work(self):
+        model = CostModel(GTX_560)
+        times = [
+            model.step_seconds(Step(w, 4.0, 12.0 * w)) for w in (10, 100, 10**4, 10**6)
+        ]
+        assert times == sorted(times)
+
+    def test_empty_step_is_free(self):
+        model = CostModel(TESLA_C2075)
+        assert model.step_seconds(Step(0, 4.0, 0.0)) == 0.0
+
+    def test_cpu_sequential(self):
+        model = CostModel(CORE_I7_2600K)
+        s = Step(work_items=1000, cycles_per_item=10.0, bytes_moved=0.0)
+        expected = 1000 * 10 * CORE_I7_2600K.cpi / CORE_I7_2600K.clock_hz
+        assert model.step_seconds(s) == pytest.approx(expected, rel=0.01)
+
+
+class TestBlockScaling:
+    def test_bandwidth_per_block_shrinks_past_sms(self):
+        few = CostModel(TESLA_C2075, num_blocks=7)
+        full = CostModel(TESLA_C2075, num_blocks=14)
+        mem = Step(1, 1.0, 1e6)
+        # per-block bandwidth is capped the same below/at saturation
+        assert few.step_seconds(mem) <= full.step_seconds(mem) * 1.05
+
+    def test_residency_penalty(self):
+        one = CostModel(TESLA_C2075, num_blocks=14)
+        two = CostModel(TESLA_C2075, num_blocks=28)
+        s = Step(1024, 100.0, 0.0)
+        assert two.step_seconds(s) > one.step_seconds(s)
+
+    def test_cpu_forces_one_block(self):
+        model = CostModel(CORE_I7_2600K, num_blocks=99)
+        assert model.num_blocks == 1
+
+    def test_negative_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(TESLA_C2075, num_blocks=-1)
+
+
+class TestTraceSeconds:
+    def test_sums_steps(self):
+        model = CostModel(TESLA_C2075)
+        t = Trace()
+        t.add(100, 4.0, 1000.0)
+        t.add(200, 4.0, 2000.0)
+        assert model.trace_seconds(t) == pytest.approx(
+            sum(model.step_seconds(s) for s in t.steps)
+        )
+
+    def test_accepts_plain_list(self):
+        model = CostModel(TESLA_C2075)
+        steps = [Step(10, 1.0, 10.0)]
+        assert model.trace_seconds(steps) > 0
+
+    def test_launch_overhead(self):
+        assert CostModel(TESLA_C2075).launch_overhead_seconds == pytest.approx(4e-6)
+        assert CostModel(CORE_I7_2600K).launch_overhead_seconds == 0.0
+
+
+class TestCacheModel:
+    def test_small_working_set_is_cached(self):
+        cycles = cpu_access_cycles(CORE_I7_2600K, 100, 1000)
+        assert cycles == pytest.approx(CORE_I7_2600K.cached_access_cycles)
+
+    def test_large_working_set_misses(self):
+        cycles = cpu_access_cycles(CORE_I7_2600K, 10**7, 10**8)
+        assert cycles > 0.8 * CORE_I7_2600K.random_access_cycles
+
+    def test_monotone_in_size(self):
+        sizes = [(10**k, 10**(k + 1)) for k in range(2, 8)]
+        vals = [cpu_access_cycles(CORE_I7_2600K, n, a) for n, a in sizes]
+        assert vals == sorted(vals)
+
+    def test_gpu_has_no_cache_model(self):
+        assert cpu_access_cycles(TESLA_C2075, 10**7, 10**8) == pytest.approx(
+            TESLA_C2075.cached_access_cycles
+        )
+
+    def test_working_set_grows(self):
+        assert traversal_working_set_bytes(1000, 10000) < \
+            traversal_working_set_bytes(2000, 20000)
+
+
+class TestOpCosts:
+    def test_defaults_positive(self):
+        ops = OpCosts()
+        for field in (
+            "edge_check_cycles", "edge_check_bytes", "edge_hit_bytes",
+            "node_pop_cycles", "arc_scan_cycles", "init_bytes",
+            "commit_bytes", "dep_update_cycles",
+        ):
+            assert getattr(ops, field) > 0
+
+
+class TestStageBreakdown:
+    def test_sums_to_trace_seconds(self):
+        model = CostModel(TESLA_C2075)
+        t = Trace()
+        t.add(100, 4.0, 1000.0, stage="sp")
+        t.add(50, 4.0, 500.0, stage="dep")
+        t.add(10, 4.0, 100.0)  # untagged -> "other"
+        bd = model.stage_breakdown(t)
+        assert set(bd) == {"sp", "dep", "other"}
+        assert sum(bd.values()) == pytest.approx(model.trace_seconds(t))
+
+    def test_empty_trace(self):
+        model = CostModel(TESLA_C2075)
+        assert model.stage_breakdown(Trace()) == {}
+
+    def test_add_stage_helper(self):
+        t = Trace()
+        t.add_stage("init", 10, 2.0, 100.0)
+        assert t.steps[0].stage == "init"
+        assert t.steps[0].work_items == 10

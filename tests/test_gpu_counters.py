@@ -1,0 +1,83 @@
+import pytest
+
+from repro.gpu.counters import KernelCounters, Step, Trace
+
+
+class TestTrace:
+    def test_add_records_step(self):
+        t = Trace("x")
+        t.add(10, 2.0, 100.0, atomic_ops=3, max_conflict=2)
+        assert len(t) == 1
+        s = t.steps[0]
+        assert s.work_items == 10 and s.atomic_ops == 3 and s.max_conflict == 2
+
+    def test_empty_step_skipped(self):
+        t = Trace()
+        t.add(0, 2.0, 0.0)
+        assert len(t) == 0
+
+    def test_atomics_only_step_kept(self):
+        t = Trace()
+        t.add(0, 2.0, 0.0, atomic_ops=5)
+        assert len(t) == 1
+
+    def test_negative_rejected(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.add(-1, 1.0, 0.0)
+
+    def test_conflict_floor_is_one(self):
+        t = Trace()
+        t.add(1, 1.0, 1.0, max_conflict=0)
+        assert t.steps[0].max_conflict == 1
+
+    def test_totals(self):
+        t = Trace()
+        t.add(10, 1.0, 100.0, atomic_ops=2)
+        t.add(5, 1.0, 50.0, atomic_ops=1)
+        assert t.total_items == 15
+        assert t.total_bytes == 150.0
+        assert t.total_atomics == 3
+
+    def test_extend(self):
+        a, b = Trace(), Trace()
+        a.add(1, 1.0, 1.0)
+        b.add(2, 1.0, 2.0)
+        a.extend(b)
+        assert a.total_items == 3
+
+
+class TestKernelCounters:
+    def test_absorb(self):
+        t = Trace()
+        t.add(10, 1.0, 100.0, atomic_ops=4)
+        c = KernelCounters()
+        c.absorb(t, kernel="sp")
+        assert c.work_items == 10
+        assert c.bytes_moved == 100.0
+        assert c.atomic_ops == 4
+        assert c.steps == c.barriers == 1
+        assert c.by_kernel == {"sp": 10}
+
+    def test_absorb_all(self):
+        traces = []
+        for i in range(3):
+            t = Trace()
+            t.add(i + 1, 1.0, 1.0)
+            traces.append(t)
+        c = KernelCounters()
+        c.absorb_all(traces, kernel="k")
+        assert c.work_items == 6
+
+    def test_merged(self):
+        a, b = KernelCounters(), KernelCounters()
+        t = Trace()
+        t.add(5, 1.0, 10.0)
+        a.absorb(t, "x")
+        b.absorb(t, "x")
+        b.absorb(t, "y")
+        m = a.merged(b)
+        assert m.work_items == 15
+        assert m.by_kernel == {"x": 10, "y": 5}
+        # originals untouched
+        assert a.work_items == 5

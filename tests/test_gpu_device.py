@@ -1,0 +1,74 @@
+import pytest
+
+from repro.gpu.device import (
+    CORE_I7_2600K,
+    GTX_560,
+    TESLA_C2075,
+    DeviceSpec,
+    device_by_name,
+)
+
+
+class TestPresets:
+    def test_c2075_matches_paper(self):
+        # §IV: 14 SMs, 1.15 GHz
+        assert TESLA_C2075.num_sms == 14
+        assert TESLA_C2075.clock_ghz == pytest.approx(1.15)
+        assert not TESLA_C2075.is_cpu
+
+    def test_gtx560_matches_paper(self):
+        assert GTX_560.num_sms == 7
+
+    def test_i7_matches_paper(self):
+        # §IV: 3.4 GHz, 8 MB cache, single-threaded baseline
+        assert CORE_I7_2600K.clock_ghz == pytest.approx(3.4)
+        assert CORE_I7_2600K.cache_mb == pytest.approx(8.0)
+        assert CORE_I7_2600K.is_cpu
+        assert CORE_I7_2600K.threads_per_block == 1
+
+    def test_clock_hz(self):
+        assert TESLA_C2075.clock_hz == pytest.approx(1.15e9)
+
+    def test_lookup_by_name(self):
+        assert device_by_name("Tesla C2075") is TESLA_C2075
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            device_by_name("RTX 9090")
+
+
+class TestDeviceSpec:
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TESLA_C2075.num_sms = 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", num_sms=0, clock_ghz=1, mem_bandwidth_gbs=1,
+                       sm_mem_gbs=1)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", num_sms=1, clock_ghz=-1, mem_bandwidth_gbs=1,
+                       sm_mem_gbs=1)
+
+    def test_with_sms(self):
+        doubled = TESLA_C2075.with_sms(28)
+        assert doubled.num_sms == 28
+        assert doubled.clock_ghz == TESLA_C2075.clock_ghz
+        assert "28" in doubled.name
+
+
+class TestK40Preset:
+    def test_k40(self):
+        from repro.gpu.device import TESLA_K40
+
+        assert TESLA_K40.num_sms == 15
+        assert device_by_name("Tesla K40") is TESLA_K40
+
+    def test_k40_faster_than_c2075_on_memory_bound(self):
+        from repro.gpu.costmodel import CostModel
+        from repro.gpu.counters import Step
+        from repro.gpu.device import TESLA_K40
+
+        step = Step(10**6, 4.0, 10**7)
+        assert CostModel(TESLA_K40).step_seconds(step) < \
+            CostModel(TESLA_C2075).step_seconds(step)

@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.gpu.counters import Trace
+from repro.gpu.device import CORE_I7_2600K, TESLA_C2075
+from repro.gpu.executor import KernelTiming, VirtualGPU, schedule_blocks
+
+
+class TestScheduleBlocks:
+    def test_round_robin_assignment(self):
+        # 4 sources on 2 blocks: blocks get {0,2} and {1,3}
+        timing = schedule_blocks([1.0, 2.0, 3.0, 4.0], TESLA_C2075,
+                                 num_blocks=2, launch_overhead=0.0)
+        assert timing.block_seconds == [4.0, 6.0]
+        assert timing.total_seconds == 6.0
+
+    def test_makespan_is_max_sm(self):
+        dev = TESLA_C2075.with_sms(2)
+        timing = schedule_blocks([5.0, 1.0], dev, num_blocks=2,
+                                 launch_overhead=0.0)
+        assert timing.total_seconds == 5.0
+
+    def test_blocks_stack_on_sms(self):
+        dev = TESLA_C2075.with_sms(2)
+        # 4 blocks on 2 SMs: SM0 gets blocks 0,2; SM1 gets 1,3
+        timing = schedule_blocks([1.0, 1.0, 1.0, 1.0], dev, num_blocks=4,
+                                 launch_overhead=0.0)
+        assert timing.sm_seconds == [2.0, 2.0]
+
+    def test_launch_overhead_added(self):
+        t0 = schedule_blocks([1.0], TESLA_C2075, launch_overhead=0.5)
+        assert t0.total_seconds == pytest.approx(1.5)
+
+    def test_default_overhead_from_device(self):
+        t = schedule_blocks([0.0], TESLA_C2075)
+        assert t.total_seconds == pytest.approx(4e-6)
+
+    def test_empty_sources(self):
+        t = schedule_blocks([], TESLA_C2075, launch_overhead=0.1)
+        assert t.total_seconds == pytest.approx(0.1)
+
+    def test_cpu_is_sequential(self):
+        t = schedule_blocks([1.0, 2.0, 3.0], CORE_I7_2600K, num_blocks=5,
+                            launch_overhead=0.0)
+        assert t.total_seconds == pytest.approx(6.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_blocks([-1.0], TESLA_C2075)
+
+    def test_bad_block_count_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_blocks([1.0], TESLA_C2075, num_blocks=-2)
+
+    def test_busy_fraction_balanced(self):
+        t = schedule_blocks([1.0] * 14, TESLA_C2075, launch_overhead=0.0)
+        assert t.busy_fraction == pytest.approx(1.0)
+
+    def test_busy_fraction_imbalanced(self):
+        t = schedule_blocks([10.0] + [0.0] * 13, TESLA_C2075,
+                            launch_overhead=0.0)
+        assert t.busy_fraction < 0.2
+
+
+class TestVirtualGPU:
+    def test_default_grid_is_sm_count(self):
+        assert VirtualGPU(TESLA_C2075).num_blocks == 14
+
+    def test_cpu_grid_is_one(self):
+        assert VirtualGPU(CORE_I7_2600K, num_blocks=10).num_blocks == 1
+
+    def test_time_traces(self):
+        gpu = VirtualGPU(TESLA_C2075)
+        t = Trace()
+        t.add(1000, 4.0, 10000.0)
+        timing = gpu.time_traces([t, t, t])
+        assert timing.total_seconds > 0
+
+    def test_with_blocks(self):
+        gpu = VirtualGPU(TESLA_C2075)
+        other = gpu.with_blocks(7)
+        assert other.num_blocks == 7
+        assert other.device is TESLA_C2075
+
+    def test_more_sources_takes_longer(self):
+        gpu = VirtualGPU(TESLA_C2075)
+        t = Trace()
+        t.add(10**5, 4.0, 10**6)
+        few = gpu.time_traces([t] * 14)
+        many = gpu.time_traces([t] * 140)
+        assert many.total_seconds > few.total_seconds
+
+    def test_repr(self):
+        assert "Tesla" in repr(VirtualGPU(TESLA_C2075))

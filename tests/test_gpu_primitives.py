@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.counters import Trace
+from repro.gpu.primitives import (
+    bitonic_sort_steps,
+    prefix_sum_steps,
+    remove_duplicates,
+)
+
+
+class TestStepCounts:
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 0), (2, 1), (4, 3),
+                                            (8, 6), (16, 10), (1024, 55)])
+    def test_bitonic_phases(self, n, expected):
+        assert bitonic_sort_steps(n) == expected
+
+    def test_bitonic_rounds_up_to_pow2(self):
+        assert bitonic_sort_steps(5) == bitonic_sort_steps(8)
+
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 0), (2, 2), (8, 6),
+                                            (9, 8)])
+    def test_scan_phases(self, n, expected):
+        assert prefix_sum_steps(n) == expected
+
+
+class TestRemoveDuplicates:
+    def test_matches_numpy_unique(self):
+        buf = np.array([5, 3, 5, 1, 3, 3, 9], dtype=np.int64)
+        out = remove_duplicates(buf, Trace())
+        assert np.array_equal(out, np.unique(buf))
+
+    def test_empty(self):
+        out = remove_duplicates(np.array([], dtype=np.int64), Trace())
+        assert out.size == 0
+
+    def test_single(self):
+        t = Trace()
+        out = remove_duplicates(np.array([7]), t)
+        assert np.array_equal(out, [7])
+
+    def test_charges_pipeline(self):
+        t = Trace()
+        remove_duplicates(np.arange(100), t)
+        # sort + compare + scan + scatter phases all present
+        assert len(t) == bitonic_sort_steps(100) + 1 + prefix_sum_steps(100) + 1
+
+    def test_cost_grows_with_size(self):
+        t_small, t_big = Trace(), Trace()
+        remove_duplicates(np.arange(16), t_small)
+        remove_duplicates(np.arange(4096), t_big)
+        assert t_big.total_items > t_small.total_items
+
+    @given(st.lists(st.integers(0, 50), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_equals_unique(self, values):
+        buf = np.array(values, dtype=np.int64)
+        assert np.array_equal(remove_duplicates(buf, Trace()), np.unique(buf))

@@ -1,0 +1,249 @@
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.csr import DIST_INF
+
+
+class TestDeterministicTopologies:
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_path_trivial_sizes(self):
+        assert gen.path_graph(0).num_edges == 0
+        assert gen.path_graph(1).num_edges == 0
+
+    def test_star(self):
+        g = gen.star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_complete(self):
+        g = gen.complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in range(6))
+
+    def test_grid(self):
+        g = gen.grid_2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horiz + vert
+        assert g.degree(0) == 2  # corner
+
+    def test_grid_1x1(self):
+        assert gen.grid_2d(1, 1).num_edges == 0
+
+    def test_karate_canonical(self):
+        g = gen.zachary_karate()
+        assert g.num_vertices == 34
+        assert g.num_edges == 78
+        assert g.degree(33) == 17 and g.degree(0) == 16
+
+
+class TestSeededDeterminism:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda s: gen.erdos_renyi(100, 200, seed=s),
+            lambda s: gen.watts_strogatz(100, k=6, p=0.2, seed=s),
+            lambda s: gen.preferential_attachment(100, m=3, seed=s),
+            lambda s: gen.kronecker(7, edge_factor=8, seed=s),
+            lambda s: gen.random_triangulation(100, seed=s),
+            lambda s: gen.router_level(120, seed=s),
+            lambda s: gen.web_crawl(120, seed=s),
+            lambda s: gen.co_papers(100, seed=s),
+        ],
+        ids=["er", "ws", "ba", "kron", "tri", "router", "web", "copaper"],
+    )
+    def test_same_seed_same_graph(self, builder):
+        assert builder(11) == builder(11)
+
+    def test_different_seed_differs(self):
+        assert gen.erdos_renyi(100, 200, seed=1) != gen.erdos_renyi(100, 200, seed=2)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = gen.erdos_renyi(50, 123, seed=0)
+        assert g.num_edges == 123
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(5, 11, seed=0)
+
+
+class TestWattsStrogatz:
+    def test_size(self):
+        g = gen.watts_strogatz(200, k=10, p=0.1, seed=1)
+        assert g.num_vertices == 200
+        # rewiring can merge a few edges; stays close to n*k/2
+        assert abs(g.num_edges - 1000) < 30
+
+    def test_zero_rewiring_is_lattice(self):
+        g = gen.watts_strogatz(20, k=4, p=0.0, seed=1)
+        assert g.num_edges == 40
+        assert all(g.degree(v) == 4 for v in range(20))
+
+    def test_odd_k_raises(self):
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(20, k=3, seed=1)
+
+    def test_small_n_raises(self):
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(4, k=4, seed=1)
+
+    def test_log_diameter(self):
+        from repro.graph.properties import approximate_diameter
+
+        g = gen.watts_strogatz(500, k=10, p=0.1, seed=2)
+        assert approximate_diameter(g) <= 12  # ~log n, not ~n/k
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        g = gen.preferential_attachment(300, m=4, seed=3)
+        assert g.num_vertices == 300
+        assert g.num_edges == (300 - 4) * 4
+
+    def test_min_degree(self):
+        g = gen.preferential_attachment(200, m=3, seed=4)
+        assert g.degrees.min() >= 3 or g.degrees[:3].min() >= 0
+
+    def test_heavy_tail(self):
+        g = gen.preferential_attachment(2000, m=5, seed=5)
+        degs = g.degrees
+        # scale-free signature: max degree far above the mean
+        assert degs.max() > 8 * degs.mean()
+
+    def test_connected(self):
+        g = gen.preferential_attachment(300, m=2, seed=6)
+        assert np.all(g.connected_components() == 0)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            gen.preferential_attachment(5, m=5, seed=0)
+        with pytest.raises(ValueError):
+            gen.preferential_attachment(10, m=0, seed=0)
+
+
+class TestKronecker:
+    def test_vertex_count_power_of_two(self):
+        g = gen.kronecker(8, edge_factor=8, seed=7)
+        assert g.num_vertices == 256
+
+    def test_skewed_degrees(self):
+        g = gen.kronecker(10, edge_factor=16, seed=8)
+        degs = g.degrees
+        assert degs.max() > 10 * max(1.0, np.median(degs))
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            gen.kronecker(0)
+        with pytest.raises(ValueError):
+            gen.kronecker(31)
+
+    def test_bad_probs_raise(self):
+        with pytest.raises(ValueError):
+            gen.kronecker(5, a=0.6, b=0.3, c=0.3)
+
+
+class TestTriangulation:
+    def test_planar_edge_bound(self):
+        g = gen.random_triangulation(300, seed=9)
+        assert g.num_edges <= 3 * 300 - 6  # planarity
+
+    def test_connected(self):
+        g = gen.random_triangulation(150, seed=10)
+        assert np.all(g.connected_components() == 0)
+
+    def test_large_diameter(self):
+        from repro.graph.properties import approximate_diameter
+
+        g = gen.random_triangulation(1000, seed=11)
+        assert approximate_diameter(g) >= 12  # ~sqrt(n) for planar meshes
+
+    def test_min_points(self):
+        with pytest.raises(ValueError):
+            gen.random_triangulation(2, seed=0)
+
+
+class TestRouterLevel:
+    def test_sparse(self):
+        g = gen.router_level(1000, seed=12)
+        assert 1.0 < g.num_edges / g.num_vertices < 8.0
+
+    def test_heavy_tail(self):
+        g = gen.router_level(1000, seed=13)
+        assert g.degrees.max() > 5 * g.degrees.mean()
+
+    def test_min_size_raises(self):
+        with pytest.raises(ValueError):
+            gen.router_level(10, seed=0)
+
+
+class TestWebCrawl:
+    def test_dense(self):
+        g = gen.web_crawl(1000, seed=14)
+        assert g.num_edges / g.num_vertices > 3.0
+
+    def test_clustered(self):
+        from repro.graph.properties import average_clustering
+
+        g = gen.web_crawl(500, seed=15)
+        assert average_clustering(g, samples=None) > 0.1
+
+    def test_min_size_raises(self):
+        with pytest.raises(ValueError):
+            gen.web_crawl(5, seed=0)
+
+
+class TestCoPapers:
+    def test_very_clustered(self):
+        from repro.graph.properties import average_clustering
+
+        g = gen.co_papers(300, seed=16)
+        assert average_clustering(g, samples=None) > 0.3
+
+    def test_dense(self):
+        g = gen.co_papers(500, seed=17)
+        assert g.num_edges / g.num_vertices > 2.0
+
+    def test_min_size_raises(self):
+        with pytest.raises(ValueError):
+            gen.co_papers(5, seed=0)
+
+
+class TestCompleteBipartite:
+    def test_sizes(self):
+        g = gen.complete_bipartite(3, 4)
+        assert g.num_vertices == 7
+        assert g.num_edges == 12
+        assert all(g.degree(v) == 4 for v in range(3))
+        assert all(g.degree(v) == 3 for v in range(3, 7))
+
+    def test_star_special_case(self):
+        assert gen.complete_bipartite(1, 5) == gen.star_graph(6)
+
+    def test_bc_matches_networkx(self):
+        import networkx as nx
+        from repro.bc.brandes import brandes_bc
+
+        g = gen.complete_bipartite(3, 5)
+        G = nx.complete_bipartite_graph(3, 5)
+        nxbc = nx.betweenness_centrality(G, normalized=False)
+        theirs = 2 * np.array([nxbc[v] for v in range(8)])
+        assert np.allclose(brandes_bc(g), theirs)
+
+    def test_sigma_between_sides(self):
+        from repro.bc.brandes import single_source_state
+
+        g = gen.complete_bipartite(4, 6)
+        _, sigma, _, _ = single_source_state(g, 0)  # source in A
+        # A->A pairs route through all 6 B vertices
+        assert np.all(sigma[1:4] == 6)
+        assert np.all(sigma[4:] == 1)
+
+    def test_empty_part_rejected(self):
+        with pytest.raises(ValueError):
+            gen.complete_bipartite(0, 3)

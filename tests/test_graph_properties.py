@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import (
+    GraphProperties,
+    analyze,
+    approximate_diameter,
+    average_clustering,
+)
+
+
+class TestDiameter:
+    def test_path_exact(self):
+        assert approximate_diameter(gen.path_graph(20)) == 19
+
+    def test_star(self):
+        assert approximate_diameter(gen.star_graph(10)) == 2
+
+    def test_complete(self):
+        assert approximate_diameter(gen.complete_graph(8)) == 1
+
+    def test_empty_graph(self):
+        assert approximate_diameter(CSRGraph.empty(0)) == 0
+
+    def test_lower_bound_vs_networkx(self):
+        import networkx as nx
+
+        g = gen.erdos_renyi(60, 120, seed=3)
+        if np.all(g.connected_components() == 0):
+            G = nx.Graph(list(map(tuple, g.edge_list().tolist())))
+            true_diam = nx.diameter(G)
+            approx = approximate_diameter(g)
+            assert approx <= true_diam
+            assert approx >= max(1, true_diam - 2)  # double sweep is tight
+
+
+class TestClustering:
+    def test_triangle(self):
+        g = gen.complete_graph(3)
+        assert average_clustering(g, samples=None) == pytest.approx(1.0)
+
+    def test_path_has_none(self):
+        assert average_clustering(gen.path_graph(10), samples=None) == 0.0
+
+    def test_matches_networkx(self, karate):
+        import networkx as nx
+
+        ours = average_clustering(karate, samples=None)
+        theirs = nx.average_clustering(nx.karate_club_graph())
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_sampled_close_to_exact(self):
+        g = gen.co_papers(200, seed=1)
+        exact = average_clustering(g, samples=None)
+        sampled = average_clustering(g, samples=150, seed=0)
+        assert abs(exact - sampled) < 0.15
+
+    def test_empty(self):
+        assert average_clustering(CSRGraph.empty(0)) == 0.0
+
+
+class TestAnalyze:
+    def test_karate_summary(self, karate):
+        p = analyze(karate, clustering_samples=None)
+        assert p.num_vertices == 34
+        assert p.num_edges == 78
+        assert p.max_degree == 17
+        assert p.min_degree == 1
+        assert p.num_components == 1
+        assert p.largest_component_frac == 1.0
+        assert p.mean_degree == pytest.approx(2 * 78 / 34)
+
+    def test_disconnected(self, two_components):
+        p = analyze(two_components)
+        assert p.num_components == 2
+        assert p.largest_component_frac == 0.5
+
+    def test_row_shape(self, karate):
+        p = analyze(karate)
+        assert len(p.row()) == 7
+
+    def test_is_frozen(self, karate):
+        p = analyze(karate)
+        with pytest.raises(Exception):
+            p.num_vertices = 5

@@ -1,0 +1,174 @@
+import numpy as np
+import pytest
+
+from repro.bc.engine import DynamicBC
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import (
+    DELETE,
+    INSERT,
+    EdgeEvent,
+    EdgeStream,
+    replay,
+)
+
+
+class TestEdgeEvent:
+    def test_valid(self):
+        e = EdgeEvent(1.0, 2, 3)
+        assert e.op == INSERT
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeEvent(0.0, 1, 1)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeEvent(0.0, 1, 2, op="upsert")
+
+
+class TestEdgeStream:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            EdgeStream([EdgeEvent(2.0, 0, 1), EdgeEvent(1.0, 1, 2)])
+
+    def test_duration(self):
+        s = EdgeStream([EdgeEvent(1.0, 0, 1), EdgeEvent(4.0, 1, 2)])
+        assert s.duration == 3.0
+        assert len(s) == 2
+
+    def test_empty(self):
+        assert EdgeStream().duration == 0.0
+
+
+class TestPoissonGrowth:
+    def test_all_insertions_of_non_edges(self, karate):
+        s = EdgeStream.poisson_growth(karate, 20, rate=2.0, seed=1)
+        assert len(s) == 20
+        for e in s:
+            assert e.op == INSERT
+            assert not karate.has_edge(e.u, e.v)
+
+    def test_times_increasing(self, karate):
+        s = EdgeStream.poisson_growth(karate, 15, seed=2)
+        times = [e.time for e in s]
+        assert times == sorted(times)
+
+    def test_deterministic(self, karate):
+        a = EdgeStream.poisson_growth(karate, 10, seed=3)
+        b = EdgeStream.poisson_growth(karate, 10, seed=3)
+        assert a.events == b.events
+
+    def test_bad_rate(self, karate):
+        with pytest.raises(ValueError):
+            EdgeStream.poisson_growth(karate, 5, rate=0.0)
+
+
+class TestRemovalReinsertion:
+    def test_protocol(self, karate):
+        dyn = DynamicGraph.from_csr(karate)
+        s = EdgeStream.removal_reinsertion(dyn, 10, seed=4)
+        assert dyn.num_edges == 68
+        for e in s:
+            assert e.op == INSERT
+            assert not dyn.has_edge(e.u, e.v)
+
+
+class TestChurn:
+    def test_simple_graph_preserved(self, karate):
+        s = EdgeStream.churn(karate, 40, delete_fraction=0.4, seed=5)
+        live = {tuple(e) for e in karate.edge_list().tolist()}
+        for e in s:
+            key = (min(e.u, e.v), max(e.u, e.v))
+            if e.op == INSERT:
+                assert key not in live
+                live.add(key)
+            else:
+                assert key in live
+                live.remove(key)
+
+    def test_bad_fraction(self, karate):
+        with pytest.raises(ValueError):
+            EdgeStream.churn(karate, 5, delete_fraction=1.5)
+
+
+class TestWindows:
+    def test_grouping(self):
+        s = EdgeStream([EdgeEvent(0.1, 0, 1), EdgeEvent(0.9, 1, 2),
+                        EdgeEvent(2.5, 2, 3)])
+        windows = list(s.windows(1.0))
+        assert len(windows) == 2
+        assert windows[0][0] == 0.0 and len(windows[0][1]) == 2
+        assert windows[1][0] == 2.0 and len(windows[1][1]) == 1
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            list(EdgeStream().windows(0))
+
+
+class TestReplay:
+    def test_replay_and_verify(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        stream = EdgeStream.churn(karate, 15, delete_fraction=0.3, seed=6)
+        result = replay(eng, stream)
+        assert len(result.reports) == 15
+        assert result.simulated_seconds > 0
+        assert result.updates_per_second > 0
+        eng.verify()
+
+    def test_replay_matches_manual(self, karate):
+        stream = EdgeStream.poisson_growth(karate, 5, seed=7)
+        a = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        replay(a, stream)
+        b = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        for e in stream:
+            b.insert_edge(e.u, e.v)
+        assert np.allclose(a.bc_scores, b.bc_scores)
+
+
+class TestBatchAPI:
+    def test_insert_edges_skips_existing(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
+        reports = eng.insert_edges([(0, 1), (0, 9), (4, 4)])
+        assert len(reports) == 1  # only (0, 9) is new and not a loop
+        eng.verify()
+
+    def test_delete_edges_skips_missing(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
+        reports = eng.delete_edges([(0, 1), (0, 9)])
+        assert len(reports) == 1
+        eng.verify()
+
+    def test_round_trip(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
+        before = eng.bc_scores.copy()
+        edges = [(0, 9), (5, 25), (13, 22)]
+        eng.insert_edges(edges)
+        eng.delete_edges(edges)
+        assert np.allclose(eng.bc_scores, before, atol=1e-9)
+
+
+class TestStreamIO:
+    def test_round_trip(self, karate, tmp_path):
+        s = EdgeStream.churn(karate, 12, seed=9)
+        path = tmp_path / "stream.csv"
+        s.save(path)
+        loaded = EdgeStream.load(path)
+        assert loaded.events == s.events
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,u,v\n")
+        with pytest.raises(ValueError, match="header"):
+            EdgeStream.load(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("time,u,v,op\n1.0,2,3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            EdgeStream.load(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text("time,u,v,op\n1.0,2,3,insert\n\n")
+        assert len(EdgeStream.load(path)) == 1

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.graph.properties import analyze
+from repro.graph.suite import SUITE_SPECS, load_suite, make_suite_graph
+
+
+class TestSuite:
+    def test_all_seven_classes(self):
+        assert sorted(SUITE_SPECS) == [
+            "caida", "coPap", "del", "eu", "kron", "pref", "small",
+        ]
+
+    def test_load_full_suite(self):
+        suite = load_suite(scale=0.2, seed=1)
+        assert set(suite) == set(SUITE_SPECS)
+        for name, bench in suite.items():
+            assert bench.name == name
+            assert bench.graph.num_vertices >= 32
+            assert bench.graph.num_edges > 0
+
+    def test_deterministic(self):
+        a = load_suite(scale=0.2, seed=5)["caida"].graph
+        b = load_suite(scale=0.2, seed=5)["caida"].graph
+        assert a == b
+
+    def test_subset_matches_full(self):
+        full = load_suite(scale=0.2, seed=5)
+        sub = load_suite(scale=0.2, seed=5, names=("pref",))
+        assert sub["pref"].graph == full["pref"].graph
+
+    def test_scale_grows_graphs(self):
+        small = make_suite_graph("small", scale=0.2, seed=1)
+        big = make_suite_graph("small", scale=1.0, seed=1)
+        assert big.graph.num_vertices > small.graph.num_vertices
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_suite_graph("nope")
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            make_suite_graph("caida", scale=0.0)
+
+    def test_metadata_carried(self):
+        bench = make_suite_graph("kron", scale=0.2, seed=1)
+        assert bench.full_name.startswith("kron_g500")
+        assert "Kronecker" in bench.significance
+
+
+class TestClassSignatures:
+    """Each generated analog must show its DIMACS class's structural
+    signature (DESIGN.md §3's substitution argument)."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return {
+            name: make_suite_graph(name, scale=0.6, seed=3)
+            for name in SUITE_SPECS
+        }
+
+    def test_caida_sparse(self, suite):
+        g = suite["caida"].graph
+        assert g.num_edges / g.num_vertices < 8
+
+    def test_copap_high_clustering(self, suite):
+        p = analyze(suite["coPap"].graph, clustering_samples=400)
+        assert p.avg_clustering > 0.25
+
+    def test_delaunay_planar_and_deep(self, suite):
+        g = suite["del"].graph
+        assert g.num_edges <= 3 * g.num_vertices - 6
+        assert analyze(g).approx_diameter > 10
+
+    def test_kron_skewed(self, suite):
+        g = suite["kron"].graph
+        assert g.degrees.max() > 10 * max(1.0, float(np.median(g.degrees)))
+
+    def test_pref_heavy_tail(self, suite):
+        g = suite["pref"].graph
+        assert g.degrees.max() > 5 * g.degrees.mean()
+
+    def test_small_world_shallow(self, suite):
+        assert analyze(suite["small"].graph).approx_diameter < 10
+
+    def test_eu_dense(self, suite):
+        g = suite["eu"].graph
+        assert g.num_edges / g.num_vertices > 3

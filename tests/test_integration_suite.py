@@ -1,0 +1,65 @@
+"""End-to-end integration: the full protocol on every suite graph and
+backend, with the paper's correctness check, plus vertex insertion."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.config import ExperimentConfig
+from repro.analysis.protocol import replay_stream
+from repro.bc.engine import DynamicBC
+from repro.graph.csr import DIST_INF
+from repro.graph.suite import SUITE_SPECS
+
+TINY = ExperimentConfig(scale=0.15, num_sources=8, num_insertions=3,
+                        seed=77)
+
+
+class TestFullProtocolAcrossSuite:
+    @pytest.mark.parametrize("name", sorted(SUITE_SPECS))
+    def test_node_backend_verifies(self, name):
+        run = replay_stream(TINY, name, "gpu-node")
+        run.engine.verify()
+
+    @pytest.mark.parametrize("backend", ["cpu", "gpu-edge"])
+    def test_other_backends_verify_on_two_graphs(self, backend):
+        for name in ("caida", "kron"):
+            run = replay_stream(TINY, name, backend)
+            run.engine.verify()
+
+    def test_backends_agree_exactly(self):
+        scores = {}
+        for backend in ("cpu", "gpu-edge", "gpu-node"):
+            run = replay_stream(TINY, "eu", backend)
+            scores[backend] = run.engine.bc_scores.copy()
+        assert np.allclose(scores["cpu"], scores["gpu-edge"])
+        assert np.allclose(scores["cpu"], scores["gpu-node"])
+
+
+class TestVertexInsertion:
+    def test_new_vertex_scores_zero(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=1)
+        before = eng.bc_scores.copy()
+        v = eng.add_vertex()
+        assert v == 34
+        assert eng.bc_scores.shape == (35,)
+        assert eng.bc_scores[v] == 0.0
+        # "a node insertion causes no change to existing BC scores"
+        assert np.allclose(eng.bc_scores[:34], before)
+        assert np.all(eng.state.d[:, v] == DIST_INF)
+
+    def test_attach_new_vertex_then_verify(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=1)
+        v = eng.add_vertex()
+        rep = eng.insert_edge(v, 0)  # component merge: Case 3
+        assert 3 in rep.case_histogram
+        eng.insert_edge(v, 33)
+        eng.verify()
+
+    def test_multiple_new_vertices(self, path10):
+        eng = DynamicBC.from_graph(path10, sources=[0, 5])
+        a = eng.add_vertex()
+        b = eng.add_vertex()
+        eng.insert_edge(a, b)   # new component of two
+        eng.insert_edge(9, a)   # merge into the path
+        eng.verify()
+        assert eng.state.d[0][b] == 11  # 0..9 path + a + b

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis): the dynamic engines must agree
+with from-scratch recomputation on arbitrary graphs and update streams.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bc.engine import DynamicBC
+from repro.bc.brandes import brandes_bc
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+
+N = 14  # vertex count for generated graphs: small => fast oracles
+
+
+@st.composite
+def graph_and_stream(draw):
+    """A random simple graph plus a random insert/delete stream."""
+    edge_pool = [(u, v) for u in range(N) for v in range(u + 1, N)]
+    initial = draw(st.lists(st.sampled_from(edge_pool), max_size=25,
+                            unique=True))
+    ops = draw(st.lists(st.sampled_from(edge_pool), min_size=1, max_size=12))
+    return initial, ops
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestStreamEqualsScratch:
+    @given(data=graph_and_stream(),
+           backend=st.sampled_from(["cpu", "gpu-edge", "gpu-node",
+                                    "gpu-node-atomic"]))
+    @common_settings
+    def test_insert_delete_stream(self, data, backend):
+        initial, ops = data
+        graph = CSRGraph.from_edges(N, initial or [])
+        eng = DynamicBC.from_graph(graph, backend=backend)  # exact mode
+        for u, v in ops:
+            if eng.graph.has_edge(u, v):
+                eng.delete_edge(u, v)
+            else:
+                eng.insert_edge(u, v)
+        eng.verify(atol=1e-8)
+
+    @given(data=graph_and_stream())
+    @common_settings
+    def test_scores_equal_exact_brandes(self, data):
+        initial, ops = data
+        graph = CSRGraph.from_edges(N, initial or [])
+        eng = DynamicBC.from_graph(graph, backend="gpu-node")
+        for u, v in ops:
+            if eng.graph.has_edge(u, v):
+                eng.delete_edge(u, v)
+            else:
+                eng.insert_edge(u, v)
+        assert np.allclose(eng.bc_scores,
+                           brandes_bc(eng.graph.snapshot()), atol=1e-8)
+
+    @given(data=graph_and_stream(),
+           k=st.integers(min_value=1, max_value=N))
+    @common_settings
+    def test_partial_sources_stream(self, data, k):
+        """Approximate mode must match scratch recomputation over the
+        same source subset."""
+        initial, ops = data
+        graph = CSRGraph.from_edges(N, initial or [])
+        eng = DynamicBC.from_graph(graph, num_sources=k, backend="gpu-node",
+                                   seed=3)
+        for u, v in ops:
+            if eng.graph.has_edge(u, v):
+                eng.delete_edge(u, v)
+            else:
+                eng.insert_edge(u, v)
+        eng.verify(atol=1e-8)
+
+
+class TestReversibility:
+    @given(data=graph_and_stream())
+    @common_settings
+    def test_insert_then_delete_is_identity(self, data):
+        initial, _ = data
+        graph = CSRGraph.from_edges(N, initial or [])
+        eng = DynamicBC.from_graph(graph, backend="cpu")
+        before_bc = eng.bc_scores.copy()
+        before_sigma = eng.state.sigma.copy()
+        before_d = eng.state.d.copy()
+        pool = [(u, v) for u in range(N) for v in range(u + 1, N)
+                if not eng.graph.has_edge(u, v)]
+        if not pool:
+            return
+        u, v = pool[len(pool) // 2]
+        eng.insert_edge(u, v)
+        eng.delete_edge(u, v)
+        assert np.allclose(eng.bc_scores, before_bc, atol=1e-8)
+        assert np.allclose(eng.state.sigma, before_sigma, atol=1e-8)
+        assert np.array_equal(eng.state.d, before_d)

@@ -1,0 +1,129 @@
+"""Property-based tests of structural invariants: CSR construction,
+BFS/sigma identities, and case classification."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bc.brandes import brandes_bc, single_source_state
+from repro.bc.cases import Case, classify_insertion
+from repro.graph.csr import CSRGraph, DIST_INF
+
+N = 12
+
+edge_pool = [(u, v) for u in range(N) for v in range(u + 1, N)]
+graphs = st.lists(st.sampled_from(edge_pool), max_size=30, unique=True).map(
+    lambda edges: CSRGraph.from_edges(N, edges or [])
+)
+
+common = settings(max_examples=60, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestCSRInvariants:
+    @given(graphs)
+    @common
+    def test_degree_sum(self, g):
+        assert g.degrees.sum() == 2 * g.num_edges
+
+    @given(graphs)
+    @common
+    def test_neighbor_symmetry(self, g):
+        for v in range(g.num_vertices):
+            for w in g.neighbors(v):
+                assert g.has_edge(int(w), v)
+
+    @given(graphs)
+    @common
+    def test_edge_list_round_trip(self, g):
+        assert CSRGraph.from_edges(g.num_vertices, g.edge_list()) == g
+
+    @given(graphs)
+    @common
+    def test_no_self_loops(self, g):
+        tails, heads = g.arcs()
+        assert np.all(tails != heads)
+
+
+class TestBFSInvariants:
+    @given(graphs, st.integers(0, N - 1))
+    @common
+    def test_triangle_inequality_on_arcs(self, g, s):
+        """Adjacent vertices' BFS distances differ by at most 1."""
+        d = g.bfs_distances(s)
+        tails, heads = g.arcs()
+        both = (d[tails] != DIST_INF) & (d[heads] != DIST_INF)
+        assert np.all(np.abs(d[tails[both]] - d[heads[both]]) <= 1)
+        # one endpoint reachable implies the other is too
+        assert np.all((d[tails] == DIST_INF) == (d[heads] == DIST_INF))
+
+    @given(graphs, st.integers(0, N - 1))
+    @common
+    def test_sigma_is_sum_of_predecessors(self, g, s):
+        d, sigma, _, _ = single_source_state(g, s)
+        for w in range(g.num_vertices):
+            if d[w] in (0, DIST_INF):
+                continue
+            nbrs = g.neighbors(w)
+            preds = nbrs[d[nbrs] == d[w] - 1]
+            assert sigma[w] == pytest.approx(sigma[preds].sum())
+
+    @given(graphs, st.integers(0, N - 1))
+    @common
+    def test_delta_nonnegative(self, g, s):
+        _, _, delta, _ = single_source_state(g, s)
+        assert np.all(delta >= -1e-12)
+
+
+class TestBCInvariants:
+    @given(graphs)
+    @common
+    def test_bc_nonnegative(self, g):
+        assert np.all(brandes_bc(g) >= -1e-12)
+
+    @given(graphs)
+    @common
+    def test_bc_upper_bound(self, g):
+        """No vertex lies on more ordered pairs than (n-1)(n-2)."""
+        n = g.num_vertices
+        assert np.all(brandes_bc(g) <= (n - 1) * (n - 2) + 1e-9)
+
+    @given(graphs)
+    @common
+    def test_degree_one_vertices_have_zero_bc(self, g):
+        bc = brandes_bc(g)
+        leaves = np.flatnonzero(g.degrees == 1)
+        assert np.allclose(bc[leaves], 0.0)
+
+    @given(graphs)
+    @common
+    def test_matches_networkx(self, g):
+        import networkx as nx
+
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        G.add_edges_from(map(tuple, g.edge_list().tolist()))
+        nxbc = nx.betweenness_centrality(G, normalized=False)
+        theirs = 2 * np.array([nxbc[v] for v in range(g.num_vertices)])
+        assert np.allclose(brandes_bc(g), theirs, atol=1e-9)
+
+
+class TestCaseInvariants:
+    @given(graphs, st.integers(0, N - 1), st.integers(0, N - 1),
+           st.integers(0, N - 1))
+    @common
+    def test_classification_consistent_with_distances(self, g, s, u, v):
+        if u == v:
+            return
+        d, _, _, _ = single_source_state(g, s)
+        case, high, low = classify_insertion(d, u, v)
+        gap = abs(int(d[u]) - int(d[v]))
+        if gap == 0:
+            assert case == Case.SAME_LEVEL
+        elif gap == 1:
+            assert case == Case.ADJACENT_LEVEL
+        else:
+            assert case == Case.DISTANT_LEVEL
+        if case != Case.SAME_LEVEL:
+            assert d[high] < d[low]

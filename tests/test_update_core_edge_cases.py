@@ -1,0 +1,116 @@
+"""Edge-case coverage for the shared update core: degenerate graphs,
+source-adjacent insertions, repeated updates on one edge's endpoints,
+and dedup interplay."""
+
+import numpy as np
+import pytest
+
+from repro.bc.accountants import make_accountant
+from repro.bc.brandes import single_source_state
+from repro.bc.cases import Case, classify_insertion
+from repro.bc.engine import DynamicBC
+from repro.bc.update_core import (
+    UNTOUCHED,
+    _max_multiplicity,
+    adjacent_level_update,
+    distant_level_update,
+)
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+
+
+class TestMaxMultiplicity:
+    def test_empty(self):
+        assert _max_multiplicity(np.array([], dtype=np.int64)) == 1
+
+    def test_unique(self):
+        assert _max_multiplicity(np.array([1, 2, 3])) == 1
+
+    def test_repeats(self):
+        assert _max_multiplicity(np.array([5, 5, 5, 2, 2, 9])) == 3
+
+
+class TestDegenerateGraphs:
+    def test_two_vertex_insertion(self):
+        eng = DynamicBC.from_graph(CSRGraph.empty(2), sources=[0])
+        rep = eng.insert_edge(0, 1)
+        assert rep.case_histogram == {3: 1}  # merge of two singletons
+        eng.verify()
+
+    def test_triangle_closure(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        eng = DynamicBC.from_graph(g)  # exact
+        eng.insert_edge(0, 2)
+        eng.verify()
+        assert np.allclose(eng.bc_scores, 0.0)  # complete graph
+
+    def test_single_vertex_graph(self):
+        eng = DynamicBC.from_graph(CSRGraph.empty(1), sources=[0])
+        assert eng.bc_scores.tolist() == [0.0]
+
+    def test_all_sources_on_tiny_star(self):
+        eng = DynamicBC.from_graph(gen.star_graph(4))
+        v = eng.add_vertex()
+        eng.insert_edge(v, 1)
+        eng.verify()
+
+
+class TestSourceAdjacentUpdates:
+    def test_edge_at_source_is_case3(self, karate):
+        """An insertion at the source pulls the far endpoint to depth 1
+        (a source-adjacent Case 2 cannot exist: every depth-1 vertex is
+        already adjacent to the source)."""
+        eng = DynamicBC.from_graph(karate, sources=[0])
+        target = next(
+            v for v in range(34)
+            if eng.state.d[0][v] == 2 and not eng.graph.has_edge(0, v)
+        )
+        rep = eng.insert_edge(0, int(target))
+        assert rep.cases[0] == 3  # gap 2 -> case 3 (v pulled to depth 1)
+        eng.verify()
+
+    def test_repeat_insert_delete_same_endpoints(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=10, seed=4)
+        for _ in range(4):
+            eng.insert_edge(0, 9)
+            eng.delete_edge(0, 9)
+        eng.verify()
+
+
+class TestParallelEdgesOfWork:
+    def test_simultaneous_multi_parent_sigma(self):
+        """A vertex reached through many new predecessors in one level
+        accumulates all contributions (the atomicAdd semantics)."""
+        # source 0 -> a,b,c (depth 1) -> hub (depth 2); insert (0, far)
+        # chain to create a heavy multi-pred step
+        edges = [(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4), (4, 5)]
+        g = CSRGraph.from_edges(7, edges)  # vertex 6 isolated
+        eng = DynamicBC.from_graph(g, sources=[0])
+        eng.insert_edge(5, 6)  # extends the chain; merge case
+        eng.verify()
+        assert eng.state.sigma[0][6] == 3.0  # all three routes counted
+
+    def test_dedup_heavy_frontier(self):
+        """Many duplicate enqueue attempts in one level (complete
+        bipartite core) must still produce each vertex once."""
+        g = gen.complete_bipartite(6, 6)
+        eng = DynamicBC.from_graph(g, backend="gpu-node")
+        v = eng.add_vertex()
+        eng.insert_edge(v, 0)
+        eng.verify()
+
+
+class TestAccountantMisuse:
+    def test_base_class_is_abstract(self):
+        from repro.bc.accountants import UpdateAccountant
+
+        acc = UpdateAccountant(10, 20)
+        with pytest.raises(NotImplementedError):
+            acc.sp_level(1, 1, 1, 1, 1)
+        with pytest.raises(NotImplementedError):
+            acc.dep_level(1, 1, 1, 1, 1, 1)
+        with pytest.raises(NotImplementedError):
+            acc.pull_level(1, 1, 1, 1, 1)
+        with pytest.raises(NotImplementedError):
+            acc.prepass(1, 1, 1)

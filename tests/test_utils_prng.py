@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.utils.prng import default_rng, sample_without_replacement, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_int_seed_is_deterministic(self):
+        a = default_rng(42).integers(0, 1000, 10)
+        b = default_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert default_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        g = default_rng(seq)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent_and_deterministic(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(7, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(7, 3)]
+        assert a == b
+        assert len(set(a)) == 3  # overwhelmingly likely distinct
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_generator_seed_supported(self):
+        g = np.random.default_rng(3)
+        children = spawn_rngs(g, 2)
+        assert len(children) == 2
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct_and_in_range(self, rng):
+        sample = sample_without_replacement(rng, 100, 30)
+        assert len(np.unique(sample)) == 30
+        assert sample.min() >= 0 and sample.max() < 100
+
+    def test_sorted_output(self, rng):
+        sample = sample_without_replacement(rng, 50, 10)
+        assert np.array_equal(sample, np.sort(sample))
+
+    def test_exclude_removes_candidates(self, rng):
+        sample = sample_without_replacement(rng, 10, 8, exclude=[0, 1])
+        assert 0 not in sample and 1 not in sample
+
+    def test_k_equals_population(self, rng):
+        sample = sample_without_replacement(rng, 5, 5)
+        assert np.array_equal(sample, np.arange(5))
+
+    def test_too_many_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, 5, 6)
+
+    def test_too_many_after_exclusion_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, 5, 5, exclude=[2])
+
+    def test_negative_k_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, 5, -1)

@@ -1,0 +1,61 @@
+import pytest
+
+from repro.utils.tables import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_plain(self):
+        assert format_float(3.14159) == "3.14"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_large_uses_scientific(self):
+        assert "e" in format_float(1.5e9)
+
+    def test_small_uses_scientific(self):
+        assert "e" in format_float(1.5e-7)
+
+    def test_thousands_separator(self):
+        assert format_float(12345.6) == "12,345.60"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_digits_kwarg(self):
+        assert format_float(3.14159, digits=4) == "3.1416"
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        out = format_table(["a", "b"], [(1, "x"), (2, "y")])
+        assert "a" in out and "b" in out
+        assert "x" in out and "y" in out
+
+    def test_title_rendered(self):
+        out = format_table(["c"], [(1,)], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_alignment_override(self):
+        out = format_table(["col"], [("ab",), ("c",)], align=["r"])
+        lines = out.splitlines()
+        cells = [ln for ln in lines if "c " in ln or " c" in ln]
+        assert any(ln.rstrip().endswith("c |") for ln in lines)
+
+    def test_bad_align_length_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1, 2)], align=["r"])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_numeric_columns_right_aligned(self):
+        out = format_table(["name", "val"], [("long-name", 1), ("x", 23)])
+        for line in out.splitlines():
+            if "| 23" in line or "23 |" in line:
+                assert line.rstrip().endswith("23 |")

@@ -1,0 +1,38 @@
+import pytest
+
+from repro.utils.timing import WallTimer
+
+
+class TestWallTimer:
+    def test_context_manager_records_elapsed(self):
+        with WallTimer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+        assert t.total == t.elapsed
+
+    def test_accumulates_total(self):
+        t = WallTimer()
+        with t:
+            pass
+        first = t.total
+        with t:
+            pass
+        assert t.total >= first
+
+    def test_double_start_raises(self):
+        t = WallTimer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            WallTimer().stop()
+
+    def test_running_flag(self):
+        t = WallTimer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running

@@ -1,0 +1,47 @@
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_instance(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0
+
+    def test_rejects(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "s", int)
+
+
+class TestNumericChecks:
+    def test_positive_ok(self):
+        assert check_positive("p", 0.5) == 0.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("p", 0)
+
+    def test_nonnegative_ok(self):
+        assert check_nonnegative("q", 0) == 0
+
+    def test_nonnegative_rejects(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("q", -1)
+
+    def test_in_range_ok(self):
+        assert check_in_range("r", 5, 0, 10) == 5
+
+    def test_in_range_inclusive_bounds(self):
+        assert check_in_range("r", 0, 0, 10) == 0
+        assert check_in_range("r", 10, 0, 10) == 10
+
+    def test_in_range_rejects(self):
+        with pytest.raises(ValueError):
+            check_in_range("r", 11, 0, 10)
