@@ -19,10 +19,12 @@ from repro.bc.cases import (
     Case,
     SubCase,
     classify_deletion,
+    classify_deletions_batch,
     classify_insertion,
     classify_insertion_detailed,
+    classify_insertions_batch,
 )
-from repro.bc.engine import BACKENDS, DynamicBC, UpdateReport
+from repro.bc.engine import BACKENDS, BatchResult, DynamicBC, UpdateReport
 from repro.bc.flood import flood_adjacent_level_update
 from repro.bc.state import BCState
 from repro.bc.static_gpu import StaticBCResult, static_bc_gpu
@@ -36,7 +38,10 @@ __all__ = [
     "SubCase",
     "classify_insertion",
     "classify_insertion_detailed",
+    "classify_insertions_batch",
     "classify_deletion",
+    "classify_deletions_batch",
+    "BatchResult",
     "DynamicBC",
     "UpdateReport",
     "BACKENDS",

@@ -26,8 +26,19 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.gpu.costmodel import DEFAULT_OP_COSTS, OpCosts
-from repro.gpu.counters import Trace
+from repro.gpu.counters import Step, Trace
 from repro.gpu.primitives import bitonic_sort_steps, prefix_sum_steps
+
+#: The exact step :meth:`UpdateAccountant.classify` records — the same
+#: for every strategy (reading d[u], d[v] and branching costs the same
+#: everywhere).  Exposed so the engine's vectorized fast path can charge
+#: a whole Case-1 source population in bulk (one step × count) without
+#: constructing ``count`` accountant objects; see
+#: :meth:`repro.gpu.counters.KernelCounters.absorb_step_repeated` and
+#: :meth:`repro.gpu.costmodel.CostModel.fold_step_seconds`.
+CLASSIFY_STEP = Step(
+    work_items=1, cycles_per_item=4.0, bytes_moved=8.0, stage="classify"
+)
 
 
 class UpdateAccountant:
@@ -63,7 +74,9 @@ class UpdateAccountant:
     def classify(self) -> None:
         """Read d[u], d[v] and branch (paper: 'figuring out which case
         each source node has to compute is trivial')."""
-        self.trace.add(1, 4.0, 8.0, stage="classify")
+        # Append the shared frozen step so the bulk (vectorized) path
+        # charges the bit-identical quantity per source.
+        self.trace.steps.append(CLASSIFY_STEP)
 
     def init(self, n: int) -> None:
         """Algorithm 3: reset t, copy sigma -> sigma_hat, zero delta_hat."""

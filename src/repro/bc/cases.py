@@ -110,6 +110,82 @@ def classify_insertion_batch(
     return cases
 
 
+def classify_insertions_batch(
+    d: np.ndarray, u: int, v: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Classify inserting ``{u, v}`` for **all** k sources in one pass.
+
+    The vectorized analogue of calling :func:`classify_insertion` once
+    per row of the ``(k, n)`` distance matrix ``d``: returns
+    ``(cases, u_high, u_low)`` arrays (``int8[k]``, ``int64[k]``,
+    ``int64[k]``) whose *i*-th entries equal the scalar call on row *i*
+    exactly — including the arbitrary ``(u, v)`` endpoint order for
+    Case-1 ties.  This is the engine's hot-path classification: one
+    NumPy sweep instead of k Python calls.
+    """
+    du = d[:, u]
+    dv = d[:, v]
+    gap = np.abs(du - dv)
+    cases = np.full(d.shape[0], int(Case.DISTANT_LEVEL), dtype=np.int8)
+    cases[gap == 0] = int(Case.SAME_LEVEL)
+    cases[gap == 1] = int(Case.ADJACENT_LEVEL)
+    # Scalar order: (u, v) when du < dv, (v, u) when du > dv, and
+    # (u, v) for the arbitrary Case-1 tie — i.e. u is high iff du <= dv.
+    u_is_high = du <= dv
+    u_high = np.where(u_is_high, u, v).astype(np.int64)
+    u_low = np.where(u_is_high, v, u).astype(np.int64)
+    return cases, u_high, u_low
+
+
+def classify_deletions_batch(
+    d: np.ndarray, sigma: np.ndarray, graph, u: int, v: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Classify deleting the existing edge ``{u, v}`` for all k sources.
+
+    Vectorized analogue of per-row :func:`classify_deletion` with
+    identical results, including the :class:`ValueError` on a gap > 1
+    (stale state).  The alternative-predecessor test for gap-1 rows is
+    grouped by which endpoint is ``u_low``, so each group is a single
+    sub-matrix comparison instead of a per-source neighbor scan.
+    """
+    k = d.shape[0]
+    du = d[:, u]
+    dv = d[:, v]
+    gap = np.abs(du - dv)
+    bad = np.flatnonzero(gap > 1)
+    if bad.size:
+        g = int(gap[bad[0]])
+        raise ValueError(
+            f"edge ({u}, {v}) spans {g} levels; an existing undirected "
+            "edge can span at most 1 — was the state updated for this graph?"
+        )
+    cases = np.full(k, int(Case.SAME_LEVEL), dtype=np.int8)
+    u_high = np.full(k, u, dtype=np.int64)
+    u_low = np.full(k, v, dtype=np.int64)
+    adjacent = gap == 1
+    if np.any(adjacent):
+        u_is_high = du < dv  # gap-1 rows never tie
+        u_high[adjacent] = np.where(u_is_high[adjacent], u, v)
+        u_low[adjacent] = np.where(u_is_high[adjacent], v, u)
+        for low, high in ((v, u), (u, v)):
+            rows = np.flatnonzero(adjacent & (u_low == low))
+            if not rows.size:
+                continue
+            others = np.asarray(graph.neighbors(low))
+            others = others[others != high].astype(np.int64)
+            if others.size:
+                has_other = np.any(
+                    d[np.ix_(rows, others)] == (d[rows, low] - 1)[:, None],
+                    axis=1,
+                )
+            else:
+                has_other = np.zeros(rows.size, dtype=bool)
+            cases[rows] = np.where(
+                has_other, int(Case.ADJACENT_LEVEL), int(Case.DISTANT_LEVEL)
+            )
+    return cases, u_high, u_low
+
+
 def classify_deletion(d_row: np.ndarray, sigma_row: np.ndarray,
                       graph, u: int, v: int) -> Tuple[Case, int, int]:
     """Classify deleting the *existing* edge ``{u, v}``.

@@ -17,13 +17,19 @@ case distribution (Fig. 2), touched counts (Fig. 4), simulated seconds
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.bc.accountants import ACCOUNTANTS, make_accountant
+from repro.bc.accountants import ACCOUNTANTS, CLASSIFY_STEP, make_accountant
 from repro.bc.brandes import single_source_state
-from repro.bc.cases import Case, classify_deletion, classify_insertion
+from repro.bc.cases import (
+    Case,
+    classify_deletion,
+    classify_deletions_batch,
+    classify_insertion,
+    classify_insertions_batch,
+)
 from repro.bc.state import BCState
 from repro.bc.static_gpu import trace_static_source
 from repro.bc.update_core import (
@@ -75,6 +81,27 @@ class UpdateReport:
         return {int(v): int(c) for v, c in zip(values, counts)}
 
 
+@dataclass
+class BatchResult:
+    """Outcome of a batch mutation (:meth:`DynamicBC.insert_edges` /
+    :meth:`DynamicBC.delete_edges`): one report per applied edge plus
+    the pairs that were skipped (already present / absent / self loop)
+    instead of silently dropping them.
+
+    Iterating or ``len()``-ing the result walks the applied reports, so
+    stream-replay style callers keep working unchanged.
+    """
+
+    reports: List[UpdateReport] = field(default_factory=list)
+    skipped: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[UpdateReport]:
+        return iter(self.reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+
 class DynamicBC:
     """Streaming betweenness centrality with stored per-source state."""
 
@@ -86,6 +113,7 @@ class DynamicBC:
         device: Optional[DeviceSpec] = None,
         num_blocks: int = 0,
         op_costs: OpCosts = DEFAULT_OP_COSTS,
+        vectorized: bool = True,
     ) -> None:
         if backend not in ACCOUNTANTS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -105,6 +133,11 @@ class DynamicBC:
         self.cost_model = CostModel(device, num_blocks)
         self.num_blocks = self.cost_model.num_blocks
         self.op_costs = op_costs
+        #: escape hatch for the differential tests: ``False`` runs the
+        #: original per-source classification loop instead of the
+        #: vectorized multi-source fast path (identical reports either
+        #: way — see tests/test_engine_vectorized.py).
+        self.vectorized = bool(vectorized)
         self.counters = KernelCounters()
 
     # ------------------------------------------------------------------
@@ -119,6 +152,7 @@ class DynamicBC:
         num_blocks: int = 0,
         seed: SeedLike = None,
         op_costs: OpCosts = DEFAULT_OP_COSTS,
+        vectorized: bool = True,
     ) -> "DynamicBC":
         """Build the engine, computing the initial state with Brandes.
 
@@ -132,7 +166,8 @@ class DynamicBC:
             state = BCState.compute_with_random_sources(snap, num_sources, seed)
         else:
             state = BCState.compute(snap, range(snap.num_vertices))
-        return cls(graph, state, backend, device, num_blocks, op_costs)
+        return cls(graph, state, backend, device, num_blocks, op_costs,
+                   vectorized)
 
     # ------------------------------------------------------------------
     @property
@@ -173,10 +208,16 @@ class DynamicBC:
         # Classification needs the pre-deletion adjacency (to find
         # alternative predecessors of u_low).
         pre_snap = self.graph.snapshot()
-        classifications = [
-            classify_deletion(self.state.d[i], self.state.sigma[i], pre_snap, u, v)
-            for i in range(self.state.num_sources)
-        ]
+        if self.vectorized:
+            classifications = classify_deletions_batch(
+                self.state.d, self.state.sigma, pre_snap, u, v
+            )
+        else:
+            classifications = [
+                classify_deletion(self.state.d[i], self.state.sigma[i],
+                                  pre_snap, u, v)
+                for i in range(self.state.num_sources)
+            ]
         self.graph.delete_edge(u, v)
         return self._apply(u, v, operation="delete", classifications=classifications)
 
@@ -199,28 +240,31 @@ class DynamicBC:
         st.bc = np.append(st.bc, 0.0)
         return v
 
-    def insert_edges(self, edges: Sequence) -> List[UpdateReport]:
+    def insert_edges(self, edges: Sequence) -> BatchResult:
         """Insert a batch of edges one at a time (the streaming model:
         updates are serialized so each report reflects a consistent
-        analytic).  Edges already present are skipped with a warning
-        report omitted."""
-        reports = []
+        analytic).  Self loops and edges already present are not
+        applied; they are returned in :attr:`BatchResult.skipped`."""
+        result = BatchResult()
         for u, v in edges:
             u, v = int(u), int(v)
             if u == v or self.graph.has_edge(u, v):
+                result.skipped.append((u, v))
                 continue
-            reports.append(self.insert_edge(u, v))
-        return reports
+            result.reports.append(self.insert_edge(u, v))
+        return result
 
-    def delete_edges(self, edges: Sequence) -> List[UpdateReport]:
-        """Delete a batch of edges one at a time; absent edges skipped."""
-        reports = []
+    def delete_edges(self, edges: Sequence) -> BatchResult:
+        """Delete a batch of edges one at a time; absent edges (and
+        self loops) land in :attr:`BatchResult.skipped`."""
+        result = BatchResult()
         for u, v in edges:
             u, v = int(u), int(v)
             if not self.graph.has_edge(u, v):
+                result.skipped.append((u, v))
                 continue
-            reports.append(self.delete_edge(u, v))
-        return reports
+            result.reports.append(self.delete_edge(u, v))
+        return result
 
     def recompute(self) -> None:
         """Throw the state away and rebuild it with Brandes (the static
@@ -285,8 +329,57 @@ class DynamicBC:
         u: int,
         v: int,
         operation: str,
+        classifications=None,
+    ) -> UpdateReport:
+        if self.vectorized:
+            return self._apply_vectorized(u, v, operation, classifications)
+        return self._apply_looped(u, v, operation, classifications)
+
+    def _run_source(
+        self, snap: CSRGraph, i: int, case: Case, u_high: int, u_low: int,
+        operation: str, access: float,
+    ):
+        """Execute one source's update (any case) and return its
+        ``(trace, stats)``.  Shared verbatim by the looped and
+        vectorized paths so their per-source work is identical."""
+        state = self.state
+        s = int(state.sources[i])
+        acc = make_accountant(
+            self.backend, snap.num_vertices, 2 * snap.num_edges,
+            self.op_costs, label=f"{operation}:{s}",
+            access_cycles=access if self.backend == "cpu" else None,
+        )
+        acc.classify()
+        if case == Case.SAME_LEVEL:
+            stats = None
+        elif case == Case.ADJACENT_LEVEL:
+            stats = adjacent_level_update(
+                snap, s, state.d[i], state.sigma[i], state.delta[i],
+                state.bc, u_high, u_low, acc,
+                insert=(operation == "insert"),
+            )
+        elif operation == "insert":
+            stats = distant_level_update(
+                snap, s, state.d[i], state.sigma[i], state.delta[i],
+                state.bc, u_high, u_low, acc,
+            )
+        else:
+            # Distance-increasing deletion: correct per-source
+            # recompute fallback, charged at static cost.
+            stats = self._recompute_source(snap, i, acc)
+        return acc.finish(), stats
+
+    def _apply_looped(
+        self,
+        u: int,
+        v: int,
+        operation: str,
         classifications: Optional[list] = None,
     ) -> UpdateReport:
+        """The original per-source loop: classify, account, and cost
+        each of the k sources independently.  Kept as the reference
+        implementation (``vectorized=False``) that the fast path is
+        differentially tested against."""
         snap = self.graph.snapshot()
         state = self.state
         k = state.num_sources
@@ -300,36 +393,14 @@ class DynamicBC:
         timer = WallTimer()
         with timer:
             for i in range(k):
-                s = int(state.sources[i])
                 if classifications is None:
                     case, u_high, u_low = classify_insertion(state.d[i], u, v)
                 else:
                     case, u_high, u_low = classifications[i]
                 cases[i] = int(case)
-                acc = make_accountant(
-                    self.backend, snap.num_vertices, 2 * snap.num_edges,
-                    self.op_costs, label=f"{operation}:{s}",
-                    access_cycles=access if self.backend == "cpu" else None,
+                trace, stats = self._run_source(
+                    snap, i, case, int(u_high), int(u_low), operation, access
                 )
-                acc.classify()
-                if case == Case.SAME_LEVEL:
-                    stats = None
-                elif case == Case.ADJACENT_LEVEL:
-                    stats = adjacent_level_update(
-                        snap, s, state.d[i], state.sigma[i], state.delta[i],
-                        state.bc, u_high, u_low, acc,
-                        insert=(operation == "insert"),
-                    )
-                elif operation == "insert":
-                    stats = distant_level_update(
-                        snap, s, state.d[i], state.sigma[i], state.delta[i],
-                        state.bc, u_high, u_low, acc,
-                    )
-                else:
-                    # Distance-increasing deletion: correct per-source
-                    # recompute fallback, charged at static cost.
-                    stats = self._recompute_source(snap, i, acc)
-                trace = acc.finish()
                 per_source[i] = self.cost_model.trace_seconds(trace)
                 for stage, sec in self.cost_model.stage_breakdown(trace).items():
                     stage_seconds[stage] = stage_seconds.get(stage, 0.0) + sec
@@ -337,6 +408,89 @@ class DynamicBC:
                 if stats is not None:
                     touched[i] = stats.touched
                     stats_list[i] = stats
+        return self._finish_report(
+            u, v, operation, cases, per_source, touched, stats_list,
+            stage_seconds, counters, timer,
+        )
+
+    def _apply_vectorized(
+        self,
+        u: int,
+        v: int,
+        operation: str,
+        classifications=None,
+    ) -> UpdateReport:
+        """The multi-source fast path: classify all k sources in one
+        NumPy pass and bulk-charge the (typically dominant — Fig. 2)
+        Case-1 population, falling into the per-source machinery only
+        for the few sources with real work.
+
+        Every reported artifact is bit-identical to
+        :meth:`_apply_looped`: the Case-1 per-source cost is the shared
+        classify step's cost, the classify stage total reproduces the
+        loop's sequential float accumulation via
+        :meth:`~repro.gpu.costmodel.CostModel.fold_step_seconds`, and
+        the counters bulk-charge scales exactly
+        (:meth:`~repro.gpu.counters.KernelCounters.absorb_step_repeated`).
+        """
+        snap = self.graph.snapshot()
+        state = self.state
+        k = state.num_sources
+        per_source = np.zeros(k, dtype=np.float64)
+        touched = np.zeros(k, dtype=np.int64)
+        stats_list: List[Optional[UpdateStats]] = [None] * k
+        stage_seconds: Dict[str, float] = {}
+        counters = KernelCounters()
+        access = cpu_access_cycles(self.device, snap.num_vertices, 2 * snap.num_edges)
+        timer = WallTimer()
+        with timer:
+            if classifications is None:
+                cases, highs, lows = classify_insertions_batch(state.d, u, v)
+            else:
+                cases, highs, lows = classifications
+            same_mask = cases == int(Case.SAME_LEVEL)
+            num_same = int(np.count_nonzero(same_mask))
+            # Case 1 in bulk: each such source's whole trace is the one
+            # classify step, so its simulated time is that step's cost.
+            classify_sec = self.cost_model.step_seconds(CLASSIFY_STEP)
+            per_source[same_mask] = classify_sec
+            if k:
+                # The loop adds classify_sec to one accumulator exactly
+                # once per source (all k of them); reproduce that fold.
+                stage_seconds["classify"] = self.cost_model.fold_step_seconds(
+                    CLASSIFY_STEP, k
+                )
+            counters.absorb_step_repeated(
+                CLASSIFY_STEP, num_same,
+                kernel=f"{operation}-case{int(Case.SAME_LEVEL)}",
+            )
+            for i in np.flatnonzero(~same_mask):
+                i = int(i)
+                case = Case(int(cases[i]))
+                trace, stats = self._run_source(
+                    snap, i, case, int(highs[i]), int(lows[i]), operation,
+                    access,
+                )
+                per_source[i] = self.cost_model.trace_seconds(trace)
+                for stage, sec in self.cost_model.stage_breakdown(trace).items():
+                    if stage == "classify":
+                        continue  # already folded into the bulk total
+                    stage_seconds[stage] = stage_seconds.get(stage, 0.0) + sec
+                counters.absorb(trace, kernel=f"{operation}-case{int(case)}")
+                if stats is not None:
+                    touched[i] = stats.touched
+                    stats_list[i] = stats
+        return self._finish_report(
+            u, v, operation, np.asarray(cases, dtype=np.int8), per_source,
+            touched, stats_list, stage_seconds, counters, timer,
+        )
+
+    def _finish_report(
+        self, u, v, operation, cases, per_source, touched, stats_list,
+        stage_seconds, counters, timer,
+    ) -> UpdateReport:
+        """Schedule the costed sources onto the device and assemble the
+        :class:`UpdateReport` (shared tail of both update paths)."""
         timing = schedule_blocks(
             per_source, self.device, self.num_blocks,
             _LAUNCHES_PER_UPDATE * self.cost_model.launch_overhead_seconds,

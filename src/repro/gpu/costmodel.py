@@ -152,6 +152,24 @@ class CostModel:
             floor = (40.0 if not dev.is_cpu else 2.0) / dev.clock_hz
         return max(compute, memory, atomic, floor) * self._contention
 
+    def fold_step_seconds(self, step: Step, count: int) -> float:
+        """Sequential fold of *count* additions of ``step_seconds(step)``.
+
+        Float addition is not associative, so ``count * sec`` can drift
+        from a loop that accumulates ``sec`` once per iteration in the
+        last ulp.  The vectorized engine uses this to reproduce the
+        looped path's per-source stage accumulation bit-for-bit while
+        costing only *count* float additions instead of *count* cost
+        model evaluations.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        sec = self.step_seconds(step)
+        total = 0.0
+        for _ in range(count):
+            total += sec
+        return total
+
     def trace_seconds(self, trace_or_steps) -> float:
         """Total simulated duration of a trace run by one block."""
         steps: Iterable[Step] = (

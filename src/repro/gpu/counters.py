@@ -128,6 +128,32 @@ class KernelCounters:
         for t in traces:
             self.absorb(t, kernel)
 
+    def absorb_step_repeated(
+        self, step: Step, count: int, kernel: Optional[str] = None
+    ) -> None:
+        """Accumulate one step as if *count* single-step traces had been
+        absorbed one at a time.
+
+        The integer totals scale exactly; ``bytes_moved`` does too
+        because every byte quantity the kernels charge is a multiple of
+        0.5 far below 2**52, so ``count * bytes`` equals the repeated
+        float addition bit-for-bit.  This is the bulk-charge entry point
+        for the engine's vectorized Case-1 fast path.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        self.steps += count
+        self.barriers += count
+        self.work_items += count * step.work_items
+        self.bytes_moved += count * step.bytes_moved
+        self.atomic_ops += count * step.atomic_ops
+        if kernel is not None:
+            self.by_kernel[kernel] = (
+                self.by_kernel.get(kernel, 0) + count * step.work_items
+            )
+
     def merged(self, other: "KernelCounters") -> "KernelCounters":
         """A new counter set equal to self + other (inputs untouched)."""
         out = KernelCounters(

@@ -2,12 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.graph import generators as gen
 from repro.graph.csr import CSRGraph
 from repro.graph.dynamic import DynamicGraph
+
+# Hypothesis profiles: "default" preserves local thoroughness; "ci"
+# trims example counts so the full suite stays well under the CI time
+# budget (selected via HYPOTHESIS_PROFILE, see .github/workflows/ci.yml).
+# Property-test modules inherit max_examples from the loaded profile
+# unless they pin their own.
+settings.register_profile("default", max_examples=40, deadline=None)
+settings.register_profile("ci", max_examples=10, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

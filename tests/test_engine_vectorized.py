@@ -1,0 +1,168 @@
+"""Differential tests: the vectorized multi-source update path must
+produce **bit-identical** reports to the original per-source loop
+(kept behind the ``vectorized=False`` escape hatch), on every backend.
+
+The engine promises that the fast path changes only the host-side
+execution strategy, never the model: cases, per-source simulated
+seconds, scheduled makespan, stage breakdowns, touched counts and
+counter totals all feed the paper's figures and tables, so any drift —
+even in the last ulp — would silently perturb published numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bc.cases import (
+    Case,
+    classify_deletion,
+    classify_deletions_batch,
+    classify_insertion,
+    classify_insertions_batch,
+)
+from repro.bc.engine import BACKENDS, DynamicBC
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+
+
+def assert_reports_identical(rep_a, rep_b):
+    """Field-by-field bitwise comparison (wall_seconds and stats are
+    execution-side and intentionally excluded)."""
+    assert rep_a.edge == rep_b.edge
+    assert rep_a.operation == rep_b.operation
+    assert rep_a.cases.dtype == rep_b.cases.dtype
+    assert np.array_equal(rep_a.cases, rep_b.cases)
+    assert np.array_equal(rep_a.per_source_seconds, rep_b.per_source_seconds)
+    assert rep_a.simulated_seconds == rep_b.simulated_seconds
+    assert np.array_equal(rep_a.touched, rep_b.touched)
+    assert rep_a.stage_seconds == rep_b.stage_seconds
+    ca, cb = rep_a.counters, rep_b.counters
+    assert ca.steps == cb.steps
+    assert ca.work_items == cb.work_items
+    assert ca.bytes_moved == cb.bytes_moved
+    assert ca.atomic_ops == cb.atomic_ops
+    assert ca.barriers == cb.barriers
+    assert ca.kernel_launches == cb.kernel_launches
+    assert ca.by_kernel == cb.by_kernel
+
+
+def paired_engines(graph, backend, **kwargs):
+    fast = DynamicBC.from_graph(DynamicGraph.from_csr(graph),
+                                vectorized=True, backend=backend, **kwargs)
+    loop = DynamicBC.from_graph(DynamicGraph.from_csr(graph),
+                                vectorized=False, backend=backend, **kwargs)
+    return fast, loop
+
+
+class TestDifferentialAllBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_stream_identical_reports(self, small_er, backend):
+        """A mixed insert/delete stream hitting all three cases must
+        yield identical UpdateReport fields on every update."""
+        fast, loop = paired_engines(small_er, backend, num_sources=12, seed=3)
+        rng = np.random.default_rng(5)
+        toggles = 0
+        while toggles < 18:
+            u, v = int(rng.integers(60)), int(rng.integers(60))
+            if u == v:
+                continue
+            toggles += 1
+            if fast.graph.has_edge(u, v):
+                rep_f, rep_l = fast.delete_edge(u, v), loop.delete_edge(u, v)
+            else:
+                rep_f, rep_l = fast.insert_edge(u, v), loop.insert_edge(u, v)
+            assert_reports_identical(rep_f, rep_l)
+        # cumulative engine-level counters agree too
+        assert fast.counters.bytes_moved == loop.counters.bytes_moved
+        assert fast.counters.work_items == loop.counters.work_items
+        assert np.array_equal(fast.bc_scores, loop.bc_scores)
+        fast.verify(atol=1e-8)
+        loop.verify(atol=1e-8)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pure_case1_update(self, two_components, backend):
+        """The bulk-charged population: both endpoints unreachable from
+        the source, so all classifications are Case 1."""
+        fast, loop = paired_engines(two_components, backend, sources=[0, 1])
+        rep_f, rep_l = fast.insert_edge(6, 8), loop.insert_edge(6, 8)
+        assert rep_f.case_histogram == {1: 2}
+        assert_reports_identical(rep_f, rep_l)
+        rep_f, rep_l = fast.delete_edge(6, 8), loop.delete_edge(6, 8)
+        assert rep_f.case_histogram == {1: 2}
+        assert_reports_identical(rep_f, rep_l)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_distance_increasing_deletion(self, path10, backend):
+        """Deleting a bridge forces the per-source recompute fallback;
+        its static-cost charge must be identical under both paths."""
+        fast, loop = paired_engines(path10, backend, sources=[0, 4, 9])
+        rep_f, rep_l = fast.delete_edge(4, 5), loop.delete_edge(4, 5)
+        assert (rep_f.cases == int(Case.DISTANT_LEVEL)).any()
+        assert_reports_identical(rep_f, rep_l)
+
+    def test_exact_mode_karate(self, karate):
+        """All-sources (exact) mode over a real small graph."""
+        fast, loop = paired_engines(karate, "gpu-node")
+        for u, v in [(0, 9), (15, 16), (4, 20)]:
+            assert_reports_identical(fast.insert_edge(u, v),
+                                     loop.insert_edge(u, v))
+        for u, v in [(0, 9), (15, 16)]:
+            assert_reports_identical(fast.delete_edge(u, v),
+                                     loop.delete_edge(u, v))
+        fast.verify()
+
+
+class TestBatchClassifiers:
+    def test_insertions_batch_matches_scalar(self, small_er):
+        eng = DynamicBC.from_graph(small_er, num_sources=16, seed=2)
+        rng = np.random.default_rng(9)
+        for _ in range(30):
+            u, v = int(rng.integers(60)), int(rng.integers(60))
+            if u == v:
+                continue
+            cases, highs, lows = classify_insertions_batch(eng.state.d, u, v)
+            assert cases.dtype == np.int8
+            for i in range(eng.state.num_sources):
+                case, high, low = classify_insertion(eng.state.d[i], u, v)
+                assert cases[i] == int(case)
+                assert (int(highs[i]), int(lows[i])) == (high, low)
+
+    def test_deletions_batch_matches_scalar(self, small_er):
+        eng = DynamicBC.from_graph(small_er, num_sources=16, seed=2)
+        snap = eng.graph.snapshot()
+        edges = snap.edge_list()[:40]
+        for u, v in edges.tolist():
+            cases, highs, lows = classify_deletions_batch(
+                eng.state.d, eng.state.sigma, snap, u, v
+            )
+            for i in range(eng.state.num_sources):
+                case, high, low = classify_deletion(
+                    eng.state.d[i], eng.state.sigma[i], snap, u, v
+                )
+                assert cases[i] == int(case)
+                assert (int(highs[i]), int(lows[i])) == (high, low)
+
+    def test_deletions_batch_rejects_stale_state(self, path10):
+        """A gap > 1 means the stored state does not describe the graph
+        — the batch classifier must raise exactly like the scalar one."""
+        eng = DynamicBC.from_graph(path10, sources=[0])
+        snap = eng.graph.snapshot()
+        with pytest.raises(ValueError, match="spans"):
+            classify_deletions_batch(eng.state.d, eng.state.sigma, snap, 2, 7)
+
+
+class TestEscapeHatch:
+    def test_flag_plumbing(self, karate):
+        assert DynamicBC.from_graph(karate, num_sources=4, seed=1).vectorized
+        assert not DynamicBC.from_graph(
+            karate, num_sources=4, seed=1, vectorized=False
+        ).vectorized
+
+    def test_flag_can_be_toggled_mid_stream(self, karate):
+        """The two paths share all stored state, so switching per update
+        is safe (useful for A/B profiling)."""
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        eng.insert_edge(0, 9)
+        eng.vectorized = False
+        eng.insert_edge(4, 20)
+        eng.verify()

@@ -129,14 +129,16 @@ class TestReplay:
 class TestBatchAPI:
     def test_insert_edges_skips_existing(self, karate):
         eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
-        reports = eng.insert_edges([(0, 1), (0, 9), (4, 4)])
-        assert len(reports) == 1  # only (0, 9) is new and not a loop
+        result = eng.insert_edges([(0, 1), (0, 9), (4, 4)])
+        assert len(result) == 1  # only (0, 9) is new and not a loop
+        assert result.skipped == [(0, 1), (4, 4)]
         eng.verify()
 
     def test_delete_edges_skips_missing(self, karate):
         eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
-        reports = eng.delete_edges([(0, 1), (0, 9)])
-        assert len(reports) == 1
+        result = eng.delete_edges([(0, 1), (0, 9)])
+        assert len(result) == 1
+        assert result.skipped == [(0, 9)]
         eng.verify()
 
     def test_round_trip(self, karate):

@@ -25,8 +25,39 @@ def graph_and_stream(draw):
     return initial, ops
 
 
+@st.composite
+def graph_and_mixed_ops(draw):
+    """A random small graph plus an interleaved stream of edge toggles
+    and vertex additions.
+
+    Each op is either ``("vertex",)`` — append an isolated vertex — or
+    ``("edge", u, v)`` with endpoints drawn over the *grown* vertex
+    range, so later edge ops can touch state columns appended after
+    engine construction (toggle semantics: insert if absent, else
+    delete).
+    """
+    n0 = draw(st.integers(min_value=2, max_value=8))
+    edge_pool = [(u, v) for u in range(n0) for v in range(u + 1, n0)]
+    initial = draw(st.lists(st.sampled_from(edge_pool), max_size=10,
+                            unique=True))
+    num_ops = draw(st.integers(min_value=1, max_value=8))
+    ops = []
+    n = n0
+    for _ in range(num_ops):
+        if n < n0 + 3 and draw(st.booleans()):
+            ops.append(("vertex",))
+            n += 1
+        else:
+            u = draw(st.integers(min_value=0, max_value=n - 1))
+            v = draw(st.integers(min_value=0, max_value=n - 1))
+            if u != v:
+                ops.append(("edge", min(u, v), max(u, v)))
+    return n0, initial, ops
+
+
 common_settings = settings(
-    max_examples=40,
+    # max_examples inherited from the loaded profile (see conftest.py):
+    # 40 locally, trimmed under HYPOTHESIS_PROFILE=ci.
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
@@ -78,6 +109,58 @@ class TestStreamEqualsScratch:
             else:
                 eng.insert_edge(u, v)
         eng.verify(atol=1e-8)
+
+
+class TestMixedOpsStepwise:
+    @given(data=graph_and_mixed_ops(),
+           backend=st.sampled_from(["cpu", "gpu-edge", "gpu-node",
+                                    "gpu-node-atomic"]),
+           vectorized=st.booleans())
+    @common_settings
+    def test_interleaved_ops_verify_every_step(self, data, backend,
+                                               vectorized):
+        """insert_edge / delete_edge / add_vertex interleaved on a
+        random graph, with the full scratch oracle checked after every
+        single step — for both the looped and vectorized paths."""
+        n0, initial, ops = data
+        graph = CSRGraph.from_edges(n0, initial or [])
+        eng = DynamicBC.from_graph(graph, backend=backend,
+                                   vectorized=vectorized)
+        for op in ops:
+            if op[0] == "vertex":
+                eng.add_vertex()
+            else:
+                _, u, v = op
+                if eng.graph.has_edge(u, v):
+                    eng.delete_edge(u, v)
+                else:
+                    eng.insert_edge(u, v)
+            eng.verify(atol=1e-8)
+
+    @given(data=graph_and_mixed_ops())
+    @common_settings
+    def test_interleaved_ops_paths_agree(self, data):
+        """Both update paths must hold bit-identical analytic state
+        through an interleaved vertex/edge stream."""
+        n0, initial, ops = data
+        graph = CSRGraph.from_edges(n0, initial or [])
+        fast = DynamicBC.from_graph(graph, vectorized=True)
+        loop = DynamicBC.from_graph(graph, vectorized=False)
+        for op in ops:
+            if op[0] == "vertex":
+                fast.add_vertex()
+                loop.add_vertex()
+                continue
+            _, u, v = op
+            if fast.graph.has_edge(u, v):
+                rf, rl = fast.delete_edge(u, v), loop.delete_edge(u, v)
+            else:
+                rf, rl = fast.insert_edge(u, v), loop.insert_edge(u, v)
+            assert np.array_equal(rf.cases, rl.cases)
+            assert np.array_equal(rf.per_source_seconds,
+                                  rl.per_source_seconds)
+            assert rf.simulated_seconds == rl.simulated_seconds
+        assert np.array_equal(fast.bc_scores, loop.bc_scores)
 
 
 class TestReversibility:

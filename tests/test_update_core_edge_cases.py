@@ -101,6 +101,86 @@ class TestParallelEdgesOfWork:
         eng.verify()
 
 
+class TestGrownStateColumns:
+    """Updates touching a vertex appended via add_vertex mid-stream:
+    the state matrix columns were grown *after* engine construction, so
+    both update paths must classify and traverse over the wider state
+    correctly."""
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_update_through_appended_vertex(self, karate, vectorized):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=3,
+                                   vectorized=vectorized)
+        w = eng.add_vertex()
+        assert eng.state.d.shape[1] == 35
+        rep = eng.insert_edge(w, 0)  # merge: new vertex joins the club
+        assert rep.case_histogram == {3: 8}
+        eng.verify()
+        rep = eng.insert_edge(w, 33)  # second attachment through w
+        eng.verify()
+        eng.delete_edge(w, 0)
+        eng.verify()
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_chain_of_appended_vertices(self, path10, vectorized):
+        """Several appended vertices chained onto the path: every update
+        classifies over columns that did not exist at construction."""
+        eng = DynamicBC.from_graph(path10, sources=[0, 9],
+                                   vectorized=vectorized)
+        prev = 9
+        for _ in range(3):
+            w = eng.add_vertex()
+            eng.insert_edge(prev, w)
+            eng.verify()
+            prev = w
+
+    def test_paths_agree_after_growth(self, path10):
+        """Differential: grown-column updates must match bit-for-bit
+        between the looped and vectorized paths."""
+        fast = DynamicBC.from_graph(path10, sources=[0, 5], vectorized=True)
+        loop = DynamicBC.from_graph(path10, sources=[0, 5], vectorized=False)
+        wf, wl = fast.add_vertex(), loop.add_vertex()
+        assert wf == wl
+        rf, rl = fast.insert_edge(wf, 4), loop.insert_edge(wl, 4)
+        assert np.array_equal(rf.cases, rl.cases)
+        assert np.array_equal(rf.per_source_seconds, rl.per_source_seconds)
+        assert rf.simulated_seconds == rl.simulated_seconds
+
+
+class TestBatchSkipping:
+    """insert_edges / delete_edges report the pairs they skip instead of
+    silently dropping them."""
+
+    def test_insert_edges_returns_skipped(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
+        result = eng.insert_edges([(0, 1), (0, 9), (4, 4), (9, 0)])
+        # (0, 1) exists, (4, 4) is a self loop, and (9, 0) duplicates
+        # the just-inserted (0, 9).
+        assert [r.edge for r in result.reports] == [(0, 9)]
+        assert result.skipped == [(0, 1), (4, 4), (9, 0)]
+        eng.verify()
+
+    def test_delete_edges_returns_skipped(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
+        result = eng.delete_edges([(0, 1), (7, 7), (0, 1)])
+        assert [r.edge for r in result.reports] == [(0, 1)]
+        # second (0, 1) is already gone by the time it is reached
+        assert result.skipped == [(7, 7), (0, 1)]
+        eng.verify()
+
+    def test_batch_result_iterates_reports(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
+        result = eng.insert_edges([(0, 9), (4, 4)])
+        assert len(result) == 1
+        assert [r.operation for r in result] == ["insert"]
+
+    def test_all_skipped_is_empty_batch(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=6, seed=2)
+        result = eng.insert_edges([(0, 1), (1, 0), (2, 2)])
+        assert len(result) == 0
+        assert result.skipped == [(0, 1), (1, 0), (2, 2)]
+
+
 class TestAccountantMisuse:
     def test_base_class_is_abstract(self):
         from repro.bc.accountants import UpdateAccountant
