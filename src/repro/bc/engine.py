@@ -48,6 +48,8 @@ from repro.gpu.device import CORE_I7_2600K, TESLA_C2075, DeviceSpec
 from repro.gpu.executor import schedule_blocks
 from repro.graph.csr import CSRGraph, DIST_INF
 from repro.graph.dynamic import DynamicGraph
+from repro.resilience.errors import UpdateError
+from repro.resilience.transactions import UpdateTransaction
 from repro.utils.prng import SeedLike
 from repro.utils.timing import WallTimer
 
@@ -114,6 +116,7 @@ class DynamicBC:
         num_blocks: int = 0,
         op_costs: OpCosts = DEFAULT_OP_COSTS,
         vectorized: bool = True,
+        transactional: bool = True,
     ) -> None:
         if backend not in ACCOUNTANTS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -138,6 +141,12 @@ class DynamicBC:
         #: vectorized multi-source fast path (identical reports either
         #: way — see tests/test_engine_vectorized.py).
         self.vectorized = bool(vectorized)
+        #: ``True`` makes every update atomic: a mid-update exception
+        #: rolls graph, state rows, BC scores and counters back to
+        #: their pre-update values and surfaces a structured
+        #: :class:`~repro.resilience.errors.UpdateError`.
+        self.transactional = bool(transactional)
+        self._txn: Optional[UpdateTransaction] = None
         self.counters = KernelCounters()
 
     # ------------------------------------------------------------------
@@ -153,6 +162,7 @@ class DynamicBC:
         seed: SeedLike = None,
         op_costs: OpCosts = DEFAULT_OP_COSTS,
         vectorized: bool = True,
+        transactional: bool = True,
     ) -> "DynamicBC":
         """Build the engine, computing the initial state with Brandes.
 
@@ -167,7 +177,7 @@ class DynamicBC:
         else:
             state = BCState.compute(snap, range(snap.num_vertices))
         return cls(graph, state, backend, device, num_blocks, op_costs,
-                   vectorized)
+                   vectorized, transactional)
 
     # ------------------------------------------------------------------
     @property
@@ -284,24 +294,58 @@ class DynamicBC:
         cost on every step of a long stream.  BC scores are sums over
         *all* sources, so they are only checked by :meth:`verify`.
         """
-        from repro.bc.brandes import single_source_state
         from repro.utils.prng import default_rng
 
-        st = self.state
+        from repro.resilience.guards import check_rows_against_scratch
+
         rng = default_rng(seed)
-        k = st.num_sources
+        k = self.state.num_sources
         picks = rng.choice(k, size=min(num_sources, k), replace=False)
+        bad = check_rows_against_scratch(self, picks, atol=atol)
+        if bad:
+            i, component = bad[0]
+            raise AssertionError(
+                f"{component} row corrupt for source {int(self.state.sources[i])}"
+            )
+
+    def check_rows(self, indices: Sequence[int], atol: float = 1e-6) -> List[int]:
+        """Return the subset of source-row *indices* whose stored
+        ``d``/``sigma``/``delta`` rows differ from a from-scratch
+        single-source recomputation (the guard's detection primitive;
+        :meth:`spot_check` is the raising wrapper)."""
+        from repro.resilience.guards import check_rows_against_scratch
+
+        return [i for i, _ in check_rows_against_scratch(self, indices, atol=atol)]
+
+    def repair_source(self, i: int) -> UpdateStats:
+        """Rebuild source row *i* from scratch and restore the
+        ``bc = Σ delta`` invariant.
+
+        This is the targeted recovery path for a *corrupted* row: the
+        stored row cannot be trusted, so its BC contribution is not
+        subtracted incrementally (that would bake the corruption into
+        the scores); instead the row is replaced by a fresh Brandes
+        pass and ``bc`` is re-folded from all stored rows.  Charged to
+        the counters as one static source under the ``"repair"``
+        kernel tag.  Returns the pass's :class:`UpdateStats`.
+        """
+        k = self.state.num_sources
+        if not 0 <= i < k:
+            raise IndexError(f"source index {i} out of range for k={k}")
         snap = self.graph.snapshot()
-        for i in picks:
-            s = int(st.sources[i])
-            d, sigma, delta, _ = single_source_state(snap, s)
-            delta[s] = 0.0
-            if not np.array_equal(st.d[i], d):
-                raise AssertionError(f"distance row corrupt for source {s}")
-            if not np.allclose(st.sigma[i], sigma, atol=atol):
-                raise AssertionError(f"sigma row corrupt for source {s}")
-            if not np.allclose(st.delta[i], delta, atol=atol):
-                raise AssertionError(f"delta row corrupt for source {s}")
+        access = cpu_access_cycles(self.device, snap.num_vertices,
+                                   2 * snap.num_edges)
+        acc = make_accountant(
+            self.backend, snap.num_vertices, 2 * snap.num_edges,
+            self.op_costs, label=f"repair:{int(self.state.sources[i])}",
+            access_cycles=access if self.backend == "cpu" else None,
+        )
+        stats = self._rebuild_row(snap, i, acc)
+        self.state.rebuild_bc()
+        counters = KernelCounters()
+        counters.absorb(acc.finish(), kernel="repair")
+        self.counters = self.counters.merged(counters)
+        return stats
 
     def memory_report(self) -> Dict[str, int]:
         """Bytes held by the O(kn) supplemental state (§II-D: "This
@@ -331,9 +375,29 @@ class DynamicBC:
         operation: str,
         classifications=None,
     ) -> UpdateReport:
-        if self.vectorized:
-            return self._apply_vectorized(u, v, operation, classifications)
-        return self._apply_looped(u, v, operation, classifications)
+        if not self.transactional:
+            if self.vectorized:
+                return self._apply_vectorized(u, v, operation, classifications)
+            return self._apply_looped(u, v, operation, classifications)
+        # Transactional path: journal every piece the update mutates
+        # (edge, touched state rows, bc, counters) and roll all of it
+        # back on any mid-update exception, so a failed update simply
+        # never happened (see repro.resilience.transactions).
+        txn = UpdateTransaction(self, u, v, operation)
+        self._txn = txn
+        try:
+            if self.vectorized:
+                return self._apply_vectorized(u, v, operation, classifications)
+            return self._apply_looped(u, v, operation, classifications)
+        except Exception as exc:
+            failed_at = txn.current_source
+            txn.rollback()
+            raise UpdateError(
+                (u, v), operation, exc, source_index=failed_at,
+                rolled_back=True,
+            ) from exc
+        finally:
+            self._txn = None
 
     def _run_source(
         self, snap: CSRGraph, i: int, case: Case, u_high: int, u_low: int,
@@ -342,6 +406,8 @@ class DynamicBC:
         """Execute one source's update (any case) and return its
         ``(trace, stats)``.  Shared verbatim by the looped and
         vectorized paths so their per-source work is identical."""
+        if self._txn is not None:
+            self._txn.save_row(i)
         state = self.state
         s = int(state.sources[i])
         acc = make_accountant(
@@ -512,12 +578,26 @@ class DynamicBC:
 
     def _recompute_source(self, snap: CSRGraph, i: int, acc) -> UpdateStats:
         """Replace source *i*'s rows with a fresh Brandes pass and patch
-        BC by the dependency difference; cost = one static source."""
+        BC by the dependency difference; cost = one static source.
+
+        The incremental BC patch is only correct when the stored row is
+        trusted (the normal Case-3 deletion fallback); recovery from a
+        *corrupted* row goes through :meth:`repair_source` instead.
+        """
+        state = self.state
+        delta_old = state.delta[i].copy()
+        stats = self._rebuild_row(snap, i, acc)
+        state.bc += state.delta[i] - delta_old
+        return stats
+
+    def _rebuild_row(self, snap: CSRGraph, i: int, acc) -> UpdateStats:
+        """Overwrite source *i*'s ``d``/``sigma``/``delta`` rows with a
+        fresh Brandes pass (BC untouched) and charge the static
+        per-source trace to *acc*."""
         state = self.state
         s = int(state.sources[i])
         d_new, sigma_new, delta_new, levels = single_source_state(snap, s)
         delta_new[s] = 0.0
-        state.bc += delta_new - state.delta[i]
         state.d[i] = d_new
         state.sigma[i] = sigma_new
         state.delta[i] = delta_new

@@ -99,6 +99,16 @@ class BCState:
             self.bc.copy(),
         )
 
+    def rebuild_bc(self) -> None:
+        """Restore the ``bc = Σ_i delta_i`` invariant by left-folding
+        the stored dependency rows in source order — exactly the
+        accumulation :meth:`compute` performs, so a state with clean
+        rows becomes bit-identical to a from-scratch build.  Used by
+        the resilience guards after repairing corrupted rows."""
+        self.bc[:] = 0.0
+        for i in range(self.num_sources):
+            self.bc += self.delta[i]
+
     def max_abs_error(self, other: "BCState") -> float:
         """Largest state discrepancy vs *other* (same sources assumed);
         used by the self-check machinery and the test-suite oracles."""

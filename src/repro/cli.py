@@ -13,6 +13,13 @@ Usage::
 ``--scale`` multiplies the suite graph sizes; the defaults run in a few
 minutes, ``--scale 20 --sources 128`` approaches the paper's regime
 (see EXPERIMENTS.md for recorded runs).
+
+Resilience subcommands (see docs/RESILIENCE.md)::
+
+    python -m repro.cli replay --graph small --events 50 \\
+        --guard-every 10 --checkpoint-every 20 --checkpoint-dir ckpts
+    python -m repro.cli replay --resume-from ckpts/ckpt-00000020.npz ...
+    python -m repro.cli chaos --seed 7        # seeded fault-injection run
 """
 
 from __future__ import annotations
@@ -115,8 +122,125 @@ def run_artifact(artifact: str, args: argparse.Namespace) -> List[str]:
     ]
 
 
+# ----------------------------------------------------------------------
+# Resilience subcommands
+# ----------------------------------------------------------------------
+def build_replay_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro-bc replay``: guarded, checkpointed stream
+    replay over a suite graph or a saved stream CSV."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc replay",
+        description="Drive a dynamic-BC engine through an edge stream "
+                    "with optional self-healing guards and checkpoints.",
+    )
+    parser.add_argument("--graph", default="small",
+                        help="suite graph name (default: small)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="suite graph size multiplier")
+    parser.add_argument("--sources", type=int, default=32,
+                        help="k source vertices")
+    parser.add_argument("--backend", default="gpu-node",
+                        help="execution strategy (see DynamicBC)")
+    parser.add_argument("--events", type=int, default=50,
+                        help="churn-stream length when --stream is not given")
+    parser.add_argument("--stream", default=None,
+                        help="CSV stream file (time,u,v,op) to replay "
+                             "instead of generated churn")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--guard-every", type=int, default=0,
+                        help="spot-check cadence in events (0 = unguarded)")
+    parser.add_argument("--repair-budget", type=int, default=8,
+                        help="row repairs before escalating to recompute")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        help="write a checkpoint every N events (0 = off)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="directory for checkpoint files")
+    parser.add_argument("--resume-from", default=None,
+                        help="checkpoint file to resume the replay from")
+    parser.add_argument("--verify", action="store_true",
+                        help="verify final state against scratch recompute")
+    return parser
+
+
+def run_replay(args: argparse.Namespace) -> int:
+    """Execute the ``replay`` subcommand; returns a process exit code."""
+    from repro.bc.engine import DynamicBC
+    from repro.graph.stream import EdgeStream, replay
+    from repro.graph.suite import make_suite_graph
+    from repro.resilience.guards import GuardPolicy
+
+    graph = make_suite_graph(args.graph, scale=args.scale, seed=args.seed).graph
+    if args.stream is not None:
+        stream = EdgeStream.load(args.stream)
+    else:
+        stream = EdgeStream.churn(graph, args.events, seed=args.seed + 1)
+    engine = DynamicBC.from_graph(graph, num_sources=args.sources,
+                                  seed=args.seed, backend=args.backend)
+    policy = None
+    if args.guard_every > 0:
+        policy = GuardPolicy(check_every=args.guard_every,
+                             repair_budget=args.repair_budget,
+                             seed=args.seed)
+    result = replay(
+        engine, stream, guard=policy,
+        checkpoint_every=args.checkpoint_every or None,
+        checkpoint_dir=args.checkpoint_dir,
+        resume_from=args.resume_from,
+    )
+    print(f"replayed {len(result.reports)} updates "
+          f"(events {result.start_index}..{len(stream) - 1}, "
+          f"{len(result.skipped)} skipped, "
+          f"{len(result.recovered)} recovered)")
+    print(f"simulated seconds: {result.simulated_seconds:.6g} "
+          f"({result.updates_per_second:.1f} updates/s)")
+    for e in result.guard_events:
+        print(f"guard @{e.event_index}: {e.action} {e.kind} {e.detail}")
+    for path in result.checkpoints:
+        print(f"checkpoint: {path}")
+    if args.verify:
+        engine.verify()
+        print("final verify: ok")
+    return 0
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro-bc chaos``: one seeded fault-injection run."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc chaos",
+        description="Run the seeded chaos scenario: guarded replay under "
+                    "injected faults plus checkpoint-resume bit-identity. "
+                    "Exit code 1 when any resilience claim fails.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--events", type=int, default=30,
+                        help="stream length of the scenario")
+    parser.add_argument("--backend", default=None,
+                        help="execution strategy (default: seed-derived)")
+    return parser
+
+
+def run_chaos_cmd(args: argparse.Namespace) -> int:
+    """Execute the ``chaos`` subcommand; returns a process exit code."""
+    from repro.resilience.chaos import run_chaos
+
+    report = run_chaos(seed=args.seed, num_events=args.events,
+                       backend=args.backend)
+    print(report.summary())
+    if not report.ok:
+        print(f"reproduce with: python -m repro.cli chaos --seed {args.seed}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: print (and optionally save) the requested artifact."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "replay":
+        return run_replay(build_replay_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "chaos":
+        return run_chaos_cmd(build_chaos_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)
     start = time.time()
     save_dir = None

@@ -10,8 +10,9 @@ sustained update throughput under the engine's execution model.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from repro.utils.prng import SeedLike, default_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.bc.engine import DynamicBC, UpdateReport
+    from repro.resilience.guards import GuardEvent, GuardPolicy
 
 INSERT = "insert"
 DELETE = "delete"
@@ -155,15 +157,35 @@ class EdgeStream:
     # Persistence (CSV: time,u,v,op — loadable into spreadsheets too)
     # ------------------------------------------------------------------
     def save(self, path) -> None:
-        """Write the stream as ``time,u,v,op`` CSV."""
-        with open(path, "w") as fh:
-            fh.write("time,u,v,op\n")
-            for e in self.events:
-                fh.write(f"{e.time!r},{e.u},{e.v},{e.op}\n")
+        """Write the stream as ``time,u,v,op`` CSV.
+
+        The write is atomic (temporary file in the same directory, then
+        :func:`os.replace`), so a crash mid-save never leaves a
+        truncated stream under the target name.
+        """
+        path = os.fspath(path)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w") as fh:
+                fh.write("time,u,v,op\n")
+                for e in self.events:
+                    fh.write(f"{e.time!r},{e.u},{e.v},{e.op}\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
 
     @classmethod
     def load(cls, path) -> "EdgeStream":
-        """Read a stream written by :meth:`save` (header required)."""
+        """Read a stream written by :meth:`save` (header required).
+
+        Every malformed row is rejected with a ``path:lineno`` message
+        naming the offending field — an invalid op, a negative or
+        non-integer vertex id, a bad timestamp, a self loop — never a
+        raw parsing traceback.
+        """
         events = []
         with open(path) as fh:
             header = fh.readline().strip()
@@ -178,10 +200,36 @@ class EdgeStream:
                 parts = line.split(",")
                 if len(parts) != 4:
                     raise ValueError(f"{path}:{lineno}: malformed row {line!r}")
-                events.append(
-                    EdgeEvent(float(parts[0]), int(parts[1]), int(parts[2]),
-                              parts[3])
-                )
+                where = f"{path}:{lineno}"
+                try:
+                    t = float(parts[0])
+                except ValueError:
+                    raise ValueError(
+                        f"{where}: invalid timestamp {parts[0]!r}"
+                    ) from None
+                ids = []
+                for name, token in (("u", parts[1]), ("v", parts[2])):
+                    try:
+                        vertex = int(token)
+                    except ValueError:
+                        raise ValueError(
+                            f"{where}: invalid vertex id {name}={token!r}"
+                        ) from None
+                    if vertex < 0:
+                        raise ValueError(
+                            f"{where}: negative vertex id {name}={vertex}"
+                        )
+                    ids.append(vertex)
+                op = parts[3]
+                if op not in (INSERT, DELETE):
+                    raise ValueError(
+                        f"{where}: invalid op {op!r} "
+                        f"(expected {INSERT!r} or {DELETE!r})"
+                    )
+                try:
+                    events.append(EdgeEvent(t, ids[0], ids[1], op))
+                except ValueError as exc:
+                    raise ValueError(f"{where}: {exc}") from None
         return cls(events)
 
     # ------------------------------------------------------------------
@@ -210,6 +258,22 @@ class EdgeStream:
             yield current * width, bucket
 
 
+@dataclass(frozen=True)
+class SkippedEvent:
+    """One stream event that was not applied, and why.
+
+    ``reason`` is ``"duplicate-insert"`` / ``"missing-edge"`` for
+    no-op events, or ``"update-error: ..."`` for an update that failed
+    and was rolled back (guarded replay only).
+    """
+
+    index: int  #: position in the stream
+    u: int
+    v: int
+    op: str
+    reason: str
+
+
 @dataclass
 class ReplayResult:
     """Outcome of driving an engine through a stream."""
@@ -217,30 +281,171 @@ class ReplayResult:
     reports: List["UpdateReport"]
     simulated_seconds: float
     wall_seconds: float
+    #: events not applied (duplicate inserts, missing deletes, rolled-
+    #: back failures), mirroring :attr:`BatchResult.skipped`
+    skipped: List[SkippedEvent] = field(default_factory=list)
+    #: updates that failed once, rolled back, and succeeded on retry
+    recovered: List[SkippedEvent] = field(default_factory=list)
+    #: guard detections/repairs/escalations (guarded replay only)
+    guard_events: List["GuardEvent"] = field(default_factory=list)
+    #: checkpoint files written, in order
+    checkpoints: List[str] = field(default_factory=list)
+    #: first stream index processed by *this* call (> 0 after resume)
+    start_index: int = 0
+    #: checkpoint path this run resumed from, if any
+    resumed_from: Optional[str] = None
 
     @property
     def updates_per_second(self) -> float:
         """Sustained throughput under the engine's execution model —
-        the 'high throughput solution' headline number."""
-        if self.simulated_seconds <= 0:
-            return float("inf")
+        the 'high throughput solution' headline number.  ``0.0`` for an
+        empty (or zero-simulated-cost) replay rather than ``inf``."""
+        if not self.reports or self.simulated_seconds <= 0:
+            return 0.0
         return len(self.reports) / self.simulated_seconds
 
 
-def replay(engine: "DynamicBC", stream: EdgeStream) -> ReplayResult:
-    """Apply every event of *stream* to *engine* in order."""
+def replay(
+    engine: "DynamicBC",
+    stream: EdgeStream,
+    guard: Optional["GuardPolicy"] = None,
+    *,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
+    resume_from=None,
+) -> ReplayResult:
+    """Apply every event of *stream* to *engine* in order.
+
+    No-op events (inserting an edge that exists, deleting one that
+    does not, self loops) are recorded in :attr:`ReplayResult.skipped`
+    and the replay keeps going — one bad event must not abort an
+    unbounded stream.
+
+    ``guard``
+        A :class:`~repro.resilience.guards.GuardPolicy`: spot-checks
+        run on the policy's cadence, drifted rows are auto-repaired,
+        structural corruption escalates to a full recompute, and every
+        action lands in :attr:`ReplayResult.guard_events`.  A guarded
+        replay also survives mid-update failures: the transactional
+        engine rolls the update back, the event is retried once
+        (transient faults recover into :attr:`ReplayResult.recovered`)
+        and otherwise recorded as skipped.
+    ``checkpoint_every`` / ``checkpoint_dir``
+        Write an atomic, checksummed checkpoint after every N-th
+        stream event into ``checkpoint_dir`` (required when
+        ``checkpoint_every`` is set); paths are recorded in
+        :attr:`ReplayResult.checkpoints`.
+    ``resume_from``
+        Path of a checkpoint written by a previous replay of the *same
+        stream*: the engine state is restored in place and the replay
+        continues from the recorded cursor, reproducing the
+        uninterrupted run's remaining reports and totals bit-for-bit
+        (see ``tests/test_resilience_checkpoint.py``).
+    """
     from repro.utils.timing import WallTimer
 
-    reports = []
+    start_index = 0
+    sim_seconds = 0.0
+    applied_before = 0
+    resumed_path: Optional[str] = None
+    if resume_from is not None:
+        from repro.resilience.checkpoint import load_checkpoint
+
+        ckpt = load_checkpoint(resume_from)
+        ckpt.restore_into(engine)
+        start_index = ckpt.event_index
+        sim_seconds = ckpt.simulated_prefix
+        applied_before = ckpt.applied_count
+        resumed_path = os.fspath(resume_from)
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
+    active_guard = None
+    if guard is not None:
+        from repro.resilience.guards import Guard
+
+        active_guard = Guard(engine, guard)
+
+    result = ReplayResult(
+        reports=[], simulated_seconds=0.0, wall_seconds=0.0,
+        start_index=start_index, resumed_from=resumed_path,
+    )
     timer = WallTimer()
     with timer:
-        for event in stream:
-            if event.op == INSERT:
-                reports.append(engine.insert_edge(event.u, event.v))
-            else:
-                reports.append(engine.delete_edge(event.u, event.v))
-    return ReplayResult(
-        reports=reports,
-        simulated_seconds=float(sum(r.simulated_seconds for r in reports)),
-        wall_seconds=timer.elapsed,
-    )
+        for index, event in enumerate(stream.events[start_index:], start_index):
+            report = _apply_event(engine, event, index, result,
+                                  retry=active_guard is not None)
+            if report is not None:
+                result.reports.append(report)
+                # Left-fold accumulation: bit-identical to summing the
+                # uninterrupted run's reports in order, so a resumed
+                # run reproduces the same float total.
+                sim_seconds += report.simulated_seconds
+            if active_guard is not None:
+                active_guard.after_event(index)
+            if checkpoint_every is not None and (index + 1) % checkpoint_every == 0:
+                from repro.resilience.checkpoint import save_checkpoint
+
+                path = os.path.join(
+                    os.fspath(checkpoint_dir), f"ckpt-{index + 1:08d}.npz"
+                )
+                save_checkpoint(
+                    engine, path,
+                    event_index=index + 1,
+                    simulated_prefix=sim_seconds,
+                    applied_count=applied_before + len(result.reports),
+                )
+                result.checkpoints.append(path)
+    result.simulated_seconds = sim_seconds
+    result.wall_seconds = timer.elapsed
+    if active_guard is not None:
+        result.guard_events = active_guard.events
+    return result
+
+
+def _apply_event(
+    engine: "DynamicBC", event: EdgeEvent, index: int, result: ReplayResult,
+    retry: bool,
+) -> Optional["UpdateReport"]:
+    """Apply one stream event; returns its report or ``None`` when the
+    event was skipped (recorded in *result*)."""
+    from repro.resilience.errors import UpdateError
+
+    def _once():
+        if event.op == INSERT:
+            return engine.insert_edge(event.u, event.v)
+        return engine.delete_edge(event.u, event.v)
+
+    try:
+        return _once()
+    except ValueError:
+        reason = "duplicate-insert" if event.op == INSERT else "missing-edge"
+        result.skipped.append(
+            SkippedEvent(index, event.u, event.v, event.op, reason)
+        )
+        return None
+    except UpdateError as exc:
+        if not retry:
+            raise
+        # The engine rolled back, so the event can be retried safely;
+        # a transient fault recovers here, a deterministic one is
+        # recorded and the stream moves on.
+        try:
+            report = _once()
+        except (ValueError, UpdateError) as retry_exc:
+            result.skipped.append(
+                SkippedEvent(index, event.u, event.v, event.op,
+                             f"update-error: {retry_exc}")
+            )
+            return None
+        result.recovered.append(
+            SkippedEvent(index, event.u, event.v, event.op,
+                         f"recovered after rollback: {exc}")
+        )
+        return report

@@ -1,0 +1,56 @@
+"""Resilience subsystem: transactional updates, self-healing guards,
+checkpoint/restore, and deterministic fault injection.
+
+The dynamic-BC engine's O(kn) auxiliary state is its performance
+advantage *and* its biggest operational liability (one corrupted row
+silently poisons every future score).  This package makes long-running
+streams survivable:
+
+* :mod:`repro.resilience.errors` — structured failure types;
+* :mod:`repro.resilience.transactions` — per-update undo journal
+  backing the engine's atomic ``_apply``;
+* :mod:`repro.resilience.guards` — cadence spot-checks, drift
+  classification, in-place row repair, escalation to full recompute;
+* :mod:`repro.resilience.checkpoint` — versioned, checksummed NPZ
+  checkpoints with atomic writes and bit-identical resume;
+* :mod:`repro.resilience.faults` — seeded chaos harness;
+* :mod:`repro.resilience.chaos` — end-to-end seeded chaos scenario
+  (the CI chaos job and ``python -m repro.cli chaos``).
+
+See ``docs/RESILIENCE.md`` for the fault model and recovery matrix.
+"""
+
+from repro.resilience.chaos import ChaosReport, run_chaos
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.errors import (
+    CheckpointError,
+    FaultInjected,
+    ResilienceError,
+    UpdateError,
+)
+from repro.resilience.faults import FaultInjector
+from repro.resilience.guards import Guard, GuardEvent, GuardPolicy
+from repro.resilience.transactions import UpdateTransaction
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "ChaosReport",
+    "Checkpoint",
+    "CheckpointError",
+    "FaultInjected",
+    "FaultInjector",
+    "Guard",
+    "GuardEvent",
+    "GuardPolicy",
+    "ResilienceError",
+    "UpdateError",
+    "UpdateTransaction",
+    "load_checkpoint",
+    "run_chaos",
+    "save_checkpoint",
+]

@@ -1,0 +1,262 @@
+"""Versioned, checksummed engine checkpoints.
+
+A long replay over millions of stream events must survive process
+death without recomputing from scratch (the paper's Table-III baseline
+is exactly the cost being avoided).  A checkpoint freezes everything
+the engine needs to continue bit-identically:
+
+* the graph (CSR ``row_offsets`` + ``col_indices``),
+* the O(kn) per-source state (``sources``, ``d``, ``sigma``,
+  ``delta``) and the shared ``bc`` vector,
+* the aggregate :class:`~repro.gpu.counters.KernelCounters`,
+* the replay cursor (``event_index``) and the float-exact running
+  totals (``simulated_prefix``, ``applied_count``) so a resumed
+  :func:`~repro.graph.stream.replay` reproduces the uninterrupted
+  run's accumulated seconds bit-for-bit (same left-fold order).
+
+Format: a single NPZ file (no pickling) carrying ``version`` and a
+SHA-256 ``checksum`` over every other entry; writes go to a temporary
+file in the same directory followed by :func:`os.replace`, so a crash
+mid-write can never leave a truncated checkpoint under the real name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gpu.counters import KernelCounters
+from repro.resilience.errors import CheckpointError
+
+#: bump when the on-disk layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+_COUNTER_INT_FIELDS = (
+    "steps", "work_items", "atomic_ops", "barriers", "kernel_launches",
+)
+
+
+@dataclass
+class Checkpoint:
+    """In-memory image of one checkpoint file."""
+
+    version: int
+    backend: str
+    vectorized: bool
+    event_index: int
+    simulated_prefix: float
+    applied_count: int
+    row_offsets: np.ndarray
+    col_indices: np.ndarray
+    sources: np.ndarray
+    d: np.ndarray
+    sigma: np.ndarray
+    delta: np.ndarray
+    bc: np.ndarray
+    counters: KernelCounters = field(default_factory=KernelCounters)
+
+    # ------------------------------------------------------------------
+    def restore_engine(
+        self,
+        device=None,
+        num_blocks: int = 0,
+        op_costs=None,
+        vectorized: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ):
+        """Rebuild a :class:`~repro.bc.engine.DynamicBC` from this
+        checkpoint.  Backend and vectorized default to the values the
+        checkpointed engine used; device/num_blocks/op_costs take the
+        engine defaults unless overridden."""
+        # Lazy imports: repro.bc.engine imports this package's siblings.
+        from repro.bc.engine import DynamicBC
+        from repro.bc.state import BCState
+        from repro.gpu.costmodel import DEFAULT_OP_COSTS
+        from repro.graph.csr import CSRGraph
+        from repro.graph.dynamic import DynamicGraph
+
+        graph = DynamicGraph.from_csr(
+            CSRGraph(self.row_offsets.copy(), self.col_indices.copy())
+        )
+        state = BCState(
+            self.sources.copy(), self.d.copy(), self.sigma.copy(),
+            self.delta.copy(), self.bc.copy(),
+        )
+        engine = DynamicBC(
+            graph, state,
+            backend=self.backend if backend is None else backend,
+            device=device,
+            num_blocks=num_blocks,
+            op_costs=DEFAULT_OP_COSTS if op_costs is None else op_costs,
+            vectorized=self.vectorized if vectorized is None else vectorized,
+        )
+        engine.counters = _copy_counters(self.counters)
+        return engine
+
+    def restore_into(self, engine) -> None:
+        """Overwrite *engine*'s graph, state and counters in place
+        (used by ``replay(..., resume_from=...)`` so callers keep their
+        configured engine object)."""
+        from repro.bc.state import BCState
+        from repro.graph.csr import CSRGraph
+        from repro.graph.dynamic import DynamicGraph
+
+        engine.graph = DynamicGraph.from_csr(
+            CSRGraph(self.row_offsets.copy(), self.col_indices.copy())
+        )
+        engine.state = BCState(
+            self.sources.copy(), self.d.copy(), self.sigma.copy(),
+            self.delta.copy(), self.bc.copy(),
+        )
+        engine.counters = _copy_counters(self.counters)
+
+
+def _copy_counters(counters: KernelCounters) -> KernelCounters:
+    return KernelCounters(
+        steps=counters.steps,
+        work_items=counters.work_items,
+        bytes_moved=counters.bytes_moved,
+        atomic_ops=counters.atomic_ops,
+        barriers=counters.barriers,
+        kernel_launches=counters.kernel_launches,
+        by_kernel=dict(counters.by_kernel),
+    )
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def _payload(engine, event_index, simulated_prefix, applied_count) -> Dict[str, np.ndarray]:
+    snap = engine.graph.snapshot()
+    st = engine.state
+    c = engine.counters
+    kernels = sorted(c.by_kernel)
+    data: Dict[str, np.ndarray] = {
+        "version": np.int64(CHECKPOINT_VERSION),
+        "backend": np.array(engine.backend),
+        "vectorized": np.bool_(engine.vectorized),
+        "event_index": np.int64(event_index),
+        "simulated_prefix": np.float64(simulated_prefix),
+        "applied_count": np.int64(applied_count),
+        "row_offsets": snap.row_offsets,
+        "col_indices": snap.col_indices,
+        "sources": st.sources,
+        "d": st.d,
+        "sigma": st.sigma,
+        "delta": st.delta,
+        "bc": st.bc,
+        "counters_bytes_moved": np.float64(c.bytes_moved),
+        "counters_ints": np.array(
+            [getattr(c, f) for f in _COUNTER_INT_FIELDS], dtype=np.int64
+        ),
+        "by_kernel_names": np.array(kernels),
+        "by_kernel_items": np.array(
+            [c.by_kernel[k] for k in kernels], dtype=np.int64
+        ),
+    }
+    return data
+
+
+def _digest(data: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every entry (sorted by key) except the checksum."""
+    h = hashlib.sha256()
+    for key in sorted(data):
+        if key == "checksum":
+            continue
+        arr = np.ascontiguousarray(data[key])
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def save_checkpoint(
+    engine,
+    path,
+    event_index: int = 0,
+    simulated_prefix: float = 0.0,
+    applied_count: int = 0,
+) -> str:
+    """Atomically write a checkpoint of *engine* to *path*.
+
+    The file is first written to ``<path>.tmp`` in the same directory
+    and then renamed over the target, so readers never observe a
+    partial checkpoint.  Returns the final path as a string.
+    """
+    data = _payload(engine, event_index, simulated_prefix, applied_count)
+    data["checksum"] = np.array(_digest(data))
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return path
+
+
+def load_checkpoint(path) -> Checkpoint:
+    """Read and validate a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` when the file is unreadable, its
+    checksum does not match, or its version is unsupported.
+    """
+    path = os.fspath(path)
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            data = {key: npz[key] for key in npz.files}
+    except CheckpointError:
+        raise
+    except Exception as exc:  # zip/npy corruption, missing file, ...
+        raise CheckpointError(path, f"unreadable checkpoint ({exc})", exc) from exc
+    if "checksum" not in data or "version" not in data:
+        raise CheckpointError(path, "not a checkpoint file (missing metadata)")
+    stored = str(data["checksum"])
+    actual = _digest(data)
+    if stored != actual:
+        raise CheckpointError(
+            path, f"checksum mismatch (stored {stored[:12]}…, computed {actual[:12]}…)"
+        )
+    version = int(data["version"])
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            path,
+            f"unsupported checkpoint version {version} "
+            f"(this build reads version {CHECKPOINT_VERSION})",
+        )
+    ints = data["counters_ints"]
+    counters = KernelCounters(
+        bytes_moved=float(data["counters_bytes_moved"]),
+        by_kernel={
+            str(name): int(items)
+            for name, items in zip(
+                data["by_kernel_names"].tolist(), data["by_kernel_items"].tolist()
+            )
+        },
+        **{f: int(ints[j]) for j, f in enumerate(_COUNTER_INT_FIELDS)},
+    )
+    return Checkpoint(
+        version=version,
+        backend=str(data["backend"]),
+        vectorized=bool(data["vectorized"]),
+        event_index=int(data["event_index"]),
+        simulated_prefix=float(data["simulated_prefix"]),
+        applied_count=int(data["applied_count"]),
+        row_offsets=data["row_offsets"],
+        col_indices=data["col_indices"],
+        sources=data["sources"],
+        d=data["d"],
+        sigma=data["sigma"],
+        delta=data["delta"],
+        bc=data["bc"],
+        counters=counters,
+    )

@@ -1,0 +1,82 @@
+"""Structured exceptions for the resilience subsystem.
+
+The dynamic algorithm's Achilles heel (paper §II-D) is its O(kn)
+auxiliary state: one half-applied update or one corrupted row silently
+poisons every future BC score.  These exception types make failures
+*structured* — a caller always learns which update failed, at which
+phase, and whether the engine rolled back to a consistent state —
+instead of receiving a bare traceback over half-mutated arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class ResilienceError(Exception):
+    """Base class for all resilience-subsystem failures."""
+
+
+class UpdateError(ResilienceError):
+    """A streaming update failed mid-flight.
+
+    When :attr:`rolled_back` is ``True`` (the transactional engine
+    default) the engine's graph, per-source state rows, BC scores and
+    counters have been restored to their exact pre-update values: the
+    failed update simply never happened and the engine remains safe to
+    use.
+
+    Attributes
+    ----------
+    edge:
+        The ``(u, v)`` pair whose update failed.
+    operation:
+        ``"insert"`` or ``"delete"``.
+    source_index:
+        Index of the source row being processed when the failure
+        surfaced, or ``-1`` when the failure was not source-specific.
+    rolled_back:
+        Whether the engine state was restored to the pre-update
+        snapshot.
+    """
+
+    def __init__(
+        self,
+        edge: Tuple[int, int],
+        operation: str,
+        cause: BaseException,
+        source_index: int = -1,
+        rolled_back: bool = True,
+    ) -> None:
+        self.edge = (int(edge[0]), int(edge[1]))
+        self.operation = str(operation)
+        self.cause = cause
+        self.source_index = int(source_index)
+        self.rolled_back = bool(rolled_back)
+        state = "rolled back" if rolled_back else "NOT rolled back"
+        where = (
+            f" at source index {self.source_index}" if self.source_index >= 0 else ""
+        )
+        super().__init__(
+            f"{self.operation} {self.edge} failed{where} "
+            f"({type(cause).__name__}: {cause}); engine state {state}"
+        )
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint file is unreadable, corrupt, or incompatible."""
+
+    def __init__(self, path, reason: str, cause: Optional[BaseException] = None):
+        self.path = str(path)
+        self.reason = reason
+        self.cause = cause
+        super().__init__(f"{self.path}: {reason}")
+
+
+class FaultInjected(RuntimeError):
+    """Marker exception raised by an armed :class:`FaultInjector` trap.
+
+    Deliberately *not* a :class:`ResilienceError`: injected faults model
+    arbitrary foreign failures (device loss, OOM, a bug in a kernel),
+    so recovery paths must not be able to special-case them.
+    """

@@ -1,0 +1,147 @@
+"""Deterministic fault injection (the chaos harness).
+
+Guards and transactions are only trustworthy if they are exercised
+against the failures they claim to survive.  :class:`FaultInjector` is
+a seeded source of exactly the fault classes the resilience subsystem
+handles:
+
+* **state-row corruption** — deterministic bit-rot in one source's
+  ``d``/``sigma``/``delta`` row (what the guard classifies as
+  *row drift* and repairs in place);
+* **structural corruption** — non-finite/negative values that make the
+  whole state untrustworthy (what the guard escalates on);
+* **mid-kernel faults** — a one-shot trap that raises
+  :class:`~repro.resilience.errors.FaultInjected` partway through an
+  update's per-source loop (what the transactional engine rolls back);
+* **malformed stream input** — bad CSV rows for
+  :meth:`EdgeStream.load`'s validation;
+* **file corruption** — a flipped byte to trip the checkpoint
+  checksum.
+
+Everything is driven by one seeded generator, so a failing chaos run
+is reproducible from its seed alone (the CI job prints it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import DIST_INF
+from repro.resilience.errors import FaultInjected
+from repro.utils.prng import SeedLike, default_rng
+
+#: row-corruption flavours
+ROW_KINDS = ("d", "sigma", "delta")
+
+
+class FaultInjector:
+    """Seeded chaos harness; every injection is logged."""
+
+    def __init__(self, seed: SeedLike = 0) -> None:
+        self.rng = default_rng(seed)
+        self.log: List[str] = []
+
+    # ------------------------------------------------------------------
+    # State corruption
+    # ------------------------------------------------------------------
+    def corrupt_row(self, engine, kind: Optional[str] = None) -> Tuple[int, str]:
+        """Corrupt one random source row of *engine*'s state.
+
+        The damage stays *structurally valid* (finite, non-negative) so
+        a guard must classify it as row drift, not structural
+        corruption.  Returns ``(source_index, kind)``.
+        """
+        st = engine.state
+        i = int(self.rng.integers(0, st.num_sources))
+        kind = kind if kind is not None else str(self.rng.choice(ROW_KINDS))
+        s = int(st.sources[i])
+        # Target a vertex reachable from the source but not the source
+        # itself, so every flavour is a real, detectable drift.
+        reachable = np.flatnonzero(
+            (st.d[i] != DIST_INF) & (np.arange(st.num_vertices) != s)
+        )
+        v = s if reachable.size == 0 else int(self.rng.choice(reachable))
+        if kind == "d":
+            st.d[i, v] += 1
+        elif kind == "sigma":
+            st.sigma[i, v] = st.sigma[i, v] * 2.0 + 1.0
+        elif kind == "delta":
+            st.delta[i, v] += 0.5
+        else:
+            raise ValueError(f"unknown row-corruption kind {kind!r}")
+        self.log.append(f"corrupt_row source_index={i} kind={kind} vertex={v}")
+        return i, kind
+
+    def corrupt_structural(self, engine) -> str:
+        """Inject structurally-invalid damage (NaN σ or negative σ)."""
+        st = engine.state
+        i = int(self.rng.integers(0, st.num_sources))
+        v = int(self.rng.integers(0, st.num_vertices))
+        if bool(self.rng.integers(0, 2)):
+            st.sigma[i, v] = np.nan
+            detail = f"sigma[{i},{v}]=nan"
+        else:
+            st.sigma[i, v] = -1.0
+            detail = f"sigma[{i},{v}]=-1"
+        self.log.append(f"corrupt_structural {detail}")
+        return detail
+
+    # ------------------------------------------------------------------
+    # Mid-update faults
+    # ------------------------------------------------------------------
+    def arm_update_fault(self, engine, after_sources: int = 1) -> None:
+        """One-shot trap: the engine's next update raises
+        :class:`FaultInjected` once *after_sources* per-source
+        executions have completed, mid-way through the batch.  The trap
+        disarms itself (and restores the engine) when it fires."""
+        if after_sources < 0:
+            raise ValueError(f"after_sources must be >= 0, got {after_sources}")
+        original = engine._run_source
+        calls = {"n": 0}
+        log = self.log
+
+        def tripwire(*args, **kwargs):
+            if calls["n"] >= after_sources:
+                engine._run_source = original
+                log.append(f"update fault fired after {calls['n']} sources")
+                raise FaultInjected(
+                    f"injected mid-update fault after {calls['n']} sources"
+                )
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        engine._run_source = tripwire
+        self.log.append(f"arm_update_fault after_sources={after_sources}")
+
+    # ------------------------------------------------------------------
+    # Malformed input / file corruption
+    # ------------------------------------------------------------------
+    def malformed_stream_rows(self, count: int = 4) -> List[str]:
+        """CSV rows that :meth:`EdgeStream.load` must reject with a
+        ``path:lineno`` diagnostic (never a raw ``int()`` traceback)."""
+        candidates = [
+            "1.0,3,4,upsert",  # invalid op
+            "1.0,-2,4,insert",  # negative vertex id
+            "1.0,a,4,insert",  # non-integer vertex id
+            "oops,3,4,delete",  # non-numeric timestamp
+            "1.0,3,insert",  # wrong column count
+            "1.0,5,5,insert",  # self loop
+        ]
+        picks = self.rng.choice(len(candidates), size=min(count, len(candidates)),
+                                replace=False)
+        return [candidates[int(j)] for j in picks]
+
+    def corrupt_file(self, path) -> int:
+        """Flip one byte near the middle of *path*; returns the offset."""
+        with open(path, "rb") as fh:
+            blob = bytearray(fh.read())
+        if not blob:
+            raise ValueError(f"{path} is empty")
+        offset = len(blob) // 2
+        blob[offset] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        self.log.append(f"corrupt_file {path} offset={offset}")
+        return offset

@@ -1,0 +1,67 @@
+"""Undo journal making one streaming update atomic.
+
+:class:`DynamicBC` mutates four things while applying an update: the
+dynamic graph (one edge), the per-source state rows ``d/sigma/delta``
+(only for sources with real work — the Case-2/3 minority, Fig. 2), the
+shared BC score vector, and the aggregate kernel counters.  The journal
+captures exactly those pieces *lazily* — the score vector once per
+update (one O(n) memcpy), each state row only if its source is about to
+execute — so the common all-Case-1 update pays one vector copy and
+nothing else.
+
+On failure the journal restores every captured piece and undoes the
+edge mutation, leaving the engine bit-identical to its pre-update
+state (see ``tests/test_resilience_transactions.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class UpdateTransaction:
+    """Rollback journal for one ``insert``/``delete`` update.
+
+    The engine opens one transaction per update *after* the graph
+    mutation has been applied, registers each state row just before the
+    per-source machinery touches it (:meth:`save_row`), and calls
+    :meth:`rollback` if anything raises.
+    """
+
+    def __init__(self, engine, u: int, v: int, operation: str) -> None:
+        self._engine = engine
+        self._u = int(u)
+        self._v = int(v)
+        self._operation = operation
+        self._bc = engine.state.bc.copy()
+        self._counters = engine.counters
+        self._rows: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        #: index of the source row being executed (for UpdateError)
+        self.current_source: int = -1
+
+    def save_row(self, i: int) -> None:
+        """Journal source row *i*'s state arrays (idempotent)."""
+        self.current_source = i
+        if i in self._rows:
+            return
+        st = self._engine.state
+        self._rows[i] = (st.d[i].copy(), st.sigma[i].copy(), st.delta[i].copy())
+
+    def rollback(self) -> None:
+        """Restore graph, journaled rows, BC scores and counters."""
+        engine = self._engine
+        st = engine.state
+        for i, (d, sigma, delta) in self._rows.items():
+            st.d[i] = d
+            st.sigma[i] = sigma
+            st.delta[i] = delta
+        st.bc[:] = self._bc
+        engine.counters = self._counters
+        # Undo the edge mutation last so the snapshot cache is patched
+        # back into its pre-update form.
+        if self._operation == "insert":
+            engine.graph.delete_edge(self._u, self._v)
+        else:
+            engine.graph.insert_edge(self._u, self._v)

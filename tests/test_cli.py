@@ -74,3 +74,61 @@ class TestMain:
         csv = (tmp_path / "fig1.csv").read_text()
         assert csv.startswith("graph,device,blocks,speedup")
         assert "Tesla C2075" in csv
+
+
+REPLAY_FAST = ["replay", "--scale", "0.3", "--sources", "8",
+               "--events", "10", "--seed", "5"]
+
+
+class TestReplaySubcommand:
+    def test_guarded_replay_runs(self, capsys):
+        rc = main(REPLAY_FAST + ["--guard-every", "4", "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "final verify: ok" in out
+
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        rc = main(REPLAY_FAST + ["--checkpoint-every", "4",
+                                 "--checkpoint-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        ckpts = sorted(tmp_path.glob("ckpt-*.npz"))
+        assert len(ckpts) == 2
+        def sim_total(text):
+            line = [ln for ln in text.splitlines() if "simulated" in ln][0]
+            return line.split()[2]
+
+        full_sim = sim_total(out)
+        rc = main(REPLAY_FAST + ["--resume-from", str(ckpts[0])])
+        assert rc == 0
+        resumed = capsys.readouterr().out
+        # bit-identical resume -> identical printed simulated total
+        assert sim_total(resumed) == full_sim
+        assert "events 4..9" in resumed
+
+    def test_stream_file_replayed(self, tmp_path, capsys):
+        from repro.graph.stream import EdgeStream
+        from repro.graph.suite import make_suite_graph
+
+        graph = make_suite_graph("small", scale=0.3, seed=5).graph
+        path = tmp_path / "s.csv"
+        EdgeStream.poisson_growth(graph, 4, seed=1).save(path)
+        rc = main(REPLAY_FAST + ["--stream", str(path)])
+        assert rc == 0
+        assert "replayed 4" in capsys.readouterr().out
+
+
+class TestChaosSubcommand:
+    def test_chaos_passes(self, capsys):
+        rc = main(["chaos", "--seed", "1", "--events", "18"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "checkpoint resume bit-identical: yes" in out
+
+    def test_backend_override(self, capsys):
+        rc = main(["chaos", "--seed", "2", "--events", "18",
+                   "--backend", "cpu"])
+        assert rc == 0
+        assert "backend=cpu" in capsys.readouterr().out

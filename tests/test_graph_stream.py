@@ -9,6 +9,7 @@ from repro.graph.stream import (
     INSERT,
     EdgeEvent,
     EdgeStream,
+    ReplayResult,
     replay,
 )
 
@@ -116,6 +117,32 @@ class TestReplay:
         assert result.updates_per_second > 0
         eng.verify()
 
+    def test_empty_stream_zero_throughput(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        result = replay(eng, EdgeStream())
+        assert result.updates_per_second == 0.0
+        assert result.reports == []
+
+    def test_zero_simulated_seconds_zero_throughput(self):
+        # Regression: used to divide by zero and report inf.
+        result = ReplayResult(reports=[object()], simulated_seconds=0.0,
+                              wall_seconds=0.1)
+        assert result.updates_per_second == 0.0
+
+    def test_duplicate_insert_skipped_not_fatal(self, karate):
+        eng = DynamicBC.from_graph(karate, num_sources=8, seed=1)
+        stream = EdgeStream([
+            EdgeEvent(0.5, 0, 1),          # already in karate -> skip
+            EdgeEvent(1.0, 0, 9),          # fresh insert -> applied
+            EdgeEvent(1.5, 0, 15, DELETE),  # missing edge -> skip
+            EdgeEvent(2.0, 0, 9, DELETE),  # applied
+        ])
+        result = replay(eng, stream)
+        assert len(result.reports) == 2
+        reasons = [(s.index, s.reason) for s in result.skipped]
+        assert reasons == [(0, "duplicate-insert"), (2, "missing-edge")]
+        eng.verify()
+
     def test_replay_matches_manual(self, karate):
         stream = EdgeStream.poisson_growth(karate, 5, seed=7)
         a = DynamicBC.from_graph(karate, num_sources=8, seed=1)
@@ -174,3 +201,25 @@ class TestStreamIO:
         path = tmp_path / "ok.csv"
         path.write_text("time,u,v,op\n1.0,2,3,insert\n\n")
         assert len(EdgeStream.load(path)) == 1
+
+    @pytest.mark.parametrize("row,fragment", [
+        ("1.0,2,3,upsert", "invalid op"),
+        ("1.0,-2,3,insert", "negative vertex id"),
+        ("1.0,2,three,insert", "invalid vertex id"),
+        ("soon,2,3,insert", "invalid timestamp"),
+        ("1.0,2,3,insert,extra", "malformed"),
+        ("1.0,4,4,insert", "self loop"),
+    ])
+    def test_bad_rows_rejected_with_location(self, tmp_path, row, fragment):
+        path = tmp_path / "bad.csv"
+        path.write_text(f"time,u,v,op\n0.5,0,1,insert\n{row}\n")
+        with pytest.raises(ValueError, match=fragment) as info:
+            EdgeStream.load(path)
+        # the message pinpoints the offending line
+        assert f"{path}:3" in str(info.value)
+
+    def test_save_is_atomic(self, karate, tmp_path):
+        s = EdgeStream.churn(karate, 5, seed=9)
+        path = tmp_path / "stream.csv"
+        s.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["stream.csv"]
