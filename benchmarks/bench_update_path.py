@@ -79,7 +79,7 @@ def _replay_case1_churn(graph, pairs, vectorized, seed):
 
 @pytest.mark.parametrize("graph_name", CASE1_GRAPHS)
 def test_update_path_speedup(benchmark, graph_name, bench_config,
-                             save_artifact):
+                             save_artifact, record_bench):
     bench = make_suite_graph(graph_name, scale=bench_config.scale,
                              seed=bench_config.seed)
     probe = DynamicBC.from_graph(
@@ -115,6 +115,18 @@ def test_update_path_speedup(benchmark, graph_name, bench_config,
 
     speedup = t_loop / t_fast
     updates = 2 * len(pairs)
+    record_bench(
+        f"update_path_{graph_name}",
+        {
+            "graph": graph_name,
+            "num_sources": NUM_SOURCES,
+            "num_updates": updates,
+            "loop_seconds": t_loop,
+            "vectorized_seconds": t_fast,
+            "speedup": speedup,
+            "min_speedup_floor": MIN_SPEEDUP,
+        },
+    )
     save_artifact(
         f"update_path_{graph_name}.txt",
         f"Case-1-dominated churn on '{graph_name}' "

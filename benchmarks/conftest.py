@@ -11,6 +11,7 @@ Scale up via environment variables for paper-regime runs::
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -19,6 +20,11 @@ import pytest
 from repro.analysis.config import ExperimentConfig
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: machine-readable benchmark results, one JSON object keyed by
+#: section name, written at the repo root so CI and scripts can diff
+#: runs without parsing rendered text artifacts
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_parallel.json"
 
 
 def _env_float(name: str, default: float) -> float:
@@ -52,3 +58,26 @@ def save_artifact(artifact_dir):
         print(f"\n{text}\n[saved to benchmarks/output/{name}]")
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Merge one section into ``BENCH_parallel.json`` at the repo root.
+
+    Sections are merged (not clobbered) so independent pytest
+    invocations — the serial-vs-workers sweep, the update-path
+    benchmark — accumulate into one machine-readable file.
+    """
+
+    def _record(section: str, payload: dict) -> None:
+        data = {}
+        if BENCH_JSON.exists():
+            try:
+                data = json.loads(BENCH_JSON.read_text())
+            except (json.JSONDecodeError, OSError):
+                data = {}
+        data[section] = payload
+        BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"[recorded section {section!r} in {BENCH_JSON.name}]")
+
+    return _record

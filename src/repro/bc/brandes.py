@@ -25,20 +25,39 @@ from repro.graph.csr import CSRGraph, DIST_INF
 
 
 def single_source_state(
-    graph: CSRGraph, source: int
+    graph: CSRGraph, source: int,
+    out: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[np.ndarray]]:
     """Stages 1–3 of Algorithm 1 for one source.
 
     Returns ``(d, sigma, delta, levels)`` where ``levels[i]`` is the
     BFS frontier at distance *i* (``levels[0] == [source]``) — the
     level-bucketed equivalent of the stack ``S``.
+
+    ``out`` — optional ``(d, sigma, delta)`` arrays (e.g. rows of the
+    ``(k, n)`` state matrices) written in place and returned; callers
+    building many sources avoid allocating transient per-source
+    vectors, keeping peak memory at the retained state plus O(n + m)
+    scratch (the from-scratch builders and the parallel workers all
+    pass their state rows directly).
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range")
-    d = np.full(n, DIST_INF, dtype=np.int64)
-    sigma = np.zeros(n, dtype=np.float64)
-    delta = np.zeros(n, dtype=np.float64)
+    if out is None:
+        d = np.full(n, DIST_INF, dtype=np.int64)
+        sigma = np.zeros(n, dtype=np.float64)
+        delta = np.zeros(n, dtype=np.float64)
+    else:
+        d, sigma, delta = out
+        if d.shape != (n,) or sigma.shape != (n,) or delta.shape != (n,):
+            raise ValueError(
+                f"out rows must each have shape ({n},), got "
+                f"{d.shape}/{sigma.shape}/{delta.shape}"
+            )
+        d[...] = DIST_INF
+        sigma[...] = 0.0
+        delta[...] = 0.0
     d[source] = 0
     sigma[source] = 1.0
 

@@ -43,14 +43,18 @@ from repro.gpu.costmodel import (
     OpCosts,
     cpu_access_cycles,
 )
-from repro.gpu.counters import KernelCounters
+from repro.gpu.counters import KernelCounters, Trace
 from repro.gpu.device import CORE_I7_2600K, TESLA_C2075, DeviceSpec
 from repro.gpu.executor import schedule_blocks
 from repro.graph.csr import CSRGraph, DIST_INF
 from repro.graph.dynamic import DynamicGraph
+from repro.parallel.chunks import plan_chunks
+from repro.parallel.pool import ParallelExecutionError, WorkerPool
+from repro.parallel.reducer import merge_indexed, rebuild_trace
+from repro.parallel.shm import ShmArena, shm_available
 from repro.resilience.errors import UpdateError
 from repro.resilience.transactions import UpdateTransaction
-from repro.utils.prng import SeedLike
+from repro.utils.prng import SeedLike, default_rng, sample_without_replacement
 from repro.utils.timing import WallTimer
 
 #: valid backend names
@@ -117,6 +121,8 @@ class DynamicBC:
         op_costs: OpCosts = DEFAULT_OP_COSTS,
         vectorized: bool = True,
         transactional: bool = True,
+        workers: int = 1,
+        start_method: Optional[str] = None,
     ) -> None:
         if backend not in ACCOUNTANTS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -148,6 +154,19 @@ class DynamicBC:
         self.transactional = bool(transactional)
         self._txn: Optional[UpdateTransaction] = None
         self.counters = KernelCounters()
+        #: coarse-grained source parallelism: worker processes sharing
+        #: the CSR arrays and state rows via shared memory — the CPU
+        #: analogue of the paper's one-source-per-SM decomposition
+        #: (docs/MODEL.md, "Parallel execution").  ``1`` runs serially;
+        #: every reported artifact is bit-identical either way.
+        self.workers = max(1, int(workers))
+        self._start_method = start_method
+        self._pool: Optional[WorkerPool] = None
+        self._arena: Optional[ShmArena] = None
+        self._parallel_disabled = False
+        #: identity signature of the state arrays adopted into shm
+        self._adopted: Optional[tuple] = None
+        self._graph_capacity = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -163,21 +182,75 @@ class DynamicBC:
         op_costs: OpCosts = DEFAULT_OP_COSTS,
         vectorized: bool = True,
         transactional: bool = True,
+        workers: int = 1,
+        start_method: Optional[str] = None,
     ) -> "DynamicBC":
         """Build the engine, computing the initial state with Brandes.
 
         Give either ``sources`` explicitly or ``num_sources`` random
         ones (``None`` means exact BC over all vertices).
+
+        ``workers > 1`` runs the k initial Brandes passes — and every
+        subsequent update/recompute/check — on a shared-memory worker
+        pool; the resulting state is bit-identical to the serial build
+        (the bc fold happens in the parent, in source order).
         """
         snap = graph.snapshot() if isinstance(graph, DynamicGraph) else graph
         if sources is not None:
-            state = BCState.compute(snap, sources)
+            chosen = [int(s) for s in sources]
         elif num_sources is not None:
-            state = BCState.compute_with_random_sources(snap, num_sources, seed)
+            # Same sampling calls as BCState.compute_with_random_sources
+            # so workers=N picks the identical source set.
+            rng = default_rng(seed)
+            chosen = sample_without_replacement(
+                rng, snap.num_vertices, min(num_sources, snap.num_vertices)
+            )
         else:
-            state = BCState.compute(snap, range(snap.num_vertices))
+            chosen = range(snap.num_vertices)
+        if workers > 1:
+            engine = cls._from_graph_parallel(
+                graph, snap, chosen, backend, device, num_blocks, op_costs,
+                vectorized, transactional, workers, start_method,
+            )
+            if engine is not None:
+                return engine
+        state = BCState.compute(snap, chosen)
         return cls(graph, state, backend, device, num_blocks, op_costs,
-                   vectorized, transactional)
+                   vectorized, transactional, workers=workers,
+                   start_method=start_method)
+
+    @classmethod
+    def _from_graph_parallel(
+        cls, graph, snap, chosen, backend, device, num_blocks, op_costs,
+        vectorized, transactional, workers, start_method,
+    ) -> Optional["DynamicBC"]:
+        """Initial Brandes build through the worker pool; ``None`` when
+        the pool is unavailable or failed (caller falls back to the
+        serial build, which also re-raises any real input error)."""
+        src = np.asarray(sorted(int(s) for s in chosen), dtype=np.int64)
+        k, n = int(src.size), snap.num_vertices
+        if np.unique(src).size != k:
+            return None  # let BCState.compute raise its usual error
+        if k and (src[0] < 0 or src[-1] >= n):
+            return None  # ditto (IndexError from single_source_state)
+        state = BCState(
+            src,
+            np.full((k, n), DIST_INF, dtype=np.int64),
+            np.zeros((k, n), dtype=np.float64),
+            np.zeros((k, n), dtype=np.float64),
+            np.zeros(n, dtype=np.float64),
+        )
+        engine = cls(graph, state, backend, device, num_blocks, op_costs,
+                     vectorized, transactional, workers=workers,
+                     start_method=start_method)
+        if engine._ensure_pool() is None:
+            return None  # zeros state discarded; caller builds serially
+        try:
+            engine._brandes_fill(snap, range(k))
+        except ParallelExecutionError as exc:
+            engine._disable_parallel(f"initial build failed: {exc}")
+            return None
+        return engine
 
     # ------------------------------------------------------------------
     @property
@@ -278,8 +351,20 @@ class DynamicBC:
 
     def recompute(self) -> None:
         """Throw the state away and rebuild it with Brandes (the static
-        recomputation the dynamic algorithm is measured against)."""
-        self.state = BCState.compute(self.graph.snapshot(), self.state.sources)
+        recomputation the dynamic algorithm is measured against).
+
+        With ``workers > 1`` the k passes fan out to the pool, writing
+        the shared rows in place; the parent re-folds bc in source
+        order, so the result is bit-identical to the serial rebuild.
+        """
+        snap = self.graph.snapshot()
+        if self._ensure_pool() is not None:
+            try:
+                self._brandes_fill(snap, range(self.state.num_sources))
+                return
+            except ParallelExecutionError as exc:
+                self._disable_parallel(f"recompute failed: {exc}")
+        self.state = BCState.compute(snap, self.state.sources)
 
     def verify(self, atol: float = 1e-6) -> None:
         """Assert the incrementally-maintained state matches scratch."""
@@ -312,7 +397,18 @@ class DynamicBC:
         """Return the subset of source-row *indices* whose stored
         ``d``/``sigma``/``delta`` rows differ from a from-scratch
         single-source recomputation (the guard's detection primitive;
-        :meth:`spot_check` is the raising wrapper)."""
+        :meth:`spot_check` is the raising wrapper).
+
+        With ``workers > 1`` the scratch recomputations fan out to the
+        pool; chunks stay in input order, so the returned list matches
+        the serial scan exactly.
+        """
+        indices = [int(i) for i in indices]
+        if len(indices) > 1 and self._ensure_pool() is not None:
+            try:
+                return self._check_rows_parallel(indices, atol)
+            except ParallelExecutionError as exc:
+                self._disable_parallel(f"check_rows failed: {exc}")
         from repro.resilience.guards import check_rows_against_scratch
 
         return [i for i, _ in check_rows_against_scratch(self, indices, atol=atol)]
@@ -332,7 +428,13 @@ class DynamicBC:
         k = self.state.num_sources
         if not 0 <= i < k:
             raise IndexError(f"source index {i} out of range for k={k}")
+        i = int(i)
         snap = self.graph.snapshot()
+        if self._ensure_pool() is not None:
+            try:
+                return self._repair_parallel(snap, i)
+            except ParallelExecutionError as exc:
+                self._disable_parallel(f"repair failed: {exc}")
         access = cpu_access_cycles(self.device, snap.num_vertices,
                                    2 * snap.num_edges)
         acc = make_accountant(
@@ -368,6 +470,305 @@ class DynamicBC:
         return report
 
     # ------------------------------------------------------------------
+    # Parallel execution layer (docs/MODEL.md, "Parallel execution")
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool and migrate the state back into
+        private memory; the engine keeps working serially afterwards.
+
+        Idempotent, and a no-op for serial engines.  ``with`` works
+        too: ``with DynamicBC.from_graph(g, workers=4) as engine: ...``
+        """
+        self._release_parallel()
+        self._parallel_disabled = True
+
+    def __enter__(self) -> "DynamicBC":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            if self._pool is not None or self._arena is not None:
+                self._release_parallel()
+        except Exception:
+            pass  # interpreter teardown: daemons + tracker clean up
+
+    def _ensure_pool(self) -> Optional[WorkerPool]:
+        """The live worker pool, or ``None`` when running serially
+        (``workers <= 1``, :meth:`close` called, or the platform cannot
+        support the pool — which warns once and falls back)."""
+        if self.workers <= 1 or self._parallel_disabled:
+            return None
+        if self._pool is not None:
+            return self._pool
+        try:
+            if not shm_available():
+                raise RuntimeError("POSIX shared memory unavailable")
+            self._pool = WorkerPool(self.workers, self._start_method)
+            self._arena = ShmArena()
+            self._adopted = None
+            self._graph_capacity = 0
+        except Exception as exc:
+            self._disable_parallel(str(exc))
+        return self._pool
+
+    def _disable_parallel(self, reason: str) -> None:
+        """Fall back to serial execution permanently (results are
+        identical — only wall-clock changes — so a warning suffices)."""
+        import warnings
+
+        warnings.warn(
+            f"DynamicBC parallel mode disabled, falling back to serial "
+            f"execution: {reason}",
+            RuntimeWarning, stacklevel=3,
+        )
+        self._parallel_disabled = True
+        self._release_parallel()
+
+    def _release_parallel(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._arena is not None:
+            state = getattr(self, "state", None)
+            if state is not None:
+                for name in ("sources", "d", "sigma", "delta"):
+                    arr = getattr(state, name, None)
+                    if arr is not None and self._arena.owns(name, arr):
+                        setattr(state, name, arr.copy())
+            self._arena.close()
+            self._arena = None
+        self._adopted = None
+        self._graph_capacity = 0
+
+    def _shared_spec(self, snap: CSRGraph) -> dict:
+        """Mirror the engine state + CSR into the shm arena and return
+        the worker attach spec.
+
+        State adoption is one-shot: the ``BCState`` arrays are
+        *replaced* by shared-memory views, so worker writes and parent
+        reads are the same bytes and steady-state dispatch copies only
+        the CSR arrays (the graph changes every update).  Anything that
+        swaps the state arrays (``add_vertex``, checkpoint restore, a
+        serial ``recompute``) changes their identity and triggers
+        re-adoption here.
+        """
+        arena = self._arena
+        state = self.state
+        k, n = state.num_sources, state.num_vertices
+        signature = (
+            id(state), id(state.sources), id(state.d), id(state.sigma),
+            id(state.delta), k, n,
+        )
+        if signature != self._adopted:
+            for name in ("sources", "d", "sigma", "delta"):
+                current = getattr(state, name)
+                if arena.owns(name, current):
+                    # Re-adoption can find some arrays still living in
+                    # the previous-generation block (e.g. add_vertex
+                    # replaces d/sigma/delta but keeps sources); copy
+                    # them out before allocate() unlinks that block.
+                    current = current.copy()
+                shared = arena.allocate(name, current.shape, current.dtype)
+                shared[...] = current
+                setattr(state, name, shared)
+            arena.allocate("row_offsets", (n + 1,), np.int64)
+            self._graph_capacity = 0
+            self._adopted = (
+                id(state), id(state.sources), id(state.d), id(state.sigma),
+                id(state.delta), k, n,
+            )
+        arcs = int(snap.col_indices.size)
+        if arcs > self._graph_capacity:
+            # 25% headroom so steady insertion streams reallocate
+            # (and force worker re-attachment) only O(log m) times.
+            capacity = max(64, arcs + arcs // 4)
+            arena.allocate("col_indices", (capacity,), np.int32)
+            self._graph_capacity = capacity
+        arena.get("row_offsets")[: n + 1] = snap.row_offsets
+        arena.get("col_indices")[:arcs] = snap.col_indices
+        return arena.spec()
+
+    def _static_strategy(self) -> str:
+        """Nearest static cost profile for this backend (variants like
+        gpu-node-atomic share the node-parallel static profile)."""
+        from repro.bc.static_gpu import STATIC_STRATEGIES
+
+        if self.backend in STATIC_STRATEGIES:
+            return self.backend
+        return "cpu" if self.backend == "cpu" else "gpu-node"
+
+    def _parallel_common(self, snap: CSRGraph, spec: dict, **extra) -> dict:
+        common = {
+            "spec": spec,
+            "n": int(snap.num_vertices),
+            "arcs": int(2 * snap.num_edges),
+            "backend": self.backend,
+            "op_costs": self.op_costs,
+            "access": cpu_access_cycles(
+                self.device, snap.num_vertices, 2 * snap.num_edges
+            ),
+            "static_strategy": self._static_strategy(),
+        }
+        common.update(extra)
+        return common
+
+    def _brandes_fill(self, snap: CSRGraph, indices) -> None:
+        """Rebuild the given state rows from scratch in the workers and
+        re-fold bc in source order (bit-identical to
+        :meth:`BCState.compute`)."""
+        spec = self._shared_spec(snap)
+        common = self._parallel_common(snap, spec)
+        items = [int(i) for i in indices]
+        payloads = [
+            {"items": chunk}
+            for chunk in plan_chunks(items, self._pool.workers)
+        ]
+        self._pool.run("brandes", common, payloads)
+        self.state.rebuild_bc()
+
+    def _check_rows_parallel(self, indices: List[int], atol: float) -> List[int]:
+        snap = self.graph.snapshot()
+        spec = self._shared_spec(snap)
+        common = self._parallel_common(snap, spec, atol=float(atol))
+        payloads = [
+            {"items": chunk}
+            for chunk in plan_chunks(indices, self._pool.workers)
+        ]
+        outputs = self._pool.run("check", common, payloads)
+        return [int(record[0]) for output in outputs for record in output]
+
+    def _repair_parallel(self, snap: CSRGraph, i: int) -> UpdateStats:
+        spec = self._shared_spec(snap)
+        common = self._parallel_common(snap, spec)
+        outputs = self._pool.run("rebuild", common, [{"items": [i]}])
+        _, steps, touched, num_levels = outputs[0][0]
+        trace = rebuild_trace(f"repair:{int(self.state.sources[i])}", steps)
+        self.state.rebuild_bc()
+        counters = KernelCounters()
+        counters.absorb(trace, kernel="repair")
+        self.counters = self.counters.merged(counters)
+        return UpdateStats(touched=int(touched), moved=0,
+                           sp_levels=int(num_levels),
+                           dep_levels=int(num_levels) - 1)
+
+    def _dispatch_update(
+        self, snap: CSRGraph, operation: str, cases, highs, lows,
+        active: List[int],
+    ) -> Dict[int, tuple]:
+        """Fan the active sources out to the pool; returns
+        ``{i: (steps, stats, bc_idx, bc_vals)}``."""
+        spec = self._shared_spec(snap)
+        common = self._parallel_common(snap, spec, operation=operation)
+        items = [
+            (i, int(cases[i]), int(highs[i]), int(lows[i])) for i in active
+        ]
+        payloads = [
+            {"items": chunk}
+            for chunk in plan_chunks(items, self._pool.workers)
+        ]
+        outputs = self._pool.run("update", common, payloads)
+        return merge_indexed(outputs, active)
+
+    def _apply_parallel(
+        self,
+        u: int,
+        v: int,
+        operation: str,
+        classifications=None,
+    ) -> UpdateReport:
+        """Coarse-grained source-parallel update: Case-1 bulk charge as
+        in :meth:`_apply_vectorized`, then the active minority fanned
+        out to the worker pool — one source per worker at a time, the
+        paper's one-source-per-SM decomposition on CPU cores.
+
+        Workers mutate their disjoint state rows in place and return
+        order-insensitive artifacts (step lists, stats, sparse bc
+        adjustments); every order-sensitive float accumulation — bc
+        scatter-adds, stage folds, counter absorption — is replayed
+        here in ascending source order, so reports, counters and bc
+        are bit-identical to the serial paths regardless of worker
+        scheduling.
+        """
+        snap = self.graph.snapshot()
+        state = self.state
+        k = state.num_sources
+        per_source = np.zeros(k, dtype=np.float64)
+        touched = np.zeros(k, dtype=np.int64)
+        stats_list: List[Optional[UpdateStats]] = [None] * k
+        stage_seconds: Dict[str, float] = {}
+        counters = KernelCounters()
+        timer = WallTimer()
+        with timer:
+            if classifications is None:
+                cases, highs, lows = classify_insertions_batch(state.d, u, v)
+            elif isinstance(classifications, tuple):
+                cases, highs, lows = classifications
+            else:  # per-source tuples from the vectorized=False paths
+                cases = np.array(
+                    [int(c) for c, _, _ in classifications], dtype=np.int8
+                )
+                highs = np.array(
+                    [int(h) for _, h, _ in classifications], dtype=np.int64
+                )
+                lows = np.array(
+                    [int(lo) for _, _, lo in classifications], dtype=np.int64
+                )
+            same_mask = np.asarray(cases) == int(Case.SAME_LEVEL)
+            num_same = int(np.count_nonzero(same_mask))
+            classify_sec = self.cost_model.step_seconds(CLASSIFY_STEP)
+            per_source[same_mask] = classify_sec
+            if k:
+                stage_seconds["classify"] = self.cost_model.fold_step_seconds(
+                    CLASSIFY_STEP, k
+                )
+            counters.absorb_step_repeated(
+                CLASSIFY_STEP, num_same,
+                kernel=f"{operation}-case{int(Case.SAME_LEVEL)}",
+            )
+            active = [int(i) for i in np.flatnonzero(~same_mask)]
+            if active:
+                if self._txn is not None:
+                    # Journal every row the workers may touch *before*
+                    # dispatch: a crashed worker leaves rows half
+                    # written, and the rollback must cover all of them.
+                    for i in active:
+                        self._txn.save_row(i)
+                    self._txn.current_source = -1
+                results = self._dispatch_update(
+                    snap, operation, cases, highs, lows, active
+                )
+                for i in active:
+                    steps, stats, bc_idx, bc_vals = results[i]
+                    case = int(cases[i])
+                    trace = rebuild_trace(
+                        f"{operation}:{int(state.sources[i])}", steps
+                    )
+                    per_source[i] = self.cost_model.trace_seconds(trace)
+                    for stage, sec in self.cost_model.stage_breakdown(
+                        trace
+                    ).items():
+                        if stage == "classify":
+                            continue  # folded into the bulk total
+                        stage_seconds[stage] = (
+                            stage_seconds.get(stage, 0.0) + sec
+                        )
+                    counters.absorb(trace, kernel=f"{operation}-case{case}")
+                    if bc_idx.size:
+                        # Sparse replay of the kernel's masked commit:
+                        # zero-valued adjustments are dropped, which is
+                        # a bitwise no-op on the bc accumulator.
+                        state.bc[bc_idx] += bc_vals
+                    touched[i] = stats.touched
+                    stats_list[i] = stats
+        return self._finish_report(
+            u, v, operation, np.asarray(cases, dtype=np.int8), per_source,
+            touched, stats_list, stage_seconds, counters, timer,
+        )
+
+    # ------------------------------------------------------------------
     def _apply(
         self,
         u: int,
@@ -376,9 +777,7 @@ class DynamicBC:
         classifications=None,
     ) -> UpdateReport:
         if not self.transactional:
-            if self.vectorized:
-                return self._apply_vectorized(u, v, operation, classifications)
-            return self._apply_looped(u, v, operation, classifications)
+            return self._apply_inner(u, v, operation, classifications)
         # Transactional path: journal every piece the update mutates
         # (edge, touched state rows, bc, counters) and roll all of it
         # back on any mid-update exception, so a failed update simply
@@ -386,9 +785,7 @@ class DynamicBC:
         txn = UpdateTransaction(self, u, v, operation)
         self._txn = txn
         try:
-            if self.vectorized:
-                return self._apply_vectorized(u, v, operation, classifications)
-            return self._apply_looped(u, v, operation, classifications)
+            return self._apply_inner(u, v, operation, classifications)
         except Exception as exc:
             failed_at = txn.current_source
             txn.rollback()
@@ -398,6 +795,26 @@ class DynamicBC:
             ) from exc
         finally:
             self._txn = None
+
+    def _apply_inner(
+        self,
+        u: int,
+        v: int,
+        operation: str,
+        classifications=None,
+    ) -> UpdateReport:
+        """Route one update to an execution path: the worker pool when
+        live, else the vectorized/looped serial paths — all
+        bit-identical, so routing only affects wall-clock."""
+        if self._ensure_pool() is not None:
+            try:
+                return self._apply_parallel(u, v, operation, classifications)
+            except ParallelExecutionError as exc:
+                self._disable_parallel(f"update failed: {exc}")
+                raise
+        if self.vectorized:
+            return self._apply_vectorized(u, v, operation, classifications)
+        return self._apply_looped(u, v, operation, classifications)
 
     def _run_source(
         self, snap: CSRGraph, i: int, case: Case, u_high: int, u_low: int,
@@ -596,23 +1013,22 @@ class DynamicBC:
         per-source trace to *acc*."""
         state = self.state
         s = int(state.sources[i])
-        d_new, sigma_new, delta_new, levels = single_source_state(snap, s)
-        delta_new[s] = 0.0
-        state.d[i] = d_new
-        state.sigma[i] = sigma_new
-        state.delta[i] = delta_new
+        # Brandes writes straight into the state rows (no transient
+        # triple — same O(n + m) scratch guarantee as BCState.compute),
+        # which also keeps shm-adopted rows in place under workers > 1.
+        _, _, _, levels = single_source_state(
+            snap, s, out=(state.d[i], state.sigma[i], state.delta[i])
+        )
+        state.delta[i, s] = 0.0
         # Charge the static per-source trace under the nearest static
         # strategy (backend variants like gpu-node-atomic share the
         # node-parallel static cost profile).
-        from repro.bc.static_gpu import STATIC_STRATEGIES
-
-        strategy = self.backend if self.backend in STATIC_STRATEGIES else (
-            "cpu" if self.backend == "cpu" else "gpu-node"
-        )
         access = cpu_access_cycles(self.device, snap.num_vertices, 2 * snap.num_edges)
-        _, trace = trace_static_source(snap, s, strategy, self.op_costs, access)
+        _, trace = trace_static_source(
+            snap, s, self._static_strategy(), self.op_costs, access
+        )
         acc.trace.extend(trace)
-        touched = int(np.count_nonzero(d_new != DIST_INF))
+        touched = int(np.count_nonzero(state.d[i] != DIST_INF))
         return UpdateStats(touched=touched, moved=0,
                            sp_levels=len(levels), dep_levels=len(levels) - 1)
 

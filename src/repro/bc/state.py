@@ -71,10 +71,12 @@ class BCState:
         delta = np.empty((k, n), dtype=np.float64)
         bc = np.zeros(n, dtype=np.float64)
         for i, s in enumerate(sources):
-            di, si, de, _ = single_source_state(graph, int(s))
-            de[int(s)] = 0.0
-            d[i], sigma[i], delta[i] = di, si, de
-            bc += de
+            # Brandes writes straight into row i (no transient
+            # per-source triple), so peak memory during the build is
+            # the retained state plus O(n + m) BFS scratch.
+            single_source_state(graph, int(s), out=(d[i], sigma[i], delta[i]))
+            delta[i, int(s)] = 0.0
+            bc += delta[i]
         return cls(sources, d, sigma, delta, bc)
 
     @classmethod

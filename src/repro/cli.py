@@ -159,6 +159,10 @@ def build_replay_parser() -> argparse.ArgumentParser:
                         help="checkpoint file to resume the replay from")
     parser.add_argument("--verify", action="store_true",
                         help="verify final state against scratch recompute")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the engine (default 1 "
+                             "= serial; N>1 runs sources on a shared-"
+                             "memory pool with bit-identical results)")
     return parser
 
 
@@ -175,31 +179,35 @@ def run_replay(args: argparse.Namespace) -> int:
     else:
         stream = EdgeStream.churn(graph, args.events, seed=args.seed + 1)
     engine = DynamicBC.from_graph(graph, num_sources=args.sources,
-                                  seed=args.seed, backend=args.backend)
-    policy = None
-    if args.guard_every > 0:
-        policy = GuardPolicy(check_every=args.guard_every,
-                             repair_budget=args.repair_budget,
-                             seed=args.seed)
-    result = replay(
-        engine, stream, guard=policy,
-        checkpoint_every=args.checkpoint_every or None,
-        checkpoint_dir=args.checkpoint_dir,
-        resume_from=args.resume_from,
-    )
-    print(f"replayed {len(result.reports)} updates "
-          f"(events {result.start_index}..{len(stream) - 1}, "
-          f"{len(result.skipped)} skipped, "
-          f"{len(result.recovered)} recovered)")
-    print(f"simulated seconds: {result.simulated_seconds:.6g} "
-          f"({result.updates_per_second:.1f} updates/s)")
-    for e in result.guard_events:
-        print(f"guard @{e.event_index}: {e.action} {e.kind} {e.detail}")
-    for path in result.checkpoints:
-        print(f"checkpoint: {path}")
-    if args.verify:
-        engine.verify()
-        print("final verify: ok")
+                                  seed=args.seed, backend=args.backend,
+                                  workers=args.workers)
+    try:
+        policy = None
+        if args.guard_every > 0:
+            policy = GuardPolicy(check_every=args.guard_every,
+                                 repair_budget=args.repair_budget,
+                                 seed=args.seed)
+        result = replay(
+            engine, stream, guard=policy,
+            checkpoint_every=args.checkpoint_every or None,
+            checkpoint_dir=args.checkpoint_dir,
+            resume_from=args.resume_from,
+        )
+        print(f"replayed {len(result.reports)} updates "
+              f"(events {result.start_index}..{len(stream) - 1}, "
+              f"{len(result.skipped)} skipped, "
+              f"{len(result.recovered)} recovered)")
+        print(f"simulated seconds: {result.simulated_seconds:.6g} "
+              f"({result.updates_per_second:.1f} updates/s)")
+        for e in result.guard_events:
+            print(f"guard @{e.event_index}: {e.action} {e.kind} {e.detail}")
+        for path in result.checkpoints:
+            print(f"checkpoint: {path}")
+        if args.verify:
+            engine.verify()
+            print("final verify: ok")
+    finally:
+        engine.close()
     return 0
 
 
@@ -216,6 +224,10 @@ def build_chaos_parser() -> argparse.ArgumentParser:
                         help="stream length of the scenario")
     parser.add_argument("--backend", default=None,
                         help="execution strategy (default: seed-derived)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the engines (default 1 "
+                             "= serial; the scenario must pass identically "
+                             "at any worker count)")
     return parser
 
 
@@ -224,7 +236,7 @@ def run_chaos_cmd(args: argparse.Namespace) -> int:
     from repro.resilience.chaos import run_chaos
 
     report = run_chaos(seed=args.seed, num_events=args.events,
-                       backend=args.backend)
+                       backend=args.backend, workers=args.workers)
     print(report.summary())
     if not report.ok:
         print(f"reproduce with: python -m repro.cli chaos --seed {args.seed}",

@@ -76,6 +76,16 @@ class Trace:
         call sites that pass the work quantities positionally)."""
         self.add(*args, stage=stage, **kwargs)
 
+    @classmethod
+    def from_steps(cls, label: str, steps: Iterable[Step]) -> "Trace":
+        """Reassemble a trace from already-validated :class:`Step`
+        records — e.g. a step list that crossed a process boundary
+        (steps are frozen dataclasses, hence picklable; see
+        :func:`repro.parallel.reducer.rebuild_trace`).  Unlike
+        :meth:`add`, no re-validation or zero-work filtering happens:
+        the steps were produced by a :class:`Trace` already."""
+        return cls(label=label, steps=list(steps))
+
     def extend(self, other: "Trace") -> None:
         """Append all of *other*'s steps to this trace."""
         self.steps.extend(other.steps)

@@ -341,6 +341,15 @@ def replay(
         continues from the recorded cursor, reproducing the
         uninterrupted run's remaining reports and totals bit-for-bit
         (see ``tests/test_resilience_checkpoint.py``).
+
+    Parallel engines: a ``DynamicBC(workers=N)`` replays identically —
+    the worker pool's results are reduced in fixed source order, so
+    reports, counters, BC scores and checkpoints match the serial run
+    bit for bit (``tests/test_parallel.py``); guards, checkpointing and
+    the retry-once recovery need no changes.  A worker crash mid-update
+    surfaces as the same rolled-back
+    :class:`~repro.resilience.errors.UpdateError` a mid-kernel fault
+    does, so a guarded replay recovers from it the same way.
     """
     from repro.utils.timing import WallTimer
 

@@ -1,0 +1,47 @@
+"""Coarse-grained source parallelism on CPU cores.
+
+The paper's central design maps one source vertex to one SM/thread
+block; this package is the CPU analogue — a process pool in which each
+worker executes whole sources against shared-memory state
+(``DynamicBC(workers=N)``; see docs/MODEL.md, "Parallel execution").
+
+Modules
+-------
+shm
+    :class:`ShmArena` / :class:`ShmAttachment` — named shared-memory
+    blocks holding the CSR arrays and the ``(k, n)`` state rows.
+pool
+    :class:`WorkerPool` — long-lived workers, a dynamic chunk queue,
+    structured error/crash containment.
+chunks
+    :func:`plan_chunks` — contiguous, ordered chunk planning.
+reducer
+    :func:`merge_indexed` / :func:`rebuild_trace` — deterministic
+    (source-order) reduction of worker results.
+worker
+    The child-process task loop (not imported by the parent's hot
+    path).
+"""
+
+from repro.parallel.chunks import plan_chunks
+from repro.parallel.pool import (
+    ParallelExecutionError,
+    WorkerCrashed,
+    WorkerPool,
+    WorkerTaskError,
+)
+from repro.parallel.reducer import merge_indexed, rebuild_trace
+from repro.parallel.shm import ShmArena, ShmAttachment, shm_available
+
+__all__ = [
+    "ParallelExecutionError",
+    "ShmArena",
+    "ShmAttachment",
+    "WorkerCrashed",
+    "WorkerPool",
+    "WorkerTaskError",
+    "merge_indexed",
+    "plan_chunks",
+    "rebuild_trace",
+    "shm_available",
+]

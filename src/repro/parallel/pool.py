@@ -1,0 +1,192 @@
+"""Process pool with a dynamic chunk queue and crash containment.
+
+:class:`WorkerPool` owns N long-lived worker processes (one per
+simulated SM) sharing a task queue and a result queue.  One *round* =
+one :meth:`run` call: every chunk is enqueued up front, idle workers
+pull the next chunk as they finish (the coarse-grained dynamic
+schedule), and the parent collects results until the round completes.
+
+Failure containment:
+
+* a task that **raises** inside a worker comes back as a structured
+  error carrying the remote traceback (:class:`WorkerTaskError`);
+* a worker that **dies** without reporting (OOM kill, segfault, the
+  test hook :meth:`WorkerPool.arm_crash`) is detected by liveness
+  polling and surfaces as :class:`WorkerCrashed`.
+
+Either way the round is unrecoverable mid-flight: chunks of the
+aborted round may still be queued and would race the *next* round's
+writes to the shared state rows, so the pool tears down queues and
+processes and respawns fresh before re-raising.  The engine's update
+transaction then rolls the half-written state back (it journals every
+active row *before* dispatch), so a crashed worker costs one
+rolled-back update, not a corrupted engine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as _queue
+import time
+from typing import Any, List, Optional
+
+from repro.parallel import worker as _worker
+
+
+class ParallelExecutionError(RuntimeError):
+    """Base class for failures inside the parallel execution layer."""
+
+
+class WorkerCrashed(ParallelExecutionError):
+    """A worker process died without reporting a result; the pool has
+    respawned and the in-flight round must be treated as failed."""
+
+
+class WorkerTaskError(ParallelExecutionError):
+    """A task raised inside a worker; the message carries the remote
+    exception and traceback."""
+
+
+#: seconds between liveness polls while waiting on the result queue
+_POLL_SECONDS = 0.05
+
+
+class WorkerPool:
+    """N worker processes around one shared task/result queue pair."""
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        if workers < 2:
+            raise ValueError(f"WorkerPool needs >= 2 workers, got {workers}")
+        if start_method is None:
+            # fork shares the parent's loaded modules (microsecond
+            # spawns on Linux); spawn is the portable fallback.
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.workers = int(workers)
+        self.start_method = start_method
+        self._ctx = mp.get_context(start_method)
+        self._round = 0
+        self._crash_chunks = 0
+        self._procs: List[Any] = []
+        self._tasks: Any = None
+        self._results: Any = None
+        self._spawn()
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> None:
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._procs = []
+        for j in range(self.workers):
+            proc = self._ctx.Process(
+                target=_worker.worker_main,
+                args=(self._tasks, self._results),
+                name=f"repro-worker-{j}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def arm_crash(self, chunks: int = 1) -> None:
+        """Make the next round's first *chunks* task(s) kill their
+        worker mid-task (fault-injection hook for the resilience
+        suite; see tests/test_parallel.py)."""
+        if chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {chunks}")
+        self._crash_chunks = int(chunks)
+
+    def run(self, kind: str, common: dict, payloads: List[dict]) -> List[Any]:
+        """Execute one round and return chunk results in payload order.
+
+        Chunks are pulled dynamically by idle workers; completion order
+        is nondeterministic, return order is not.
+        """
+        if not payloads:
+            return []
+        if not self._procs:
+            self._spawn()
+        self._round += 1
+        round_id = self._round
+        for chunk_id, payload in enumerate(payloads):
+            if self._crash_chunks > 0 and chunk_id < self._crash_chunks:
+                payload = dict(payload)
+                payload[_worker.CRASH_KEY] = True
+            self._tasks.put((kind, round_id, chunk_id, common, payload))
+        self._crash_chunks = 0
+        outputs: dict = {}
+        try:
+            while len(outputs) < len(payloads):
+                try:
+                    status, rid, chunk_id, result = self._results.get(
+                        timeout=_POLL_SECONDS
+                    )
+                except _queue.Empty:
+                    dead = [p.name for p in self._procs if not p.is_alive()]
+                    if dead:
+                        raise WorkerCrashed(
+                            f"worker(s) {', '.join(dead)} died mid-round "
+                            f"(kind={kind!r})"
+                        )
+                    continue
+                if rid != round_id:
+                    continue  # stale result from an aborted round
+                if status == "error":
+                    raise WorkerTaskError(
+                        f"task {kind!r} chunk {chunk_id} failed in worker:\n"
+                        f"{result}"
+                    )
+                outputs[chunk_id] = result
+        except ParallelExecutionError:
+            # Stale tasks of this round may still be queued; starting
+            # the next round over the same queues would let them race
+            # fresh writes to the shared rows.  Tear down and respawn.
+            self._teardown(graceful=False)
+            self._spawn()
+            raise
+        return [outputs[chunk_id] for chunk_id in range(len(payloads))]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and release the queues (idempotent)."""
+        self._teardown(graceful=True)
+
+    def _teardown(self, graceful: bool) -> None:
+        if graceful and self._procs:
+            for _ in self._procs:
+                try:
+                    self._tasks.put(_worker.STOP)
+                except Exception:  # pragma: no cover - queue already gone
+                    break
+        deadline = time.monotonic() + 2.0
+        for proc in self._procs:
+            if graceful:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = []
+        for q in (self._tasks, self._results):
+            if q is None:
+                continue
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # pragma: no cover - platform teardown races
+                pass
+        self._tasks = None
+        self._results = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(workers={self.workers}, "
+            f"start_method={self.start_method!r}, "
+            f"alive={sum(p.is_alive() for p in self._procs)})"
+        )

@@ -1,0 +1,241 @@
+"""Shared-memory arena backing the coarse-grained parallel engine.
+
+The paper assigns one source per SM so that every thread block works on
+its own slice of the O(kn) state while sharing one read-only graph.
+The CPU analogue needs the same memory layout across *processes*:
+:class:`ShmArena` owns named ``multiprocessing.shared_memory`` blocks
+holding the CSR arrays and the ``BCState`` rows, and
+:class:`ShmAttachment` maps them zero-copy inside a worker.
+
+Layout (one block per field)::
+
+    sources      int64[k]          stored source vertices
+    d            int64[k, n]       per-source distances
+    sigma        float64[k, n]     per-source path counts
+    delta        float64[k, n]     per-source dependencies
+    row_offsets  int64[n + 1]      CSR offsets (refreshed per dispatch)
+    col_indices  int32[capacity]   CSR adjacency (headroom for growth)
+
+``bc`` is deliberately **not** shared: the score vector is a float
+accumulator whose update order defines bit-identity, so only the
+parent touches it (see docs/MODEL.md, "Parallel execution").
+
+Every (re)allocation bumps :attr:`ShmArena.generation`; workers cache
+one attachment and re-attach only when a task arrives with a newer
+generation, so steady-state dispatch does zero mapping work.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - minimal builds without _posixshmem
+    _shm = None
+
+
+def shm_available() -> bool:
+    """Can this platform actually create POSIX shared memory?
+
+    Probes with a tiny block instead of trusting the import: containers
+    occasionally mount ``/dev/shm`` read-only or not at all, and the
+    engine must fall back to serial execution instead of crashing.
+    """
+    if _shm is None:
+        return False
+    try:
+        block = _create_untracked(8)
+    except (OSError, ValueError):
+        return False
+    _destroy(block)
+    return True
+
+
+@contextmanager
+def _tracking_disabled():
+    """Suppress resource-tracker registration of shared_memory blocks.
+
+    The arena manages segment lifetime explicitly (:func:`_destroy`),
+    so no tracker — the parent's, or a worker's, which with ``fork`` is
+    the *same* tracker process — may ever unlink or account a block.
+    Before Python 3.13 (``track=False``) both creating and attaching
+    register unconditionally; registering-then-unregistering instead
+    would race when several workers attach the same block through one
+    shared tracker (its cache is a set, so N registers collapse to one
+    entry and the N-th unregister logs a KeyError).
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - minimal builds
+        yield
+        return
+    original = resource_tracker.register
+
+    def _quiet(name, rtype):
+        if rtype != "shared_memory":  # pragma: no cover - not hit here
+            original(name, rtype)
+
+    resource_tracker.register = _quiet
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def attach_untracked(name: str):
+    """Attach to an existing block without resource-tracker ownership.
+
+    Without this, a worker's tracker would unlink the segment when the
+    worker exits — yanking the memory out from under the parent and
+    every sibling (or, sharing the parent's tracker under ``fork``,
+    corrupt its bookkeeping).
+    """
+    try:
+        return _shm.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    with _tracking_disabled():
+        return _shm.SharedMemory(name=name)
+
+
+def _create_untracked(size: int):
+    """Create a block whose lifetime the arena manages by hand."""
+    try:
+        return _shm.SharedMemory(create=True, size=size, track=False)
+    except TypeError:
+        pass
+    with _tracking_disabled():
+        return _shm.SharedMemory(create=True, size=size)
+
+
+def _destroy(block) -> None:
+    """Unlink then unmap *block*, tolerating both an already-removed
+    name and numpy views that still pin the mapping (the memory is
+    reclaimed when the last mapping dies).
+
+    Unlinks through ``_posixshmem`` directly: ``SharedMemory.unlink``
+    would also message the resource tracker, which no longer knows the
+    (untracked) name and would log a spurious KeyError.
+    """
+    try:
+        from multiprocessing.shared_memory import _posixshmem
+
+        _posixshmem.shm_unlink(block._name)
+    except FileNotFoundError:  # pragma: no cover - racing cleanup
+        pass
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        try:
+            block.unlink()
+        except FileNotFoundError:
+            pass
+    try:
+        block.close()
+    except BufferError:
+        pass  # a live view still exports the buffer; freed with the process
+
+
+class ShmArena:
+    """Parent-side owner of the named blocks (create, fill, unlink)."""
+
+    def __init__(self) -> None:
+        if _shm is None:  # pragma: no cover - guarded by shm_available()
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self._blocks: Dict[str, object] = {}
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._meta: Dict[str, Tuple[Tuple[int, ...], str]] = {}
+        #: bumped on every (re)allocation; workers re-attach on change
+        self.generation = 0
+
+    def allocate(self, field: str, shape, dtype) -> np.ndarray:
+        """(Re)allocate *field* and return its parent-side view.
+
+        The previous block for the field, if any, is unlinked — workers
+        holding the old generation keep a valid mapping until their
+        next task tells them to re-attach.
+        """
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        block = _create_untracked(nbytes)
+        self.release(field)
+        self._blocks[field] = block
+        self._arrays[field] = np.ndarray(shape, dtype=dtype, buffer=block.buf)
+        self._meta[field] = (shape, dtype.str)
+        self.generation += 1
+        return self._arrays[field]
+
+    def get(self, field: str) -> np.ndarray:
+        """The parent-side view of *field* (KeyError if unallocated)."""
+        return self._arrays[field]
+
+    def owns(self, field: str, arr: np.ndarray) -> bool:
+        """Is *arr* exactly this arena's view of *field*?  (Used by the
+        engine to decide whether state arrays need migrating out of
+        shared memory on :meth:`close`.)"""
+        return self._arrays.get(field) is arr
+
+    def capacity(self, field: str) -> int:
+        """Element capacity allocated for *field* (>= its shape)."""
+        shape, dtype = self._meta[field]
+        return int(np.prod(shape)) if shape else 0
+
+    def spec(self) -> dict:
+        """Picklable attach recipe shipped with every worker task."""
+        return {
+            "generation": self.generation,
+            "fields": {
+                f: (self._blocks[f].name, self._meta[f][0], self._meta[f][1])
+                for f in self._blocks
+            },
+        }
+
+    def release(self, field: str) -> None:
+        """Unlink *field*'s block, if any.  The caller must drop every
+        view into it first — the unmap is immediate."""
+        block = self._blocks.pop(field, None)
+        self._arrays.pop(field, None)
+        self._meta.pop(field, None)
+        if block is not None:
+            _destroy(block)
+
+    def close(self) -> None:
+        """Unlink every block (idempotent)."""
+        for field in list(self._blocks):
+            self.release(field)
+
+    def __contains__(self, field: str) -> bool:
+        return field in self._blocks
+
+
+class ShmAttachment:
+    """Worker-side zero-copy view of one arena generation."""
+
+    def __init__(self, spec: dict) -> None:
+        self.generation = int(spec["generation"])
+        self._blocks: List[object] = []
+        self.arrays: Dict[str, np.ndarray] = {}
+        try:
+            for field, (name, shape, dtype) in spec["fields"].items():
+                block = attach_untracked(name)
+                self._blocks.append(block)
+                self.arrays[field] = np.ndarray(
+                    tuple(shape), dtype=np.dtype(dtype), buffer=block.buf
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Drop the views and unmap the blocks (never unlinks — the
+        parent arena owns segment lifetime)."""
+        self.arrays = {}
+        for block in self._blocks:
+            try:
+                block.close()
+            except BufferError:  # pragma: no cover - stray view
+                pass
+        self._blocks = []

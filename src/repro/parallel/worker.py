@@ -1,0 +1,228 @@
+"""Worker-process loop: one source per worker at a time.
+
+This module runs inside the pool's child processes.  Tasks arrive on a
+shared queue as ``(kind, round_id, chunk_id, common, payload)`` tuples;
+each task executes one contiguous chunk of source indices against the
+shared-memory arena (:mod:`repro.parallel.shm`) and posts
+``(status, round_id, chunk_id, result)`` back.
+
+Division of labour with the parent (the determinism contract):
+
+* **Workers** mutate their own ``d``/``sigma``/``delta`` rows in place
+  (zero-copy, disjoint per source — no locks needed) and return the
+  order-*insensitive* artifacts: the accountant's :class:`Step` list,
+  the :class:`UpdateStats`, and the bc adjustment of each source as a
+  sparse ``(indices, values)`` pair harvested from a zeros probe vector
+  passed where the kernels expect ``bc``.
+* **The parent** replays every order-*sensitive* float accumulation
+  (bc scatter-adds, stage-seconds folds, counter absorption) in
+  ascending source order, reproducing the serial execution bit for bit
+  no matter which worker finished first.
+
+The probe trick is sound because the update kernels treat ``bc`` as a
+pure write-only accumulator (one masked ``+=`` in ``_commit``); against
+a zeros vector the masked add leaves exactly the adjustment values.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+
+import numpy as np
+
+from repro.bc.accountants import make_accountant
+from repro.bc.brandes import single_source_state
+from repro.bc.cases import Case
+from repro.bc.static_gpu import trace_static_source
+from repro.bc.update_core import (
+    UpdateStats,
+    adjacent_level_update,
+    distant_level_update,
+)
+from repro.graph.csr import CSRGraph, DIST_INF
+from repro.parallel.shm import ShmAttachment
+
+#: queue sentinel telling a worker to exit its loop
+STOP = "__stop__"
+
+#: payload key that makes the worker die abruptly mid-task — the
+#: crash-injection hook for the resilience tests (WorkerPool.arm_crash);
+#: never set by production dispatch
+CRASH_KEY = "__crash__"
+
+
+def worker_main(tasks, results) -> None:
+    """Pull tasks until :data:`STOP`; never let an exception escape
+    (errors travel back to the parent as structured results)."""
+    attachment = None
+    while True:
+        message = tasks.get()
+        if message == STOP:
+            break
+        kind, round_id, chunk_id, common, payload = message
+        try:
+            if payload.get(CRASH_KEY):
+                os._exit(3)
+            spec = common.get("spec")
+            if spec is not None and (
+                attachment is None
+                or attachment.generation != spec["generation"]
+            ):
+                if attachment is not None:
+                    attachment.close()
+                attachment = ShmAttachment(spec)
+            result = _HANDLERS[kind](attachment, common, payload)
+        except BaseException as exc:
+            detail = (
+                f"{type(exc).__name__}: {exc}\n"
+                f"{traceback.format_exc()}"
+            )
+            try:
+                results.put(("error", round_id, chunk_id, detail))
+            except Exception:  # pragma: no cover - queue already gone
+                os._exit(1)
+        else:
+            results.put(("ok", round_id, chunk_id, result))
+    if attachment is not None:
+        attachment.close()
+
+
+def _views(attachment, common):
+    """Zero-copy CSR + state views over the attached arena."""
+    n = common["n"]
+    arcs = common["arcs"]
+    arrays = attachment.arrays
+    graph = CSRGraph(
+        arrays["row_offsets"][: n + 1], arrays["col_indices"][:arcs]
+    )
+    return (
+        graph,
+        arrays["sources"],
+        arrays["d"],
+        arrays["sigma"],
+        arrays["delta"],
+    )
+
+
+def _make_accountant(common, label):
+    return make_accountant(
+        common["backend"], common["n"], common["arcs"], common["op_costs"],
+        label=label,
+        access_cycles=(
+            common["access"] if common["backend"] == "cpu" else None
+        ),
+    )
+
+
+def _handle_update(attachment, common, payload):
+    """One streaming update's active sources: run the per-source kernel
+    (Case 2/3) in place and sparse-encode each bc adjustment."""
+    graph, sources, d, sigma, delta = _views(attachment, common)
+    operation = common["operation"]
+    n = common["n"]
+    out = []
+    probe = np.zeros(n, dtype=np.float64)
+    for i, case, u_high, u_low in payload["items"]:
+        i = int(i)
+        s = int(sources[i])
+        acc = _make_accountant(common, f"{operation}:{s}")
+        acc.classify()
+        probe[:] = 0.0
+        if case == int(Case.ADJACENT_LEVEL):
+            stats = adjacent_level_update(
+                graph, s, d[i], sigma[i], delta[i], probe,
+                u_high, u_low, acc, insert=(operation == "insert"),
+            )
+        elif operation == "insert":
+            stats = distant_level_update(
+                graph, s, d[i], sigma[i], delta[i], probe, u_high, u_low, acc,
+            )
+        else:
+            # Distance-increasing deletion: per-source recompute
+            # fallback (mirrors DynamicBC._recompute_source); the bc
+            # patch is the full dependency difference.
+            delta_old = delta[i].copy()
+            levels = single_source_state(
+                graph, s, out=(d[i], sigma[i], delta[i])
+            )[3]
+            delta[i, s] = 0.0
+            _, trace = trace_static_source(
+                graph, s, common["static_strategy"], common["op_costs"],
+                common["access"],
+            )
+            acc.trace.extend(trace)
+            stats = UpdateStats(
+                touched=int(np.count_nonzero(d[i] != DIST_INF)), moved=0,
+                sp_levels=len(levels), dep_levels=len(levels) - 1,
+            )
+            probe = delta[i] - delta_old
+        idx = np.flatnonzero(probe)
+        out.append(
+            (i, acc.finish().steps, stats, idx.astype(np.int64), probe[idx])
+        )
+    return out
+
+
+def _handle_brandes(attachment, common, payload):
+    """Initial build / full recompute: fresh Brandes rows in place."""
+    graph, sources, d, sigma, delta = _views(attachment, common)
+    done = []
+    for i in payload["items"]:
+        i = int(i)
+        s = int(sources[i])
+        single_source_state(graph, s, out=(d[i], sigma[i], delta[i]))
+        delta[i, s] = 0.0
+        done.append(i)
+    return done
+
+
+def _handle_rebuild(attachment, common, payload):
+    """repair_source: rebuild rows and return the static repair trace."""
+    graph, sources, d, sigma, delta = _views(attachment, common)
+    out = []
+    for i in payload["items"]:
+        i = int(i)
+        s = int(sources[i])
+        levels = single_source_state(
+            graph, s, out=(d[i], sigma[i], delta[i])
+        )[3]
+        delta[i, s] = 0.0
+        _, trace = trace_static_source(
+            graph, s, common["static_strategy"], common["op_costs"],
+            common["access"],
+        )
+        touched = int(np.count_nonzero(d[i] != DIST_INF))
+        out.append((i, trace.steps, touched, len(levels)))
+    return out
+
+
+def _handle_check(attachment, common, payload):
+    """check_rows: compare stored rows against a scratch recompute."""
+    from repro.resilience.guards import row_drift_component
+
+    graph, sources, d, sigma, delta = _views(attachment, common)
+    atol = common["atol"]
+    bad = []
+    for i in payload["items"]:
+        i = int(i)
+        component = row_drift_component(
+            graph, int(sources[i]), d[i], sigma[i], delta[i], atol=atol
+        )
+        if component is not None:
+            bad.append((i, component))
+    return bad
+
+
+def _handle_ping(attachment, common, payload):
+    """Health check / pool tests: echo the payload items."""
+    return list(payload.get("items", []))
+
+
+_HANDLERS = {
+    "update": _handle_update,
+    "brandes": _handle_brandes,
+    "rebuild": _handle_rebuild,
+    "check": _handle_check,
+    "ping": _handle_ping,
+}

@@ -90,7 +90,7 @@ def reports_identical(a, b) -> bool:
     )
 
 
-def _build(seed: int, num_events: int, backend: str):
+def _build(seed: int, num_events: int, backend: str, workers: int = 1):
     from repro.bc.engine import DynamicBC
     from repro.graph import generators as gen
     from repro.graph.stream import EdgeStream
@@ -99,7 +99,7 @@ def _build(seed: int, num_events: int, backend: str):
     stream = EdgeStream.churn(graph, num_events, delete_fraction=0.35,
                               seed=seed + 1)
     engine = DynamicBC.from_graph(graph, num_sources=8, seed=seed + 2,
-                                  backend=backend)
+                                  backend=backend, workers=workers)
     return graph, stream, engine
 
 
@@ -108,8 +108,16 @@ def run_chaos(
     num_events: int = 30,
     backend: Optional[str] = None,
     checkpoint_dir: Optional[str] = None,
+    workers: int = 1,
 ) -> ChaosReport:
-    """Run one seeded chaos scenario; see the module docstring."""
+    """Run one seeded chaos scenario; see the module docstring.
+
+    ``workers > 1`` runs every engine of the scenario on the
+    shared-memory worker pool (``DynamicBC(workers=N)``); since the
+    parallel paths are bit-identical to serial, all resilience claims
+    — including checkpoint-resume bit-identity — must hold unchanged
+    at any worker count (the CI matrix exercises ``--workers 2``).
+    """
     from repro.bc.engine import BACKENDS
     from repro.graph.stream import EdgeStream, replay
 
@@ -123,84 +131,101 @@ def run_chaos(
 
     # ------------------------------------------------------------ phase 1
     # Guarded survival under injected faults.
-    _, stream, engine = _build(seed, num_events, backend)
-    cut = max(1, num_events // 3)
-    first = EdgeStream(stream.events[:cut])
-    second = EdgeStream(stream.events[cut:])
-
-    injector.arm_update_fault(engine, after_sources=int(rng.integers(0, 3)))
-    res1 = replay(engine, first, guard=policy)
-    # Mid-stream bit-rot: drifted rows plus (on some seeds) structural
-    # damage that must escalate to a full recompute.
-    injector.corrupt_row(engine)
-    injector.corrupt_row(engine)
-    if bool(rng.integers(0, 2)):
-        injector.corrupt_structural(engine)
-    res2 = replay(engine, second, guard=policy)
-
-    # Final sweep: the cadence rarely lands exactly on the last event,
-    # so close the stream with one explicit full check.
-    from repro.resilience.guards import Guard
-
-    closing = Guard(engine, policy)
-    closing.check(num_events)
-
-    all_guard_events = list(res1.guard_events) + list(res2.guard_events) \
-        + list(closing.events)
-    report.detections = sum(1 for e in all_guard_events if e.action == DETECT)
-    report.repairs = sum(1 for e in all_guard_events if e.action == REPAIR)
-    report.escalations = sum(1 for e in all_guard_events if e.action == ESCALATE)
-    for res in (res1, res2):
-        report.recovered_updates += len(res.recovered)
-        report.skipped_events += len(res.skipped)
+    _, stream, engine = _build(seed, num_events, backend, workers)
     try:
-        engine.verify()
-        report.verify_ok = True
-    except AssertionError as exc:
-        report.failures.append(f"final verify failed: {exc}")
-    if report.detections and not (report.repairs or report.escalations):
-        report.failures.append("guard detected corruption but never acted")
+        cut = max(1, num_events // 3)
+        first = EdgeStream(stream.events[:cut])
+        second = EdgeStream(stream.events[cut:])
+
+        injector.arm_update_fault(engine, after_sources=int(rng.integers(0, 3)))
+        res1 = replay(engine, first, guard=policy)
+        # Mid-stream bit-rot: drifted rows plus (on some seeds) structural
+        # damage that must escalate to a full recompute.
+        injector.corrupt_row(engine)
+        injector.corrupt_row(engine)
+        if bool(rng.integers(0, 2)):
+            injector.corrupt_structural(engine)
+        res2 = replay(engine, second, guard=policy)
+
+        # Final sweep: the cadence rarely lands exactly on the last event,
+        # so close the stream with one explicit full check.
+        from repro.resilience.guards import Guard
+
+        closing = Guard(engine, policy)
+        closing.check(num_events)
+
+        all_guard_events = list(res1.guard_events) + list(res2.guard_events) \
+            + list(closing.events)
+        report.detections = sum(
+            1 for e in all_guard_events if e.action == DETECT
+        )
+        report.repairs = sum(1 for e in all_guard_events if e.action == REPAIR)
+        report.escalations = sum(
+            1 for e in all_guard_events if e.action == ESCALATE
+        )
+        for res in (res1, res2):
+            report.recovered_updates += len(res.recovered)
+            report.skipped_events += len(res.skipped)
+        try:
+            engine.verify()
+            report.verify_ok = True
+        except AssertionError as exc:
+            report.failures.append(f"final verify failed: {exc}")
+        if report.detections and not (report.repairs or report.escalations):
+            report.failures.append("guard detected corruption but never acted")
+    finally:
+        engine.close()
 
     # ------------------------------------------------------------ phase 2
     # Checkpoint/resume bit-identity on an uninterrupted twin.
     def _check_resume(ckpt_dir: str) -> None:
-        _, stream2, eng_full = _build(seed, num_events, backend)
-        full = replay(eng_full, stream2)
+        _, stream2, eng_full = _build(seed, num_events, backend, workers)
+        _, stream3, eng_ckpt = _build(seed, num_events, backend, workers)
+        _, stream4, eng_res = _build(seed, num_events, backend, workers)
+        try:
+            full = replay(eng_full, stream2)
 
-        _, stream3, eng_ckpt = _build(seed, num_events, backend)
-        every = max(2, num_events // 4)
-        res_ckpt = replay(eng_ckpt, stream3, checkpoint_every=every,
-                          checkpoint_dir=ckpt_dir)
-        if not res_ckpt.checkpoints:
-            report.failures.append("checkpointed replay wrote no checkpoints")
-            return
-        # "Crash" after the second checkpoint and resume from it.
-        resume_path = res_ckpt.checkpoints[min(1, len(res_ckpt.checkpoints) - 1)]
-        _, stream4, eng_res = _build(seed, num_events, backend)
-        resumed = replay(eng_res, stream4, resume_from=resume_path)
+            every = max(2, num_events // 4)
+            res_ckpt = replay(eng_ckpt, stream3, checkpoint_every=every,
+                              checkpoint_dir=ckpt_dir)
+            if not res_ckpt.checkpoints:
+                report.failures.append(
+                    "checkpointed replay wrote no checkpoints"
+                )
+                return
+            # "Crash" after the second checkpoint and resume from it.
+            resume_path = res_ckpt.checkpoints[
+                min(1, len(res_ckpt.checkpoints) - 1)
+            ]
+            resumed = replay(eng_res, stream4, resume_from=resume_path)
 
-        # start_index counts stream events, reports only applied ones;
-        # the resumed run must reproduce exactly the trailing reports.
-        tail = full.reports[len(full.reports) - len(resumed.reports):]
-        mismatches = [
-            j for j, (x, y) in enumerate(zip(tail, resumed.reports))
-            if not reports_identical(x, y)
-        ]
-        if mismatches:
-            report.failures.append(
-                f"resumed reports differ at positions {mismatches[:3]}"
-            )
-        if not np.array_equal(eng_full.bc_scores, eng_res.bc_scores):
-            report.failures.append("resumed BC scores differ")
-        if eng_full.counters != eng_res.counters:
-            report.failures.append("resumed counters differ")
-        if full.simulated_seconds != resumed.simulated_seconds:
-            report.failures.append(
-                "resumed simulated_seconds differ: "
-                f"{full.simulated_seconds!r} vs {resumed.simulated_seconds!r}"
-            )
-        if not report.failures:
-            report.resume_identical = True
+            # start_index counts stream events, reports only applied
+            # ones; the resumed run must reproduce exactly the trailing
+            # reports.
+            tail = full.reports[len(full.reports) - len(resumed.reports):]
+            mismatches = [
+                j for j, (x, y) in enumerate(zip(tail, resumed.reports))
+                if not reports_identical(x, y)
+            ]
+            if mismatches:
+                report.failures.append(
+                    f"resumed reports differ at positions {mismatches[:3]}"
+                )
+            if not np.array_equal(eng_full.bc_scores, eng_res.bc_scores):
+                report.failures.append("resumed BC scores differ")
+            if eng_full.counters != eng_res.counters:
+                report.failures.append("resumed counters differ")
+            if full.simulated_seconds != resumed.simulated_seconds:
+                report.failures.append(
+                    "resumed simulated_seconds differ: "
+                    f"{full.simulated_seconds!r} vs {resumed.simulated_seconds!r}"
+                )
+            if not report.failures:
+                report.resume_identical = True
+        finally:
+            eng_full.close()
+            eng_ckpt.close()
+            eng_res.close()
 
     if checkpoint_dir is not None:
         os.makedirs(checkpoint_dir, exist_ok=True)

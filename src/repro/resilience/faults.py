@@ -95,9 +95,22 @@ class FaultInjector:
         """One-shot trap: the engine's next update raises
         :class:`FaultInjected` once *after_sources* per-source
         executions have completed, mid-way through the batch.  The trap
-        disarms itself (and restores the engine) when it fires."""
+        disarms itself (and restores the engine) when it fires.
+
+        On an engine with a live worker pool (``workers > 1``) the trap
+        instead kills the worker that picks up the next update's first
+        chunk — the pool-era equivalent of dying mid-batch.  Either
+        flavour surfaces as a rolled-back
+        :class:`~repro.resilience.errors.UpdateError`, so guards and
+        replay recover identically.
+        """
         if after_sources < 0:
             raise ValueError(f"after_sources must be >= 0, got {after_sources}")
+        pool = getattr(engine, "_ensure_pool", lambda: None)()
+        if pool is not None:
+            pool.arm_crash()
+            self.log.append("arm_update_fault armed worker crash (pool mode)")
+            return
         original = engine._run_source
         calls = {"n": 0}
         log = self.log

@@ -216,6 +216,35 @@ class Guard:
         )
 
 
+def row_drift_component(
+    graph, source: int, d_row: np.ndarray, sigma_row: np.ndarray,
+    delta_row: np.ndarray, atol: float = 1e-6,
+):
+    """Name the first drifted component of one stored row against a
+    fresh single-source recomputation, or ``None`` when the row is
+    clean (``"distance"``/``"sigma"``/``"delta"``, checked in that
+    order).
+
+    This is the detection primitive shared by the serial
+    :func:`check_rows_against_scratch` and the parallel worker's
+    ``check`` handler (:mod:`repro.parallel.worker`), so a guard run
+    under ``DynamicBC(workers=N)`` reports exactly what the serial
+    guard would.
+    """
+    from repro.bc.brandes import single_source_state
+
+    source = int(source)
+    d, sigma, delta, _ = single_source_state(graph, source)
+    delta[source] = 0.0
+    if not np.array_equal(d_row, d):
+        return "distance"
+    if not np.allclose(sigma_row, sigma, atol=atol):
+        return "sigma"
+    if not np.allclose(delta_row, delta, atol=atol):
+        return "delta"
+    return None
+
+
 def check_rows_against_scratch(
     engine, indices: Sequence[int], atol: float = 1e-6
 ):
@@ -226,20 +255,15 @@ def check_rows_against_scratch(
     every row of *indices* that drifted.  Shared by the engine's
     ``spot_check``/``check_rows`` and the guard.
     """
-    from repro.bc.brandes import single_source_state
-
     st = engine.state
     snap = engine.graph.snapshot()
     bad: List[tuple] = []
     for i in indices:
         i = int(i)
-        s = int(st.sources[i])
-        d, sigma, delta, _ = single_source_state(snap, s)
-        delta[s] = 0.0
-        if not np.array_equal(st.d[i], d):
-            bad.append((i, "distance"))
-        elif not np.allclose(st.sigma[i], sigma, atol=atol):
-            bad.append((i, "sigma"))
-        elif not np.allclose(st.delta[i], delta, atol=atol):
-            bad.append((i, "delta"))
+        component = row_drift_component(
+            snap, int(st.sources[i]), st.d[i], st.sigma[i], st.delta[i],
+            atol=atol,
+        )
+        if component is not None:
+            bad.append((i, component))
     return bad

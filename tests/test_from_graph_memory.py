@@ -1,0 +1,101 @@
+"""Peak-memory regression test for the initial Brandes build.
+
+``BCState.compute`` (hence ``DynamicBC.from_graph``) must write each
+source's rows straight into the ``(k, n)`` state matrices via
+``single_source_state(out=...)`` — the build's transient footprint is
+then O(n + m) BFS scratch, not an extra per-source ``(d, sigma,
+delta)`` triple that gets copied and thrown away k times.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.bc.brandes import single_source_state
+from repro.bc.engine import DynamicBC
+from repro.bc.state import BCState
+from repro.graph import generators as gen
+from repro.graph.csr import DIST_INF
+
+
+def legacy_compute(graph, sources):
+    """The pre-optimization build: allocate a fresh per-source triple,
+    then copy it into the state rows (kept here as the memory baseline
+    the in-place build is measured against)."""
+    sources = np.asarray(sorted(int(s) for s in sources), dtype=np.int64)
+    n = graph.num_vertices
+    k = sources.size
+    d = np.empty((k, n), dtype=np.int64)
+    sigma = np.empty((k, n), dtype=np.float64)
+    delta = np.empty((k, n), dtype=np.float64)
+    bc = np.zeros(n, dtype=np.float64)
+    for i, s in enumerate(sources):
+        d_new, sigma_new, delta_new, _ = single_source_state(graph, int(s))
+        delta_new[int(s)] = 0.0
+        d[i] = d_new
+        sigma[i] = sigma_new
+        delta[i] = delta_new
+        bc += delta[i]
+    return BCState(sources, d, sigma, delta, bc)
+
+
+def peak_bytes(fn):
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+@pytest.fixture(scope="module")
+def big_er():
+    # Large enough that one n-vector (8n bytes) dominates allocator
+    # noise in the peak comparison.
+    return gen.erdos_renyi(4000, 12000, seed=42)
+
+
+def test_inplace_build_is_bit_identical(big_er):
+    sources = list(range(0, 4000, 500))
+    fast = BCState.compute(big_er, sources)
+    slow = legacy_compute(big_er, sources)
+    assert np.array_equal(fast.d, slow.d)
+    assert np.array_equal(fast.sigma, slow.sigma)
+    assert np.array_equal(fast.delta, slow.delta)
+    assert np.array_equal(fast.bc, slow.bc)
+
+
+def test_inplace_build_shaves_transient_triple(big_er):
+    n = big_er.num_vertices
+    sources = list(range(0, 4000, 500))
+    _, peak_new = peak_bytes(lambda: BCState.compute(big_er, sources))
+    _, peak_old = peak_bytes(lambda: legacy_compute(big_er, sources))
+    # The legacy path holds a transient (d, sigma, delta) triple —
+    # 8n + 8n + 8n bytes — on top of the retained state at its peak;
+    # the in-place path must save at least two of those vectors.
+    assert peak_old - peak_new >= 2 * n * 8, (
+        f"expected ≥{2 * n * 8} bytes saved, got {peak_old - peak_new} "
+        f"(old={peak_old}, new={peak_new})"
+    )
+
+
+def test_from_graph_peak_close_to_retained_state(big_er):
+    sources = list(range(0, 4000, 250))
+
+    def build():
+        return DynamicBC.from_graph(big_er, sources=sources)
+
+    engine, peak = peak_bytes(build)
+    retained = engine.memory_report()["total"]
+    n, m = big_er.num_vertices, big_er.num_edges
+    # Retained state + O(n + m) scratch with generous allocator
+    # headroom; the old build's k transient triples would blow well
+    # past this on top of `retained`.
+    scratch_budget = 16 * (n + 2 * m) + (1 << 20)
+    assert peak <= retained + scratch_budget, (
+        f"from_graph peak {peak} exceeds retained {retained} + "
+        f"budget {scratch_budget}"
+    )
+    assert int(np.count_nonzero(engine.state.d[0] != DIST_INF)) > 0

@@ -1,0 +1,170 @@
+"""Unit tests for the parallel substrate: chunk planning, the
+shared-memory arena, the worker pool, and the deterministic reducer.
+
+The end-to-end bit-identity claims live in tests/test_parallel.py;
+this module pins the contracts of each layer in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ParallelExecutionError,
+    ShmArena,
+    ShmAttachment,
+    WorkerCrashed,
+    WorkerPool,
+    WorkerTaskError,
+    merge_indexed,
+    plan_chunks,
+    rebuild_trace,
+    shm_available,
+)
+from repro.gpu.counters import Step
+
+
+# ----------------------------------------------------------------------
+# plan_chunks
+# ----------------------------------------------------------------------
+class TestPlanChunks:
+    def test_concat_preserves_items_and_order(self):
+        items = list(range(23))
+        chunks = plan_chunks(items, 3)
+        assert [x for c in chunks for x in c] == items
+
+    def test_chunks_are_contiguous_and_bounded(self):
+        chunks = plan_chunks(list(range(100)), 4, chunks_per_worker=4)
+        assert len(chunks) <= 16
+        sizes = {len(c) for c in chunks}
+        assert max(sizes) - min(sizes) <= 1 or len(sizes) <= 2
+
+    def test_fewer_items_than_chunks(self):
+        chunks = plan_chunks([7, 8], 4)
+        assert [x for c in chunks for x in c] == [7, 8]
+        assert all(c for c in chunks)  # no empty chunks
+
+    def test_empty_items(self):
+        assert plan_chunks([], 4) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            plan_chunks([1], 0)
+        with pytest.raises(ValueError):
+            plan_chunks([1], 2, chunks_per_worker=0)
+
+
+# ----------------------------------------------------------------------
+# ShmArena / ShmAttachment
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not shm_available(), reason="POSIX shm unavailable")
+class TestArena:
+    def test_allocate_roundtrip_and_generation(self):
+        arena = ShmArena()
+        try:
+            gen0 = arena.generation
+            d = arena.allocate("d", (3, 5), np.int64)
+            assert arena.generation == gen0 + 1
+            d[...] = np.arange(15).reshape(3, 5)
+            assert np.array_equal(arena.get("d"), d)
+            assert arena.owns("d", d)
+            assert not arena.owns("d", d.copy())
+            assert "d" in arena
+
+            # Attach through the spec and verify both directions.
+            att = ShmAttachment(arena.spec())
+            assert att.generation == arena.generation
+            assert np.array_equal(att.arrays["d"], d)
+            att.arrays["d"][0, 0] = 99
+            assert d[0, 0] == 99
+            att.close()
+        finally:
+            arena.close()
+
+    def test_reallocate_bumps_generation_and_replaces(self):
+        arena = ShmArena()
+        try:
+            arena.allocate("col", (4,), np.int32)
+            g1 = arena.generation
+            bigger = arena.allocate("col", (16,), np.int32)
+            assert arena.generation > g1
+            assert bigger.shape == (16,)
+            assert arena.spec()["fields"]["col"][1] == (16,)
+        finally:
+            arena.close()
+
+    def test_close_is_idempotent(self):
+        arena = ShmArena()
+        arena.allocate("x", (2,), np.float64)
+        arena.close()
+        arena.close()
+        assert "x" not in arena
+
+
+# ----------------------------------------------------------------------
+# WorkerPool
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not shm_available(), reason="POSIX shm unavailable")
+class TestWorkerPool:
+    def test_ping_returns_chunks_in_payload_order(self):
+        with WorkerPool(2) as pool:
+            payloads = [{"items": [i, i + 1]} for i in range(0, 10, 2)]
+            outs = pool.run("ping", {}, payloads)
+            assert outs == [[i, i + 1] for i in range(0, 10, 2)]
+
+    def test_task_error_carries_remote_traceback(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerTaskError) as info:
+                pool.run("no-such-kind", {}, [{"items": []}])
+            assert "KeyError" in str(info.value)
+            # The pool respawned: the next round must still work.
+            assert pool.run("ping", {}, [{"items": [1]}]) == [[1]]
+
+    def test_worker_crash_detected_and_pool_respawns(self):
+        with WorkerPool(2) as pool:
+            pool.arm_crash()
+            with pytest.raises(WorkerCrashed):
+                pool.run("ping", {}, [{"items": [0]}, {"items": [1]}])
+            assert pool.run("ping", {}, [{"items": [2]}]) == [[2]]
+
+    def test_crash_is_one_shot(self):
+        with WorkerPool(2) as pool:
+            pool.arm_crash()
+            with pytest.raises(ParallelExecutionError):
+                pool.run("ping", {}, [{"items": [0]}])
+            outs = pool.run("ping", {}, [{"items": [0]}, {"items": [1]}])
+            assert outs == [[0], [1]]
+
+    def test_close_idempotent_and_rejects_tiny_pool(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+        with pytest.raises(ValueError):
+            WorkerPool(1)
+
+    def test_empty_round_short_circuits(self):
+        with WorkerPool(2) as pool:
+            assert pool.run("ping", {}, []) == []
+
+
+# ----------------------------------------------------------------------
+# Reducer
+# ----------------------------------------------------------------------
+class TestReducer:
+    def test_merge_indexed_flattens_by_index(self):
+        outs = [[(0, "a"), (1, "b")], [(4, "c")]]
+        merged = merge_indexed(outs, [0, 1, 4])
+        assert merged == {0: ("a",), 1: ("b",), 4: ("c",)}
+
+    def test_merge_indexed_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            merge_indexed([[(0, "a")], [(0, "b")]], [0])
+
+    def test_merge_indexed_rejects_gaps(self):
+        with pytest.raises(ValueError):
+            merge_indexed([[(0, "a")]], [0, 1])
+
+    def test_rebuild_trace_round_trips_steps(self):
+        steps = [Step(4, 2.0, 64.0, 1, 2, "sp"), Step(2, 1.0, 16.0)]
+        trace = rebuild_trace("insert:3", steps)
+        assert trace.label == "insert:3"
+        assert trace.steps == steps
