@@ -52,6 +52,11 @@ from repro.parallel.chunks import plan_chunks
 from repro.parallel.pool import ParallelExecutionError, WorkerPool
 from repro.parallel.reducer import merge_indexed, rebuild_trace
 from repro.parallel.shm import ShmArena, shm_available
+from repro.parallel.supervisor import (
+    HealthEvent,
+    SupervisedPool,
+    SupervisorPolicy,
+)
 from repro.resilience.errors import UpdateError
 from repro.resilience.transactions import UpdateTransaction
 from repro.utils.prng import SeedLike, default_rng, sample_without_replacement
@@ -123,6 +128,8 @@ class DynamicBC:
         transactional: bool = True,
         workers: int = 1,
         start_method: Optional[str] = None,
+        supervised: bool = True,
+        supervisor_policy: Optional[SupervisorPolicy] = None,
     ) -> None:
         if backend not in ACCOUNTANTS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -161,6 +168,14 @@ class DynamicBC:
         #: every reported artifact is bit-identical either way.
         self.workers = max(1, int(workers))
         self._start_method = start_method
+        #: ``True`` wraps the worker pool in a
+        #: :class:`~repro.parallel.supervisor.SupervisedPool`:
+        #: heartbeat monitoring, hung-worker SIGKILL, bounded respawn
+        #: and the degradation ladder replace the legacy "one crash
+        #: demotes to serial permanently" policy.  ``False`` keeps the
+        #: legacy fail-fast pool (the differential tests pin it).
+        self.supervised = bool(supervised)
+        self.supervisor_policy = supervisor_policy
         self._pool: Optional[WorkerPool] = None
         self._arena: Optional[ShmArena] = None
         self._parallel_disabled = False
@@ -184,6 +199,8 @@ class DynamicBC:
         transactional: bool = True,
         workers: int = 1,
         start_method: Optional[str] = None,
+        supervised: bool = True,
+        supervisor_policy: Optional[SupervisorPolicy] = None,
     ) -> "DynamicBC":
         """Build the engine, computing the initial state with Brandes.
 
@@ -211,18 +228,21 @@ class DynamicBC:
             engine = cls._from_graph_parallel(
                 graph, snap, chosen, backend, device, num_blocks, op_costs,
                 vectorized, transactional, workers, start_method,
+                supervised, supervisor_policy,
             )
             if engine is not None:
                 return engine
         state = BCState.compute(snap, chosen)
         return cls(graph, state, backend, device, num_blocks, op_costs,
                    vectorized, transactional, workers=workers,
-                   start_method=start_method)
+                   start_method=start_method, supervised=supervised,
+                   supervisor_policy=supervisor_policy)
 
     @classmethod
     def _from_graph_parallel(
         cls, graph, snap, chosen, backend, device, num_blocks, op_costs,
         vectorized, transactional, workers, start_method,
+        supervised, supervisor_policy,
     ) -> Optional["DynamicBC"]:
         """Initial Brandes build through the worker pool; ``None`` when
         the pool is unavailable or failed (caller falls back to the
@@ -242,7 +262,8 @@ class DynamicBC:
         )
         engine = cls(graph, state, backend, device, num_blocks, op_costs,
                      vectorized, transactional, workers=workers,
-                     start_method=start_method)
+                     start_method=start_method, supervised=supervised,
+                     supervisor_policy=supervisor_policy)
         if engine._ensure_pool() is None:
             return None  # zeros state discarded; caller builds serially
         try:
@@ -363,7 +384,7 @@ class DynamicBC:
                 self._brandes_fill(snap, range(self.state.num_sources))
                 return
             except ParallelExecutionError as exc:
-                self._disable_parallel(f"recompute failed: {exc}")
+                self._parallel_failed("recompute failed", exc)
         self.state = BCState.compute(snap, self.state.sources)
 
     def verify(self, atol: float = 1e-6) -> None:
@@ -408,7 +429,7 @@ class DynamicBC:
             try:
                 return self._check_rows_parallel(indices, atol)
             except ParallelExecutionError as exc:
-                self._disable_parallel(f"check_rows failed: {exc}")
+                self._parallel_failed("check_rows failed", exc)
         from repro.resilience.guards import check_rows_against_scratch
 
         return [i for i, _ in check_rows_against_scratch(self, indices, atol=atol)]
@@ -434,7 +455,7 @@ class DynamicBC:
             try:
                 return self._repair_parallel(snap, i)
             except ParallelExecutionError as exc:
-                self._disable_parallel(f"repair failed: {exc}")
+                self._parallel_failed("repair failed", exc)
         access = cpu_access_cycles(self.device, snap.num_vertices,
                                    2 * snap.num_edges)
         acc = make_accountant(
@@ -506,7 +527,13 @@ class DynamicBC:
         try:
             if not shm_available():
                 raise RuntimeError("POSIX shared memory unavailable")
-            self._pool = WorkerPool(self.workers, self._start_method)
+            if self.supervised:
+                self._pool = SupervisedPool(
+                    self.workers, self._start_method,
+                    policy=self.supervisor_policy,
+                )
+            else:
+                self._pool = WorkerPool(self.workers, self._start_method)
             self._arena = ShmArena()
             self._adopted = None
             self._graph_capacity = 0
@@ -526,6 +553,87 @@ class DynamicBC:
         )
         self._parallel_disabled = True
         self._release_parallel()
+
+    def _parallel_failed(self, what: str, exc: Exception) -> None:
+        """Route a pool failure: the legacy pool demotes to serial
+        permanently; a supervised pool already retried/degraded, so
+        the engine keeps it (its ladder decides future routing)."""
+        if not self.supervised:
+            self._disable_parallel(f"{what}: {exc}")
+
+    def _pool_run(self, kind: str, common: dict, payloads: List[dict],
+                  reset=None) -> List:
+        """Dispatch one round through the engine's pool, wiring the
+        supervisor's recovery callbacks when supervision is on.
+
+        ``reset`` restores a chunk's state rows before a retry; only
+        the ``update`` kind mutates rows incrementally, so everything
+        else is idempotent and retry-safe with ``reset=None``.  An
+        update dispatched *without* a transaction journal has no safe
+        reset, so it keeps the legacy fail-fast contract.
+        """
+        pool = self._pool
+        if isinstance(pool, SupervisedPool):
+            retryable = kind != "update" or reset is not None
+            return pool.run(kind, common, payloads, reset=reset,
+                            serial=self._serial_chunk, retryable=retryable)
+        return pool.run(kind, common, payloads)
+
+    def _serial_chunk(self, kind: str, common: dict, payload: dict):
+        """Execute one worker chunk in the parent process (quarantine
+        retry / the ladder's serial rung): the exact worker handler
+        runs against the arena's parent-side views — the same bytes
+        the workers map — so results are bit-identical to pool
+        execution."""
+        from types import SimpleNamespace
+
+        from repro.parallel import worker as _worker_mod
+
+        attachment = SimpleNamespace(arrays=self._arena.views(),
+                                     generation=self._arena.generation)
+        return _worker_mod.run_task(attachment, kind, common, payload)
+
+    def _reset_update_chunk(self, payload: dict) -> None:
+        """Restore every state row an ``update`` chunk may have half
+        written (supervisor retry callback; rows were journaled before
+        dispatch, and ``bc``/counters are parent-side only, touched
+        after a fully successful round)."""
+        txn = self._txn
+        if txn is None:
+            return
+        for item in payload["items"]:
+            txn.restore_row(int(item[0]))
+
+    def health_report(self) -> Dict:
+        """Operator-facing supervision snapshot: execution mode plus —
+        under a supervised pool — the ladder level, live worker count
+        and every supervision counter (kills, respawns, quarantines,
+        demotions, promotions...)."""
+        report: Dict = {
+            "workers": self.workers,
+            "supervised": self.supervised,
+            "parallel_disabled": self._parallel_disabled,
+        }
+        pool = self._pool
+        if isinstance(pool, SupervisedPool):
+            report.update(pool.health_report())
+        else:
+            report["level"] = (
+                "serial"
+                if self.workers <= 1 or self._parallel_disabled
+                or pool is None
+                else "full-pool"
+            )
+        return report
+
+    def drain_health_events(self) -> List[HealthEvent]:
+        """Supervision events since the last drain (empty for serial /
+        legacy-pool engines); :func:`repro.graph.stream.replay` folds
+        them into the guard-event log."""
+        pool = self._pool
+        if isinstance(pool, SupervisedPool):
+            return pool.drain_events()
+        return []
 
     def _release_parallel(self) -> None:
         if self._pool is not None:
@@ -626,7 +734,7 @@ class DynamicBC:
             {"items": chunk}
             for chunk in plan_chunks(items, self._pool.workers)
         ]
-        self._pool.run("brandes", common, payloads)
+        self._pool_run("brandes", common, payloads)
         self.state.rebuild_bc()
 
     def _check_rows_parallel(self, indices: List[int], atol: float) -> List[int]:
@@ -637,13 +745,13 @@ class DynamicBC:
             {"items": chunk}
             for chunk in plan_chunks(indices, self._pool.workers)
         ]
-        outputs = self._pool.run("check", common, payloads)
+        outputs = self._pool_run("check", common, payloads)
         return [int(record[0]) for output in outputs for record in output]
 
     def _repair_parallel(self, snap: CSRGraph, i: int) -> UpdateStats:
         spec = self._shared_spec(snap)
         common = self._parallel_common(snap, spec)
-        outputs = self._pool.run("rebuild", common, [{"items": [i]}])
+        outputs = self._pool_run("rebuild", common, [{"items": [i]}])
         _, steps, touched, num_levels = outputs[0][0]
         trace = rebuild_trace(f"repair:{int(self.state.sources[i])}", steps)
         self.state.rebuild_bc()
@@ -669,7 +777,8 @@ class DynamicBC:
             {"items": chunk}
             for chunk in plan_chunks(items, self._pool.workers)
         ]
-        outputs = self._pool.run("update", common, payloads)
+        reset = self._reset_update_chunk if self._txn is not None else None
+        outputs = self._pool_run("update", common, payloads, reset=reset)
         return merge_indexed(outputs, active)
 
     def _apply_parallel(
@@ -810,7 +919,11 @@ class DynamicBC:
             try:
                 return self._apply_parallel(u, v, operation, classifications)
             except ParallelExecutionError as exc:
-                self._disable_parallel(f"update failed: {exc}")
+                # Supervised pools only surface here after the whole
+                # recovery ladder failed for this update; the engine
+                # keeps the pool and lets the transaction/guard layers
+                # take over.  Legacy pools demote to serial for good.
+                self._parallel_failed("update failed", exc)
                 raise
         if self.vectorized:
             return self._apply_vectorized(u, v, operation, classifications)

@@ -228,21 +228,67 @@ def build_chaos_parser() -> argparse.ArgumentParser:
                         help="worker processes for the engines (default 1 "
                              "= serial; the scenario must pass identically "
                              "at any worker count)")
+    parser.add_argument("--health-log", default=None, metavar="PATH",
+                        help="write the run's supervision health events "
+                             "and injector log as JSON lines to PATH "
+                             "(what the CI job uploads as an artifact)")
     return parser
 
 
 def run_chaos_cmd(args: argparse.Namespace) -> int:
-    """Execute the ``chaos`` subcommand; returns a process exit code."""
+    """Execute the ``chaos`` subcommand; returns a process exit code.
+
+    The reproduction line (seed, events, backend, workers) is printed
+    on *every* run — pass or fail — so any log excerpt is replayable;
+    the exit code is nonzero whenever a resilience claim fails,
+    including any injected fault left unrecovered.
+    """
     from repro.resilience.chaos import run_chaos
 
     report = run_chaos(seed=args.seed, num_events=args.events,
                        backend=args.backend, workers=args.workers)
     print(report.summary())
+    repro_line = (
+        f"reproduce with: python -m repro.cli chaos --seed {report.seed} "
+        f"--events {report.num_events} --backend {report.backend} "
+        f"--workers {report.workers}"
+    )
+    print(repro_line)
+    if args.health_log:
+        _write_health_log(args.health_log, report)
+        print(f"health log: {args.health_log}")
     if not report.ok:
-        print(f"reproduce with: python -m repro.cli chaos --seed {args.seed}",
-              file=sys.stderr)
+        print(repro_line, file=sys.stderr)
         return 1
     return 0
+
+
+def _write_health_log(path: str, report) -> None:
+    """Dump a chaos report's supervision events + injector log as JSON
+    lines (one self-describing record per line)."""
+    import json
+    import os
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        header = {
+            "record": "chaos-report", "seed": report.seed,
+            "backend": report.backend, "events": report.num_events,
+            "workers": report.workers, "ok": report.ok,
+            "worker_kills": report.worker_kills,
+            "hung_detections": report.hung_detections,
+            "respawns": report.respawns,
+            "quarantined_chunks": report.quarantined_chunks,
+            "permanent_serial": report.permanent_serial,
+            "unrecovered_faults": report.unrecovered_faults,
+            "failures": report.failures,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for line in report.health_events:
+            fh.write(json.dumps({"record": "health", "event": line}) + "\n")
+        for line in report.injector_log:
+            fh.write(json.dumps({"record": "injection", "event": line}) + "\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

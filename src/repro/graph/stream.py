@@ -398,6 +398,7 @@ def replay(
                 sim_seconds += report.simulated_seconds
             if active_guard is not None:
                 active_guard.after_event(index)
+            _fold_health_events(engine, index, result, active_guard)
             if checkpoint_every is not None and (index + 1) % checkpoint_every == 0:
                 from repro.resilience.checkpoint import save_checkpoint
 
@@ -414,8 +415,32 @@ def replay(
     result.simulated_seconds = sim_seconds
     result.wall_seconds = timer.elapsed
     if active_guard is not None:
+        # Health events were folded into the guard log in place, so
+        # supervision activity and guard activity share one timeline.
         result.guard_events = active_guard.events
     return result
+
+
+def _fold_health_events(engine, index, result, active_guard) -> None:
+    """Fold any worker-pool supervision events the engine accumulated
+    during this stream event into the guard-event log (or directly
+    into the result when the replay is unguarded), stamped with the
+    stream index they occurred under."""
+    drain = getattr(engine, "drain_health_events", None)
+    if drain is None:
+        return
+    health = drain()
+    if not health:
+        return
+    from repro.resilience.guards import HEALTH, GuardEvent
+
+    sink = active_guard.events if active_guard is not None \
+        else result.guard_events
+    for ev in health:
+        sink.append(
+            GuardEvent(index, HEALTH, ev.action, -1,
+                       f"[{ev.level}] {ev.detail}")
+        )
 
 
 def _apply_event(

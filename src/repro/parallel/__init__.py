@@ -13,6 +13,10 @@ shm
 pool
     :class:`WorkerPool` — long-lived workers, a dynamic chunk queue,
     structured error/crash containment.
+supervisor
+    :class:`SupervisedPool` — heartbeat monitoring, hung-worker
+    SIGKILL, bounded respawn with backoff, poisoned-chunk quarantine,
+    and the full-pool → shrunk-pool → serial degradation ladder.
 chunks
     :func:`plan_chunks` — contiguous, ordered chunk planning.
 reducer
@@ -28,17 +32,29 @@ from repro.parallel.pool import (
     ParallelExecutionError,
     WorkerCrashed,
     WorkerPool,
+    WorkerStatus,
     WorkerTaskError,
 )
 from repro.parallel.reducer import merge_indexed, rebuild_trace
 from repro.parallel.shm import ShmArena, ShmAttachment, shm_available
+from repro.parallel.supervisor import (
+    ChunkEscalated,
+    HealthEvent,
+    SupervisedPool,
+    SupervisorPolicy,
+)
 
 __all__ = [
+    "ChunkEscalated",
+    "HealthEvent",
     "ParallelExecutionError",
     "ShmArena",
     "ShmAttachment",
+    "SupervisedPool",
+    "SupervisorPolicy",
     "WorkerCrashed",
     "WorkerPool",
+    "WorkerStatus",
     "WorkerTaskError",
     "merge_indexed",
     "plan_chunks",

@@ -21,6 +21,14 @@ processes and respawns fresh before re-raising.  The engine's update
 transaction then rolls the half-written state back (it journals every
 active row *before* dispatch), so a crashed worker costs one
 rolled-back update, not a corrupted engine.
+
+:class:`~repro.parallel.supervisor.SupervisedPool` builds on the
+round primitives exposed here (:meth:`WorkerPool.enqueue_round`,
+:meth:`WorkerPool.poll_result`, :meth:`WorkerPool.worker_status`,
+:meth:`WorkerPool.kill_worker`, :meth:`WorkerPool.respawn`) to add
+heartbeat monitoring, hung-worker SIGKILL, bounded respawn and a
+degradation ladder — turning "one crash demotes to serial forever"
+into "retry, quarantine, degrade, re-promote".
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as _queue
 import time
+from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.parallel import worker as _worker
@@ -50,13 +59,40 @@ class WorkerTaskError(ParallelExecutionError):
 #: seconds between liveness polls while waiting on the result queue
 _POLL_SECONDS = 0.05
 
+#: default seconds granted per process per teardown-escalation stage
+DEFAULT_JOIN_TIMEOUT = 2.0
+
+
+@dataclass(frozen=True)
+class WorkerStatus:
+    """One worker's health snapshot, read from its heartbeat slots.
+
+    ``beat_age``/``busy_seconds`` are ``0.0`` when heartbeats are
+    disabled (the pool was built with ``heartbeat_interval=0``).
+    """
+
+    worker: int  #: worker index in the pool
+    alive: bool  #: is the process alive (``Process.is_alive``)?
+    beat_age: float  #: seconds since the last heartbeat stamp
+    busy_seconds: float  #: seconds spent on the current task (0 = idle)
+    round_id: int  #: round of the current task (-1 when idle)
+    chunk_id: int  #: chunk of the current task (-1 when idle)
+
 
 class WorkerPool:
     """N worker processes around one shared task/result queue pair."""
 
-    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        join_timeout: float = DEFAULT_JOIN_TIMEOUT,
+        heartbeat_interval: float = 0.0,
+    ) -> None:
         if workers < 2:
             raise ValueError(f"WorkerPool needs >= 2 workers, got {workers}")
+        if join_timeout <= 0:
+            raise ValueError(f"join_timeout must be > 0, got {join_timeout}")
         if start_method is None:
             # fork shares the parent's loaded modules (microsecond
             # spawns on Linux); spawn is the portable fallback.
@@ -64,23 +100,44 @@ class WorkerPool:
             start_method = "fork" if "fork" in methods else "spawn"
         self.workers = int(workers)
         self.start_method = start_method
+        #: seconds granted per process per stage of the teardown
+        #: escalation (join -> terminate -> kill); each stage that
+        #: times out hands the process to the next, harder one
+        self.join_timeout = float(join_timeout)
+        #: heartbeat stamp period for the workers (0 disables the
+        #: heartbeat slots entirely — the legacy engine path)
+        self.heartbeat_interval = float(heartbeat_interval)
         self._ctx = mp.get_context(start_method)
         self._round = 0
         self._crash_chunks = 0
         self._procs: List[Any] = []
         self._tasks: Any = None
         self._results: Any = None
+        self._heartbeat: Any = None
         self._spawn()
 
     # ------------------------------------------------------------------
     def _spawn(self) -> None:
         self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
+        self._heartbeat = None
+        if self.heartbeat_interval > 0:
+            self._heartbeat = self._ctx.Array(
+                "d", _worker.HB_SLOTS * self.workers, lock=False
+            )
+            now = time.monotonic()
+            for j in range(self.workers):
+                base = _worker.HB_SLOTS * j
+                self._heartbeat[base + _worker.HB_BEAT] = now
+                self._heartbeat[base + _worker.HB_TASK_START] = 0.0
+                self._heartbeat[base + _worker.HB_ROUND] = -1.0
+                self._heartbeat[base + _worker.HB_CHUNK] = -1.0
         self._procs = []
         for j in range(self.workers):
             proc = self._ctx.Process(
                 target=_worker.worker_main,
-                args=(self._tasks, self._results),
+                args=(self._tasks, self._results, j, self._heartbeat,
+                      self.heartbeat_interval),
                 name=f"repro-worker-{j}",
                 daemon=True,
             )
@@ -96,14 +153,15 @@ class WorkerPool:
             raise ValueError(f"chunks must be >= 1, got {chunks}")
         self._crash_chunks = int(chunks)
 
-    def run(self, kind: str, common: dict, payloads: List[dict]) -> List[Any]:
-        """Execute one round and return chunk results in payload order.
+    def enqueue_round(self, kind: str, common: dict,
+                      payloads: List[dict]) -> int:
+        """Enqueue one round's chunks and return its round id.
 
-        Chunks are pulled dynamically by idle workers; completion order
-        is nondeterministic, return order is not.
+        Armed crash marks (:meth:`arm_crash`) are applied to the first
+        chunk(s) and consumed.  The caller collects results itself via
+        :meth:`poll_result` (this is the supervisor's entry point;
+        :meth:`run` wraps it with the legacy collect loop).
         """
-        if not payloads:
-            return []
         if not self._procs:
             self._spawn()
         self._round += 1
@@ -114,14 +172,68 @@ class WorkerPool:
                 payload[_worker.CRASH_KEY] = True
             self._tasks.put((kind, round_id, chunk_id, common, payload))
         self._crash_chunks = 0
+        return round_id
+
+    def poll_result(self, timeout: float = _POLL_SECONDS):
+        """One ``(status, round_id, chunk_id, result)`` message from
+        the result queue, or ``None`` after *timeout* seconds."""
+        try:
+            return self._results.get(timeout=timeout)
+        except _queue.Empty:
+            return None
+
+    def worker_status(self, j: int, now: Optional[float] = None) -> WorkerStatus:
+        """Health snapshot of worker *j* from its heartbeat slots."""
+        proc = self._procs[j]
+        if self._heartbeat is None:
+            return WorkerStatus(j, proc.is_alive(), 0.0, 0.0, -1, -1)
+        if now is None:
+            now = time.monotonic()
+        base = _worker.HB_SLOTS * j
+        beat = self._heartbeat[base + _worker.HB_BEAT]
+        start = self._heartbeat[base + _worker.HB_TASK_START]
+        return WorkerStatus(
+            worker=j,
+            alive=proc.is_alive(),
+            beat_age=max(0.0, now - beat),
+            busy_seconds=max(0.0, now - start) if start > 0.0 else 0.0,
+            round_id=int(self._heartbeat[base + _worker.HB_ROUND]),
+            chunk_id=int(self._heartbeat[base + _worker.HB_CHUNK]),
+        )
+
+    def kill_worker(self, j: int) -> None:
+        """SIGKILL worker *j* and reap it.  SIGKILL (not SIGTERM) is
+        mandatory here: a SIGSTOPped process queues SIGTERM without
+        acting on it, but SIGKILL removes even a stopped process."""
+        proc = self._procs[j]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=self.join_timeout)
+
+    def respawn(self, workers: Optional[int] = None) -> None:
+        """Tear the pool down (non-graceful) and bring up a fresh one,
+        optionally resized to *workers* processes."""
+        self._teardown(graceful=False)
+        if workers is not None:
+            if workers < 2:
+                raise ValueError(f"WorkerPool needs >= 2 workers, got {workers}")
+            self.workers = int(workers)
+        self._spawn()
+
+    def run(self, kind: str, common: dict, payloads: List[dict]) -> List[Any]:
+        """Execute one round and return chunk results in payload order.
+
+        Chunks are pulled dynamically by idle workers; completion order
+        is nondeterministic, return order is not.
+        """
+        if not payloads:
+            return []
+        round_id = self.enqueue_round(kind, common, payloads)
         outputs: dict = {}
         try:
             while len(outputs) < len(payloads):
-                try:
-                    status, rid, chunk_id, result = self._results.get(
-                        timeout=_POLL_SECONDS
-                    )
-                except _queue.Empty:
+                message = self.poll_result(_POLL_SECONDS)
+                if message is None:
                     dead = [p.name for p in self._procs if not p.is_alive()]
                     if dead:
                         raise WorkerCrashed(
@@ -129,6 +241,7 @@ class WorkerPool:
                             f"(kind={kind!r})"
                         )
                     continue
+                status, rid, chunk_id, result = message
                 if rid != round_id:
                     continue  # stale result from an aborted round
                 if status == "error":
@@ -158,13 +271,20 @@ class WorkerPool:
                     self._tasks.put(_worker.STOP)
                 except Exception:  # pragma: no cover - queue already gone
                     break
-        deadline = time.monotonic() + 2.0
+        # Escalation ladder: (graceful) join -> terminate -> kill, each
+        # stage bounded by join_timeout.  The final SIGKILL+join always
+        # reaps — even a SIGSTOPped worker, which ignores SIGTERM but
+        # cannot survive SIGKILL — so no zombie outlives a teardown.
+        deadline = time.monotonic() + self.join_timeout
         for proc in self._procs:
             if graceful:
                 proc.join(timeout=max(0.0, deadline - time.monotonic()))
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=1.0)
+                proc.join(timeout=self.join_timeout)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=self.join_timeout)
         self._procs = []
         for q in (self._tasks, self._results):
             if q is None:
@@ -176,6 +296,7 @@ class WorkerPool:
                 pass
         self._tasks = None
         self._results = None
+        self._heartbeat = None
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "WorkerPool":

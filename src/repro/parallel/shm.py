@@ -23,10 +23,23 @@ parent touches it (see docs/MODEL.md, "Parallel execution").
 Every (re)allocation bumps :attr:`ShmArena.generation`; workers cache
 one attachment and re-attach only when a task arrives with a newer
 generation, so steady-state dispatch does zero mapping work.
+
+Leak guard: named POSIX segments outlive their creator, so an abnormal
+parent exit (unhandled exception, SIGTERM/SIGINT) would leave orphaned
+files under ``/dev/shm`` until reboot.  Creating the first arena in a
+process installs an ``atexit`` hook plus chaining SIGTERM/SIGINT
+handlers that unlink every still-open arena of *that* process (a
+pid check keeps forked children — which inherit the handler table —
+from unlinking the parent's live segments).  ``SIGKILL`` cannot be
+guarded by design; the chaos/CI tooling is the backstop there.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import signal
+import weakref
 from contextlib import contextmanager
 from typing import Dict, List, Tuple
 
@@ -138,12 +151,71 @@ def _destroy(block) -> None:
         pass  # a live view still exports the buffer; freed with the process
 
 
+#: arenas of this process still holding live segments (weak: a GC'd
+#: arena has already released or leaked-by-kill its blocks)
+_LIVE_ARENAS: "weakref.WeakSet" = weakref.WeakSet()
+#: pid that installed the exit guard (fork children inherit module
+#: state and must not unlink the parent's segments)
+_GUARD_PID: int = -1
+#: previous signal dispositions, restored before re-raising
+_PREV_HANDLERS: Dict[int, object] = {}
+
+
+def _unlink_live_arenas() -> None:
+    """Unlink every live arena of the installing process (the atexit /
+    signal leak guard; idempotent, never raises)."""
+    if os.getpid() != _GUARD_PID:
+        return  # forked child: the parent owns these segments
+    for arena in list(_LIVE_ARENAS):
+        try:
+            arena.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+def _guard_signal_handler(signum, frame) -> None:
+    """Unlink live arenas, then restore the previous disposition and
+    re-deliver so the process still dies with the right status."""
+    _unlink_live_arenas()
+    previous = _PREV_HANDLERS.get(signum, signal.SIG_DFL)
+    if callable(previous):
+        previous(signum, frame)
+        return
+    try:
+        signal.signal(signum, previous if previous is not None
+                      else signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        return
+    os.kill(os.getpid(), signum)
+
+
+def _install_exit_guard() -> None:
+    """Idempotently install the atexit + SIGTERM/SIGINT unlink guard
+    for the current process (re-armed after fork on first arena)."""
+    global _GUARD_PID
+    if _GUARD_PID == os.getpid():
+        return
+    _GUARD_PID = os.getpid()
+    atexit.register(_unlink_live_arenas)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous = signal.getsignal(signum)
+            if previous is _guard_signal_handler:
+                continue
+            _PREV_HANDLERS[signum] = previous
+            signal.signal(signum, _guard_signal_handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+
 class ShmArena:
     """Parent-side owner of the named blocks (create, fill, unlink)."""
 
     def __init__(self) -> None:
         if _shm is None:  # pragma: no cover - guarded by shm_available()
             raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        _install_exit_guard()
+        _LIVE_ARENAS.add(self)
         self._blocks: Dict[str, object] = {}
         self._arrays: Dict[str, np.ndarray] = {}
         self._meta: Dict[str, Tuple[Tuple[int, ...], str]] = {}
@@ -202,10 +274,22 @@ class ShmArena:
         if block is not None:
             _destroy(block)
 
+    def views(self) -> Dict[str, np.ndarray]:
+        """Every allocated field's parent-side view — the attachment
+        shim the supervisor's serial chunk retry executes against
+        (same bytes the workers map, so results are bit-identical)."""
+        return dict(self._arrays)
+
+    def block_names(self) -> List[str]:
+        """The names of every live segment (``/dev/shm/<name>`` on
+        Linux); used by the leak-guard tests."""
+        return [block.name for block in self._blocks.values()]
+
     def close(self) -> None:
         """Unlink every block (idempotent)."""
         for field in list(self._blocks):
             self.release(field)
+        _LIVE_ARENAS.discard(self)
 
     def __contains__(self, field: str) -> bool:
         return field in self._blocks

@@ -22,11 +22,22 @@ Division of labour with the parent (the determinism contract):
 The probe trick is sound because the update kernels treat ``bc`` as a
 pure write-only accumulator (one masked ``+=`` in ``_commit``); against
 a zeros vector the masked add leaves exactly the adjustment values.
+
+Supervision hooks (see :mod:`repro.parallel.supervisor`): when the pool
+hands the worker a heartbeat slot, a daemon thread stamps
+``time.monotonic()`` into it every ``heartbeat_interval`` seconds and
+the task loop records which (round, chunk) it is executing.  A worker
+frozen by ``SIGSTOP`` freezes the thread too, so the parent detects the
+hang as heartbeat staleness; a worker stuck in compute keeps beating
+but trips the per-chunk deadline instead.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
+import time
 import traceback
 
 import numpy as np
@@ -51,19 +62,79 @@ STOP = "__stop__"
 #: never set by production dispatch
 CRASH_KEY = "__crash__"
 
+#: payload key that makes the worker SIGSTOP itself mid-task — the
+#: hang-injection hook (SupervisedPool.arm_stall): the process freezes
+#: (heartbeat thread included) exactly as an externally-stopped or
+#: deadlocked worker would, and only SIGKILL can remove it
+STALL_KEY = "__stall__"
 
-def worker_main(tasks, results) -> None:
+#: heartbeat-slot layout: each worker owns ``HB_SLOTS`` consecutive
+#: doubles in the pool's lock-free shared array
+HB_SLOTS = 4
+#: slot 0 — last ``time.monotonic()`` stamped by the heartbeat thread
+HB_BEAT = 0
+#: slot 1 — ``time.monotonic()`` when the current task started (0.0
+#: when idle)
+HB_TASK_START = 1
+#: slot 2 — round id of the current task (-1 when idle)
+HB_ROUND = 2
+#: slot 3 — chunk id of the current task (-1 when idle)
+HB_CHUNK = 3
+
+
+def _start_heartbeat(heartbeat, base: int, interval: float) -> None:
+    """Start the daemon thread that stamps ``time.monotonic()`` into
+    this worker's beat slot every *interval* seconds.
+
+    A plain assignment into a lock-free ``multiprocessing.Array`` slot
+    is a single aligned 8-byte store — no lock needed, and the parent
+    always reads a consistent value.  ``monotonic()`` is system-wide
+    comparable on Linux (CLOCK_MONOTONIC), so the parent can age the
+    stamp against its own clock.
+    """
+
+    def _beat() -> None:
+        while True:
+            heartbeat[base + HB_BEAT] = time.monotonic()
+            time.sleep(interval)
+
+    threading.Thread(target=_beat, daemon=True,
+                     name="repro-heartbeat").start()
+
+
+def worker_main(tasks, results, worker_id: int = 0, heartbeat=None,
+                heartbeat_interval: float = 0.0) -> None:
     """Pull tasks until :data:`STOP`; never let an exception escape
-    (errors travel back to the parent as structured results)."""
+    (errors travel back to the parent as structured results).
+
+    When *heartbeat* (the pool's shared slot array) is provided with a
+    positive *heartbeat_interval*, the worker stamps liveness and
+    per-task (round, chunk, start-time) bookkeeping into its slots so
+    the supervisor can detect hangs and attribute them to a chunk.
+    """
     attachment = None
+    base = HB_SLOTS * int(worker_id)
+    beating = heartbeat is not None and heartbeat_interval > 0
+    if beating:
+        heartbeat[base + HB_BEAT] = time.monotonic()
+        _start_heartbeat(heartbeat, base, float(heartbeat_interval))
     while True:
         message = tasks.get()
         if message == STOP:
             break
         kind, round_id, chunk_id, common, payload = message
         try:
+            if beating:
+                # Attribution before the fault hooks: a worker that
+                # crashes or stalls right here must still be blamed on
+                # the correct (round, chunk).
+                heartbeat[base + HB_ROUND] = float(round_id)
+                heartbeat[base + HB_CHUNK] = float(chunk_id)
+                heartbeat[base + HB_TASK_START] = time.monotonic()
             if payload.get(CRASH_KEY):
                 os._exit(3)
+            if payload.get(STALL_KEY):
+                os.kill(os.getpid(), signal.SIGSTOP)
             spec = common.get("spec")
             if spec is not None and (
                 attachment is None
@@ -84,8 +155,25 @@ def worker_main(tasks, results) -> None:
                 os._exit(1)
         else:
             results.put(("ok", round_id, chunk_id, result))
+        finally:
+            if beating:
+                heartbeat[base + HB_TASK_START] = 0.0
+                heartbeat[base + HB_ROUND] = -1.0
+                heartbeat[base + HB_CHUNK] = -1.0
     if attachment is not None:
         attachment.close()
+
+
+def run_task(attachment, kind: str, common: dict, payload: dict):
+    """Execute one task *in the calling process* (no queue round-trip).
+
+    This is the supervisor's serial-retry primitive: the parent runs
+    the exact handler a worker would have run, against an attachment
+    shim whose ``arrays`` are the arena's parent-side views — the same
+    bytes the workers see — so the result (and every in-place row
+    write) is bit-identical to pool execution.
+    """
+    return _HANDLERS[kind](attachment, common, payload)
 
 
 def _views(attachment, common):
@@ -219,10 +307,21 @@ def _handle_ping(attachment, common, payload):
     return list(payload.get("items", []))
 
 
+def _handle_sleep(attachment, common, payload):
+    """Supervision tests only: busy-sleep ``payload['seconds']`` (in
+    short naps, heartbeats keep flowing), then echo the items — a
+    compute loop that outlives a chunk deadline without hanging."""
+    deadline = time.monotonic() + float(payload.get("seconds", 0.0))
+    while time.monotonic() < deadline:
+        time.sleep(0.01)
+    return list(payload.get("items", []))
+
+
 _HANDLERS = {
     "update": _handle_update,
     "brandes": _handle_brandes,
     "rebuild": _handle_rebuild,
     "check": _handle_check,
     "ping": _handle_ping,
+    "sleep": _handle_sleep,
 }

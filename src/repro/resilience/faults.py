@@ -128,6 +128,41 @@ class FaultInjector:
         engine._run_source = tripwire
         self.log.append(f"arm_update_fault after_sources={after_sources}")
 
+    def arm_update_stall(self, engine, chunks: int = 1, rounds: int = 1) -> None:
+        """One-shot trap: a worker picking up the next update's first
+        chunk(s) freezes (``SIGSTOP``) instead of crashing — the hang
+        the supervisor's heartbeat deadline must catch and SIGKILL.
+
+        On an engine with a supervised pool this arms the pool's stall
+        marks directly.  A legacy (unsupervised) pool has no stall
+        detection — a frozen worker would hang the run forever — so the
+        trap degrades to a worker *crash*, which that pool does
+        contain.  On a serial engine it degrades to the mid-kernel
+        :class:`FaultInjected` trap (a serial engine cannot hang
+        part-way and keep serving).
+        """
+        pool = getattr(engine, "_ensure_pool", lambda: None)()
+        if pool is not None and hasattr(pool, "arm_stall"):
+            pool.arm_stall(chunks=chunks, rounds=rounds)
+            self.log.append("arm_update_stall armed worker stall (pool mode)")
+            return
+        if pool is not None:
+            pool.arm_crash()
+            self.log.append(
+                "arm_update_stall degraded to worker crash (legacy pool)"
+            )
+            return
+        original = engine._run_source
+        log = self.log
+
+        def tripwire(*args, **kwargs):
+            engine._run_source = original
+            log.append("update stall fired (serial tripwire)")
+            raise FaultInjected("injected stall-equivalent serial fault")
+
+        engine._run_source = tripwire
+        self.log.append("arm_update_stall degraded to serial tripwire")
+
     # ------------------------------------------------------------------
     # Malformed input / file corruption
     # ------------------------------------------------------------------

@@ -47,6 +47,11 @@ STRUCTURAL = "structural"
 DETECT = "detect"
 REPAIR = "repair"
 ESCALATE = "escalate"
+#: worker-pool supervision events folded into the same log (replay
+#: drains :meth:`DynamicBC.drain_health_events` after each event; the
+#: GuardEvent's ``kind`` carries the supervisor action, e.g.
+#: ``worker-death`` / ``hung-worker`` / ``demote``)
+HEALTH = "health"
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,26 @@ class UpdateTransaction:
         st = self._engine.state
         self._rows[i] = (st.d[i].copy(), st.sigma[i].copy(), st.delta[i].copy())
 
+    def restore_row(self, i: int) -> None:
+        """Write source row *i*'s journaled bytes back in place (no-op
+        for unjournaled rows) **without** ending the transaction.
+
+        This is the supervisor's chunk-reset primitive: before a
+        failed pool round is retried, every pending chunk's rows are
+        restored to their pre-update values so the re-execution is
+        bit-identical to a first attempt.  The restore writes through
+        the live arrays — shared-memory views included — so workers
+        see the reset bytes too.
+        """
+        row = self._rows.get(int(i))
+        if row is None:
+            return
+        d, sigma, delta = row
+        st = self._engine.state
+        st.d[i] = d
+        st.sigma[i] = sigma
+        st.delta[i] = delta
+
     def rollback(self) -> None:
         """Restore graph, journaled rows, BC scores and counters."""
         engine = self._engine

@@ -127,6 +127,30 @@ class TestChaosSubcommand:
         assert "PASS" in out
         assert "checkpoint resume bit-identical: yes" in out
 
+    def test_chaos_always_prints_reproduction_line(self, capsys):
+        # Pass or fail, a log excerpt must be replayable: the full
+        # seed/events/backend/workers invocation is always printed.
+        rc = main(["chaos", "--seed", "1", "--events", "18"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert ("reproduce with: python -m repro.cli chaos "
+                "--seed 1 --events 18") in out
+        assert "--workers 1" in out
+
+    def test_chaos_writes_health_log(self, capsys, tmp_path):
+        import json
+
+        log = tmp_path / "health.jsonl"
+        rc = main(["chaos", "--seed", "1", "--events", "18",
+                   "--health-log", str(log)])
+        assert rc == 0
+        assert f"health log: {log}" in capsys.readouterr().out
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        assert records[0]["record"] == "chaos-report"
+        assert records[0]["seed"] == 1
+        assert records[0]["ok"] is True
+        assert any(r["record"] == "injection" for r in records)
+
     def test_backend_override(self, capsys):
         rc = main(["chaos", "--seed", "2", "--events", "18",
                    "--backend", "cpu"])

@@ -205,7 +205,10 @@ def test_checkpoint_resume_workers4_matches_uninterrupted_serial(
 # ----------------------------------------------------------------------
 class TestWorkerCrash:
     def test_crash_rolls_back_and_engine_survives(self, er_graph):
-        clean, par = build_pair(er_graph, 2)
+        # Legacy (unsupervised) pool: a crash demotes to serial for
+        # good.  The supervised recovery paths are covered by
+        # tests/test_parallel_supervisor.py.
+        clean, par = build_pair(er_graph, 2, supervised=False)
         try:
             u, v = active_insert_edge(par)
             before = (
@@ -238,7 +241,7 @@ class TestWorkerCrash:
             par.close()
 
     def test_injector_arms_pool_crash(self, er_graph):
-        _, par = build_pair(er_graph, 2)
+        _, par = build_pair(er_graph, 2, supervised=False)
         try:
             injector = FaultInjector(0)
             injector.arm_update_fault(par, after_sources=1)
@@ -252,7 +255,7 @@ class TestWorkerCrash:
             par.close()
 
     def test_guarded_replay_recovers_from_crash(self, er_graph):
-        serial, par = build_pair(er_graph, 2)
+        serial, par = build_pair(er_graph, 2, supervised=False)
         try:
             stream = EdgeStream.churn(er_graph, 15, seed=17)
             policy = GuardPolicy(check_every=50, seed=1)

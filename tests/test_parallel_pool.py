@@ -5,6 +5,8 @@ The end-to-end bit-identity claims live in tests/test_parallel.py;
 this module pins the contracts of each layer in isolation.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -101,6 +103,77 @@ class TestArena:
 
 
 # ----------------------------------------------------------------------
+# Leak guard: abnormal parent exit must reclaim /dev/shm segments
+# ----------------------------------------------------------------------
+_LEAK_CHILD = """
+import os, sys, signal
+import numpy as np
+from repro.parallel.shm import ShmArena
+
+arena = ShmArena()
+arena.allocate("d", (64, 64), np.int64)
+arena.allocate("sigma", (64, 64), np.float64)
+print("\\n".join(arena.block_names()), flush=True)
+mode = sys.argv[1]
+if mode == "exception":
+    raise RuntimeError("simulated parent crash")
+elif mode == "sigterm":
+    os.kill(os.getpid(), signal.SIGTERM)
+    signal.pause()
+"""
+
+
+@pytest.mark.skipif(not shm_available(), reason="POSIX shm unavailable")
+class TestLeakGuard:
+    @pytest.mark.parametrize("mode", ["exception", "sigterm"])
+    def test_segments_reclaimed_after_abnormal_exit(self, mode):
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _LEAK_CHILD, mode],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+        names = [n for n in proc.stdout.splitlines() if n.strip()]
+        assert len(names) == 2, (proc.stdout, proc.stderr)
+        assert proc.returncode != 0  # it really died abnormally
+        for name in names:
+            path = os.path.join("/dev/shm", name.lstrip("/"))
+            assert not os.path.exists(path), (
+                f"leaked shared-memory segment {path} ({mode})"
+            )
+
+    def test_fork_child_does_not_unlink_parents_segments(self):
+        # A forked child inherits the guard's module state; its exit
+        # must not tear the parent's live segments down (pid check).
+        arena = ShmArena()
+        try:
+            arena.allocate("d", (8,), np.int64)
+            pid = os.fork()
+            if pid == 0:  # child: run atexit-equivalent path and leave
+                try:
+                    from repro.parallel import shm as shm_mod
+
+                    shm_mod._unlink_live_arenas()
+                finally:
+                    os._exit(0)
+            os.waitpid(pid, 0)
+            name = arena.block_names()[0]
+            path = os.path.join("/dev/shm", name.lstrip("/"))
+            assert os.path.exists(path)
+            assert np.array_equal(arena.get("d"), arena.get("d"))
+        finally:
+            arena.close()
+
+
+# ----------------------------------------------------------------------
 # WorkerPool
 # ----------------------------------------------------------------------
 @pytest.mark.skipif(not shm_available(), reason="POSIX shm unavailable")
@@ -144,6 +217,78 @@ class TestWorkerPool:
     def test_empty_round_short_circuits(self):
         with WorkerPool(2) as pool:
             assert pool.run("ping", {}, []) == []
+
+
+# ----------------------------------------------------------------------
+# Teardown escalation (join -> terminate -> kill), no zombies
+# ----------------------------------------------------------------------
+def _assert_reaped(pid):
+    """The process must be gone or at least not a zombie (a zombie
+    means close() skipped the final join)."""
+    try:
+        with open(f"/proc/{pid}/stat") as fh:
+            state = fh.read().rsplit(")", 1)[1].split()[0]
+    except (FileNotFoundError, ProcessLookupError):
+        return
+    assert state != "Z", f"pid {pid} left as a zombie"
+
+
+@pytest.mark.skipif(not shm_available(), reason="POSIX shm unavailable")
+class TestTeardown:
+    def test_join_timeout_is_configurable_and_validated(self):
+        with pytest.raises(ValueError):
+            WorkerPool(2, join_timeout=0.0)
+        with pytest.raises(ValueError):
+            WorkerPool(2, join_timeout=-1.0)
+        pool = WorkerPool(2, join_timeout=0.5)
+        assert pool.join_timeout == 0.5
+        pool.close()
+
+    def test_close_escalates_to_sigkill_for_stopped_workers(self):
+        import os
+        import signal
+        import time
+
+        # SIGSTOPped workers ignore the sentinel and SIGTERM alike;
+        # close() must walk the whole escalation and still reap them.
+        pool = WorkerPool(2, join_timeout=0.3)
+        pids = [p.pid for p in pool._procs]
+        for pid in pids:
+            os.kill(pid, signal.SIGSTOP)
+        start = time.monotonic()
+        pool.close()
+        elapsed = time.monotonic() - start
+        for pid in pids:
+            _assert_reaped(pid)
+        # Bounded: one graceful deadline + one terminate deadline,
+        # plus slack — never the historical infinite join.
+        assert elapsed < 10.0
+
+    def test_kill_worker_reaps_and_respawn_restores_service(self):
+        with WorkerPool(2, join_timeout=0.5) as pool:
+            victim = pool._procs[0].pid
+            pool.kill_worker(0)
+            _assert_reaped(victim)
+            pool.respawn()
+            assert pool.run("ping", {}, [{"items": [5]}]) == [[5]]
+
+    def test_sigkilled_run_leaves_no_zombies(self):
+        import os
+        import signal
+
+        with WorkerPool(2, join_timeout=0.5) as pool:
+            pids = [p.pid for p in pool._procs]
+            os.kill(pids[0], signal.SIGKILL)
+            # The survivor may drain every chunk before the death is
+            # noticed (success) or the pool may fail the round and
+            # respawn — either way close() must reap everything.
+            try:
+                outs = pool.run("ping", {}, [{"items": [0]}, {"items": [1]}])
+                assert outs == [[0], [1]]
+            except ParallelExecutionError:
+                pass
+        for pid in pids:
+            _assert_reaped(pid)
 
 
 # ----------------------------------------------------------------------

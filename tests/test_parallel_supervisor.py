@@ -1,0 +1,293 @@
+"""Supervision subsystem: heartbeats, hung-worker kills, respawn,
+quarantine, and the degradation ladder.
+
+The pool-level tests drive :class:`SupervisedPool` directly with cheap
+``ping``/``sleep`` rounds; the engine-level tests prove the headline
+claim — a supervised engine hit by crashes *and* SIGSTOP hangs stays
+bit-identical to its serial twin with no permanent serial demotion.
+"""
+
+import os
+import signal
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bc.engine import DynamicBC
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import EdgeStream, replay
+from repro.parallel.shm import shm_available
+from repro.parallel.supervisor import (
+    FULL_POOL,
+    SERIAL,
+    SHRUNK_POOL,
+    SupervisedPool,
+    SupervisorPolicy,
+)
+from repro.resilience import FaultInjector
+from repro.resilience.chaos import reports_identical
+from repro.resilience.guards import HEALTH, GuardPolicy
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shm unavailable"
+)
+
+#: fast-reacting policy so detection latency, not safety margins,
+#: dominates test wall-clock
+FAST = SupervisorPolicy(heartbeat_interval=0.05, backoff_base=0.01,
+                        backoff_max=0.05, chunk_deadline=30.0)
+
+K = 12
+SEED = 3
+
+
+def serial_ping(kind, common, payload):
+    """In-parent executor for ping-style chunks (quarantine/serial leg)."""
+    assert kind in ("ping", "sleep")
+    return list(payload["items"])
+
+
+def build_pair(graph, workers, **kwargs):
+    serial = DynamicBC.from_graph(DynamicGraph.from_csr(graph),
+                                  num_sources=K, seed=SEED)
+    par = DynamicBC.from_graph(DynamicGraph.from_csr(graph), num_sources=K,
+                               seed=SEED, workers=workers,
+                               supervisor_policy=FAST, **kwargs)
+    return serial, par
+
+
+def assert_states_equal(a, b):
+    for name in ("sources", "d", "sigma", "delta", "bc"):
+        assert np.array_equal(getattr(a.state, name),
+                              getattr(b.state, name)), name
+    assert a.counters == b.counters
+
+
+# ----------------------------------------------------------------------
+# Detection + recovery at the pool level
+# ----------------------------------------------------------------------
+class TestDetection:
+    def test_hung_deadline_is_twice_the_heartbeat_by_default(self):
+        policy = SupervisorPolicy()
+        assert policy.hung_deadline == 2 * policy.heartbeat_interval
+
+    def test_self_stalled_worker_is_killed_and_chunk_reassigned(self):
+        # The worker SIGSTOPs itself mid-chunk (a live-but-frozen
+        # process): the heartbeat goes silent, the supervisor SIGKILLs
+        # it, respawns, and the round still returns every chunk.
+        with SupervisedPool(2, policy=FAST) as pool:
+            pool.arm_stall()
+            payloads = [{"items": [i]} for i in range(4)]
+            start = time.monotonic()
+            outs = pool.run("ping", {}, payloads, serial=serial_ping)
+            elapsed = time.monotonic() - start
+            assert outs == [[i] for i in range(4)]
+            assert pool.counts["hung"] == 1
+            assert pool.counts["kills"] == 1
+            assert pool.counts["respawns"] >= 1
+            assert pool.level == FULL_POOL
+            # Detection is bounded by the hung deadline (2x heartbeat)
+            # plus polling slack — nowhere near a blocking hang.
+            assert elapsed < FAST.hung_deadline + 5.0
+            actions = [e.action for e in pool.drain_events()]
+            assert "hung-worker" in actions
+            assert "kill" in actions
+            assert "respawn" in actions
+
+    def test_externally_sigstopped_worker_mid_chunk(self):
+        # Freeze a live worker from the outside while it busy-sleeps
+        # on a chunk — the closest harness analogue of a production
+        # hang that no cooperative check can see.
+        with SupervisedPool(2, policy=FAST) as pool:
+            victim = pool._pool._procs[0]
+            timer = threading.Timer(
+                0.2, lambda: os.kill(victim.pid, signal.SIGSTOP)
+            )
+            timer.start()
+            try:
+                payloads = [{"items": [i], "seconds": 1.5} for i in range(2)]
+                outs = pool.run("sleep", {}, payloads, serial=serial_ping)
+            finally:
+                timer.cancel()
+            assert outs == [[0], [1]]
+            assert pool.counts["hung"] >= 1
+            assert pool.counts["kills"] >= 1
+
+    def test_crashed_worker_round_is_retried(self):
+        with SupervisedPool(2, policy=FAST) as pool:
+            pool.arm_crash()
+            outs = pool.run("ping", {}, [{"items": [i]} for i in range(3)],
+                            serial=serial_ping)
+            assert outs == [[i] for i in range(3)]
+            assert pool.counts["deaths"] == 1
+            assert pool.counts["quarantined"] == 0
+            assert pool.level == FULL_POOL
+
+
+class TestQuarantine:
+    def test_poisoned_chunk_retried_serially_in_parent(self):
+        # The same chunk kills two workers -> quarantined, executed by
+        # the parent; the other chunks still go through the pool and
+        # the pool stays at full strength.
+        with SupervisedPool(2, policy=FAST) as pool:
+            pool.arm_crash(chunks=1, rounds=2)
+            outs = pool.run("ping", {}, [{"items": [i]} for i in range(4)],
+                            serial=serial_ping)
+            assert outs == [[i] for i in range(4)]
+            assert pool.counts["quarantined"] == 1
+            assert pool.counts["serial_retries"] == 1
+            assert pool.level == FULL_POOL
+            assert pool.pending_faults() == 0
+
+    def test_reset_called_for_pending_chunks_before_retry(self):
+        resets = []
+        with SupervisedPool(2, policy=FAST) as pool:
+            pool.arm_crash()
+            pool.run("ping", {}, [{"items": [i]} for i in range(3)],
+                     reset=lambda p: resets.append(tuple(p["items"])),
+                     serial=serial_ping)
+        # Every chunk still pending when the round failed was reset
+        # exactly once (none had completed yet).
+        assert sorted(resets) == [(0,), (1,), (2,)]
+
+
+class TestLadder:
+    def test_demote_to_serial_and_promote_back(self):
+        policy = SupervisorPolicy(heartbeat_interval=0.05, backoff_base=0.01,
+                                  backoff_max=0.02, max_respawns=1,
+                                  promote_after=2, poison_threshold=99)
+        with SupervisedPool(4, policy=policy) as pool:
+            # 4 failing rounds walk the whole ladder: 2 respawn
+            # attempts at full strength, demote, 2 at half strength,
+            # demote to serial (poison_threshold=99 keeps quarantine
+            # out of the way so it is the *ladder* that degrades).
+            pool.arm_crash(chunks=1, rounds=4)
+            outs = pool.run("ping", {}, [{"items": [i]} for i in range(4)],
+                            serial=serial_ping)
+            assert outs == [[i] for i in range(4)]
+            assert pool.level == SERIAL
+            assert pool.counts["demotions"] == 2
+            assert pool.pending_faults() == 0
+            ladder_walk = [e.detail for e in pool.events
+                           if e.action == "demote"]
+            assert any(FULL_POOL in d and SHRUNK_POOL in d
+                       for d in ladder_walk)
+            assert any(SHRUNK_POOL in d and SERIAL in d for d in ladder_walk)
+
+            # Healthy (serial) runs build the promotion streak; the
+            # climb back to full strength goes through a ping probe.
+            for _ in range(policy.promote_after):
+                pool.run("ping", {}, [{"items": [0]}], serial=serial_ping)
+            pool.run("ping", {}, [{"items": [0]}], serial=serial_ping)
+            assert pool.level == SHRUNK_POOL
+            assert pool.counts["probes"] == 1
+            for _ in range(policy.promote_after + 1):
+                pool.run("ping", {}, [{"items": [0]}], serial=serial_ping)
+            assert pool.level == FULL_POOL
+            assert pool.counts["promotions"] == 2
+
+    def test_shrunk_pool_width_respects_floor(self):
+        policy = SupervisorPolicy(min_workers=2)
+        pool = SupervisedPool(3, policy=policy)
+        try:
+            pool.level = SHRUNK_POOL
+            assert pool._level_size() == 2
+            # Chunk planning still sees the requested width, so chunk
+            # shapes (and results) never depend on pool health.
+            assert pool.workers == 3
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# Engine-level bit-identity under supervision
+# ----------------------------------------------------------------------
+@pytest.fixture
+def er_graph():
+    return gen.erdos_renyi(40, 90, seed=7)
+
+
+class TestEngineSupervised:
+    def test_crash_stall_quarantine_update_stays_bit_identical(self, er_graph):
+        serial, par = build_pair(er_graph, 2)
+        try:
+            pool = par._ensure_pool()
+            assert isinstance(pool, SupervisedPool)
+            # Crash on round 1, SIGSTOP on the retry: two strikes
+            # quarantine the chunk, so one update exercises death
+            # detection, hung detection, respawn AND the in-parent
+            # serial retry — and must still match serial exactly.
+            pool.arm_crash()
+            pool.arm_stall(rounds=2)
+            u, v = _active_edge(par)
+            rs = serial.insert_edge(u, v)
+            rp = par.insert_edge(u, v)
+            assert reports_identical(rs, rp)
+            assert_states_equal(serial, par)
+            assert pool.counts["deaths"] == 1
+            assert pool.counts["hung"] == 1
+            assert pool.counts["quarantined"] == 1
+            assert pool.level == FULL_POOL
+            hr = par.health_report()
+            assert hr["level"] == FULL_POOL
+            assert not hr["parallel_disabled"]
+        finally:
+            par.close()
+
+    def test_injector_stall_guarded_replay_matches_serial(self, er_graph):
+        serial, par = build_pair(er_graph, 2)
+        try:
+            injector = FaultInjector(0)
+            injector.arm_update_stall(par)
+            assert any("pool mode" in line for line in injector.log)
+            stream = EdgeStream.churn(er_graph, 12, seed=5)
+            policy = GuardPolicy(check_every=50, seed=1)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                rp = replay(par, stream, guard=policy)
+            rs = replay(serial, stream, guard=policy)
+            # Supervision recovers *inside* the update: nothing rolls
+            # back, nothing is skipped, every report matches.
+            assert not rp.skipped and not rp.recovered
+            assert len(rs.reports) == len(rp.reports)
+            for x, y in zip(rs.reports, rp.reports):
+                assert reports_identical(x, y)
+            assert_states_equal(serial, par)
+            # ...and the supervision activity is folded into the guard
+            # log as health events.
+            health = [e for e in rp.guard_events if e.action == HEALTH]
+            assert any(e.kind == "hung-worker" for e in health)
+            assert any(e.kind == "respawn" for e in health)
+        finally:
+            par.close()
+
+    def test_unsupervised_opt_out_keeps_legacy_pool(self, er_graph):
+        from repro.parallel.pool import WorkerPool
+
+        _, par = build_pair(er_graph, 2, supervised=False)
+        try:
+            pool = par._ensure_pool()
+            assert type(pool) is WorkerPool
+            hr = par.health_report()
+            assert hr["supervised"] is False
+            assert hr["level"] == FULL_POOL
+        finally:
+            par.close()
+
+
+def _active_edge(engine):
+    from repro.bc.cases import Case, classify_insertions_batch
+
+    n = engine.graph.snapshot().num_vertices
+    for u in range(n):
+        for v in range(u + 1, n):
+            if engine.graph.has_edge(u, v):
+                continue
+            cases, _, _ = classify_insertions_batch(engine.state.d, u, v)
+            if np.any(cases != int(Case.SAME_LEVEL)):
+                return u, v
+    raise AssertionError("no active insertion found")

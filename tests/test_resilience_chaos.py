@@ -54,5 +54,31 @@ class TestChaosReportContents:
         report = run_chaos(seed=2, num_events=18)
         assert report.ok == (
             report.verify_ok and report.resume_identical
+            and report.pool_identical
+            and report.unrecovered_faults == 0
             and not report.failures
         )
+
+
+class TestChaosSupervision:
+    """workers>1 scenarios add worker crash + stall faults; the
+    supervised pool must absorb them all (pool_identical, no
+    permanent serial demotion, nothing left unrecovered)."""
+
+    def test_pool_scenario_survives_crash_and_stall(self):
+        from repro.parallel.shm import shm_available
+
+        if not shm_available():
+            pytest.skip("POSIX shm unavailable")
+        report = run_chaos(seed=3, num_events=18, workers=2)
+        assert report.ok, report.summary()
+        # The differential phase really injected both fault kinds and
+        # the supervisor really recovered them.
+        assert report.worker_kills >= 1
+        assert report.hung_detections >= 1
+        assert report.respawns >= 1
+        assert report.pool_identical
+        assert not report.permanent_serial
+        assert report.unrecovered_faults == 0
+        assert any("stall" in line for line in report.injector_log)
+        assert any("hung-worker" in line for line in report.health_events)
