@@ -13,15 +13,26 @@ Conventions (matching the paper):
 * Approximate BC processes only ``k`` *source vertices* in the outer
   loop (Brandes & Pich [11]); pass ``sources`` for that.
 * σ values are path *counts* held in float64: exact up to 2**53 paths.
+
+The kernels are instrumented for the race sanitizer
+(:mod:`repro.sanitize.tracer`): every BFS/accumulation level is a
+barrier interval, σ/δ accumulation routes through the declared
+:func:`~repro.gpu.primitives.atomic_scatter_add`, and frontier pushes
+are checked for level monotonicity.  The hooks are no-ops unless a
+tracer is active, and the instrumented math is bit-identical either
+way.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.gpu.primitives import atomic_scatter_add
 from repro.graph.csr import CSRGraph, DIST_INF
+from repro.sanitize import tracer as san
+from repro.sanitize.report import SanitizerReport
 
 
 def single_source_state(
@@ -61,34 +72,52 @@ def single_source_state(
     d[source] = 0
     sigma[source] = 1.0
 
-    # Stage 2: shortest-path calculation (level-synchronous BFS).
-    levels: List[np.ndarray] = [np.array([source], dtype=np.int32)]
-    depth = 0
-    while True:
-        tails, heads = graph.frontier_arcs(levels[depth])
-        if tails.size == 0:
-            break
-        undiscovered = d[heads] == DIST_INF
-        new_nodes = np.unique(heads[undiscovered])
-        if new_nodes.size:
-            d[new_nodes] = depth + 1
-        on_path = d[heads] == depth + 1
-        if np.any(on_path):
-            np.add.at(sigma, heads[on_path], sigma[tails[on_path]])
-        if new_nodes.size == 0:
-            break
-        levels.append(new_nodes.astype(np.int32))
-        depth += 1
+    with san.kernel(f"sssp:{source}"):
+        # Stage 2: shortest-path calculation (level-synchronous BFS).
+        levels: List[np.ndarray] = [np.array([source], dtype=np.int32)]
+        depth = 0
+        while True:
+            tails, heads = graph.frontier_arcs(levels[depth])
+            if tails.size == 0:
+                break
+            with san.interval("sp", depth):
+                san.read("d", heads)
+                undiscovered = d[heads] == DIST_INF
+                new_nodes = np.unique(heads[undiscovered])
+                if new_nodes.size:
+                    d[new_nodes] = depth + 1
+                    san.write("d", new_nodes, intent="discover")
+                on_path = d[heads] == depth + 1
+                if np.any(on_path):
+                    san.read("sigma", tails[on_path])
+                    atomic_scatter_add(
+                        sigma, heads[on_path], sigma[tails[on_path]],
+                        array="sigma",
+                    )
+                san.enqueue("Q", new_nodes, depth + 1, distances=d,
+                            direction=1)
+            if new_nodes.size == 0:
+                break
+            levels.append(new_nodes.astype(np.int32))
+            depth += 1
 
-    # Stage 3: dependency accumulation, deepest level first.  For each
-    # DAG arc (w at depth L, predecessor v at L-1):
-    #   delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
-    for depth in range(len(levels) - 1, 0, -1):
-        tails, heads = graph.frontier_arcs(levels[depth])
-        pred = d[heads] == depth - 1
-        pt, ph = tails[pred], heads[pred]
-        if pt.size:
-            np.add.at(delta, ph, sigma[ph] / sigma[pt] * (1.0 + delta[pt]))
+        # Stage 3: dependency accumulation, deepest level first.  For
+        # each DAG arc (w at depth L, predecessor v at L-1):
+        #   delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+        for depth in range(len(levels) - 1, 0, -1):
+            tails, heads = graph.frontier_arcs(levels[depth])
+            with san.interval("dep", depth):
+                san.read("d", heads)
+                pred = d[heads] == depth - 1
+                pt, ph = tails[pred], heads[pred]
+                if pt.size:
+                    san.read("sigma", ph)
+                    san.read("sigma", pt)
+                    san.read("delta", pt)
+                    atomic_scatter_add(
+                        delta, ph, sigma[ph] / sigma[pt] * (1.0 + delta[pt]),
+                        array="delta",
+                    )
     return d, sigma, delta, levels
 
 
@@ -96,14 +125,24 @@ def brandes_bc(
     graph: CSRGraph,
     sources: Optional[Sequence[int]] = None,
     normalized: bool = False,
-) -> np.ndarray:
+    sanitize: bool = False,
+) -> Union[np.ndarray, Tuple[np.ndarray, SanitizerReport]]:
     """Betweenness centrality scores (``float64[n]``).
 
     ``sources=None`` computes exact BC (all n sources); otherwise only
     the given source vertices are accumulated (approximate BC).
     ``normalized`` divides by ``(n-1)(n-2)``, the number of ordered
     pairs excluding the vertex itself.
+
+    ``sanitize=True`` runs every per-source kernel under the race
+    sanitizer and returns ``(bc, SanitizerReport)``; the scores are
+    bit-identical to the untraced run.
     """
+    if sanitize:
+        tracer = san.MemoryTracer()
+        with san.tracing(tracer):
+            bc = brandes_bc(graph, sources, normalized)
+        return bc, tracer.report()
     n = graph.num_vertices
     bc = np.zeros(n, dtype=np.float64)
     iter_sources = range(n) if sources is None else sources

@@ -21,6 +21,12 @@ repo implements deletions as follows (see also
 This module adds the streaming protocol helper used by the experiment
 drivers (paper §IV: "100 edges are chosen at random to be removed from
 the graph ... then reinserted into the graph one at a time").
+
+Deletion kernels themselves live in :mod:`repro.bc.update_core` (the
+Case-2 dual and the Case-3 recompute fallback) and therefore run fully
+instrumented under the race sanitizer — ``DynamicBC(sanitize=True)``
+traces deletion updates exactly like insertions (see
+``docs/SANITIZER.md``).
 """
 
 from __future__ import annotations

@@ -59,6 +59,8 @@ from repro.parallel.supervisor import (
 )
 from repro.resilience.errors import UpdateError
 from repro.resilience.transactions import UpdateTransaction
+from repro.sanitize import tracer as _san
+from repro.sanitize.report import SanitizerReport
 from repro.utils.prng import SeedLike, default_rng, sample_without_replacement
 from repro.utils.timing import WallTimer
 
@@ -130,6 +132,7 @@ class DynamicBC:
         start_method: Optional[str] = None,
         supervised: bool = True,
         supervisor_policy: Optional[SupervisorPolicy] = None,
+        sanitize: bool = False,
     ) -> None:
         if backend not in ACCOUNTANTS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -176,6 +179,16 @@ class DynamicBC:
         #: legacy fail-fast pool (the differential tests pin it).
         self.supervised = bool(supervised)
         self.supervisor_policy = supervisor_policy
+        #: ``True`` runs every kernel under the race sanitizer
+        #: (:mod:`repro.sanitize.tracer`): the engine executes serially
+        #: (the pool is bypassed — the parallel contract guarantees
+        #: bit-identical results, so only wall-clock differs) and every
+        #: reported artifact stays bit-identical to an uninstrumented
+        #: run; hazards accumulate in :meth:`sanitizer_report`.
+        self.sanitize = bool(sanitize)
+        self._tracer: Optional[_san.MemoryTracer] = (
+            _san.MemoryTracer() if self.sanitize else None
+        )
         self._pool: Optional[WorkerPool] = None
         self._arena: Optional[ShmArena] = None
         self._parallel_disabled = False
@@ -201,6 +214,7 @@ class DynamicBC:
         start_method: Optional[str] = None,
         supervised: bool = True,
         supervisor_policy: Optional[SupervisorPolicy] = None,
+        sanitize: bool = False,
     ) -> "DynamicBC":
         """Build the engine, computing the initial state with Brandes.
 
@@ -211,6 +225,13 @@ class DynamicBC:
         subsequent update/recompute/check — on a shared-memory worker
         pool; the resulting state is bit-identical to the serial build
         (the bc fold happens in the parent, in source order).
+
+        ``sanitize=True`` builds the engine in race-sanitizer mode:
+        every update/recompute kernel from here on is traced
+        (:meth:`sanitizer_report`); execution is serial (bypassing any
+        worker pool) but bit-identical.  The initial Brandes build
+        itself is not traced — use ``brandes_bc(..., sanitize=True)``
+        to check the static kernels.
         """
         snap = graph.snapshot() if isinstance(graph, DynamicGraph) else graph
         if sources is not None:
@@ -224,7 +245,7 @@ class DynamicBC:
             )
         else:
             chosen = range(snap.num_vertices)
-        if workers > 1:
+        if workers > 1 and not sanitize:
             engine = cls._from_graph_parallel(
                 graph, snap, chosen, backend, device, num_blocks, op_costs,
                 vectorized, transactional, workers, start_method,
@@ -236,7 +257,7 @@ class DynamicBC:
         return cls(graph, state, backend, device, num_blocks, op_costs,
                    vectorized, transactional, workers=workers,
                    start_method=start_method, supervised=supervised,
-                   supervisor_policy=supervisor_policy)
+                   supervisor_policy=supervisor_policy, sanitize=sanitize)
 
     @classmethod
     def _from_graph_parallel(
@@ -385,6 +406,10 @@ class DynamicBC:
                 return
             except ParallelExecutionError as exc:
                 self._parallel_failed("recompute failed", exc)
+        if self._tracer is not None:
+            with _san.tracing(self._tracer):
+                self.state = BCState.compute(snap, self.state.sources)
+            return
         self.state = BCState.compute(snap, self.state.sources)
 
     def verify(self, atol: float = 1e-6) -> None:
@@ -463,12 +488,30 @@ class DynamicBC:
             self.op_costs, label=f"repair:{int(self.state.sources[i])}",
             access_cycles=access if self.backend == "cpu" else None,
         )
-        stats = self._rebuild_row(snap, i, acc)
+        if self._tracer is not None:
+            with _san.tracing(self._tracer):
+                stats = self._rebuild_row(snap, i, acc)
+        else:
+            stats = self._rebuild_row(snap, i, acc)
         self.state.rebuild_bc()
         counters = KernelCounters()
         counters.absorb(acc.finish(), kernel="repair")
         self.counters = self.counters.merged(counters)
         return stats
+
+    def sanitizer_report(self) -> SanitizerReport:
+        """Everything the race sanitizer has observed on this engine so
+        far (cumulative across updates/recomputes/repairs).
+
+        Raises :class:`RuntimeError` unless the engine was built with
+        ``sanitize=True``.
+        """
+        if self._tracer is None:
+            raise RuntimeError(
+                "engine not in sanitize mode; construct with "
+                "DynamicBC(..., sanitize=True)"
+            )
+        return self._tracer.report()
 
     def memory_report(self) -> Dict[str, int]:
         """Bytes held by the O(kn) supplemental state (§II-D: "This
@@ -518,9 +561,11 @@ class DynamicBC:
 
     def _ensure_pool(self) -> Optional[WorkerPool]:
         """The live worker pool, or ``None`` when running serially
-        (``workers <= 1``, :meth:`close` called, or the platform cannot
-        support the pool — which warns once and falls back)."""
-        if self.workers <= 1 or self._parallel_disabled:
+        (``workers <= 1``, :meth:`close` called, sanitize mode — the
+        tracer is single-threaded by design and the parallel contract
+        makes serial execution bit-identical — or the platform cannot
+        support the pool, which warns once and falls back)."""
+        if self.workers <= 1 or self._parallel_disabled or self.sanitize:
             return None
         if self._pool is not None:
             return self._pool
@@ -915,6 +960,12 @@ class DynamicBC:
         """Route one update to an execution path: the worker pool when
         live, else the vectorized/looped serial paths — all
         bit-identical, so routing only affects wall-clock."""
+        if self._tracer is not None:
+            with _san.tracing(self._tracer):
+                if self.vectorized:
+                    return self._apply_vectorized(u, v, operation,
+                                                  classifications)
+                return self._apply_looped(u, v, operation, classifications)
         if self._ensure_pool() is not None:
             try:
                 return self._apply_parallel(u, v, operation, classifications)

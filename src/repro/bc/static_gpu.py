@@ -33,6 +33,8 @@ from repro.gpu.counters import KernelCounters, Trace
 from repro.gpu.device import DeviceSpec
 from repro.gpu.executor import KernelTiming, schedule_blocks
 from repro.graph.csr import CSRGraph
+from repro.sanitize import tracer as san
+from repro.sanitize.report import SanitizerReport
 
 STATIC_STRATEGIES = ("gpu-edge", "gpu-node", "cpu")
 
@@ -45,6 +47,9 @@ class StaticBCResult:
     traces: List[Trace]
     counters: KernelCounters
     strategy: str
+    #: race-sanitizer report of the per-source kernels, present when
+    #: the run was started with ``sanitize=True``
+    sanitizer: Optional[SanitizerReport] = None
 
     def timing(self, device: DeviceSpec, num_blocks: int = 0) -> KernelTiming:
         """Schedule the stored traces on (device, grid) — used by the
@@ -150,8 +155,21 @@ def static_bc_gpu(
     strategy: str = "gpu-edge",
     op_costs: OpCosts = DEFAULT_OP_COSTS,
     access_cycles: float = 0.0,
+    sanitize: bool = False,
 ) -> StaticBCResult:
-    """Static (exact or approximate) BC with per-source cost traces."""
+    """Static (exact or approximate) BC with per-source cost traces.
+
+    ``sanitize=True`` races-checks every per-source kernel and attaches
+    the :class:`SanitizerReport` to the result; scores, traces and
+    counters are bit-identical to the untraced run.
+    """
+    if sanitize:
+        tracer = san.MemoryTracer()
+        with san.tracing(tracer):
+            result = static_bc_gpu(graph, sources, strategy, op_costs,
+                                   access_cycles)
+        result.sanitizer = tracer.report()
+        return result
     n = graph.num_vertices
     bc = np.zeros(n, dtype=np.float64)
     iter_sources = range(n) if sources is None else [int(s) for s in sources]

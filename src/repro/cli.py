@@ -20,6 +20,11 @@ Resilience subcommands (see docs/RESILIENCE.md)::
         --guard-every 10 --checkpoint-every 20 --checkpoint-dir ckpts
     python -m repro.cli replay --resume-from ckpts/ckpt-00000020.npz ...
     python -m repro.cli chaos --seed 7        # seeded fault-injection run
+
+Sanitizer subcommand (see docs/SANITIZER.md)::
+
+    python -m repro.cli sanitize --events 100 --format json \\
+        --output artifacts/sanitizer-report.json
 """
 
 from __future__ import annotations
@@ -211,6 +216,92 @@ def run_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_sanitize_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro-bc sanitize``: replay an edge stream with the
+    kernel race sanitizer attached (see docs/SANITIZER.md)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc sanitize",
+        description="Replay a churn stream under MemoryTracer "
+                    "instrumentation and report data races (S101), "
+                    "missing barriers (S102) and frontier-monotonicity "
+                    "violations (S103) in the simulated kernels. "
+                    "Exit code 1 when any finding survives.",
+    )
+    parser.add_argument("--graph", default=None,
+                        help="suite graph name (default: a small "
+                             "Kronecker graph, see --kron-scale)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="suite graph size multiplier (with --graph)")
+    parser.add_argument("--kron-scale", type=int, default=8,
+                        help="Kronecker scale 2^s vertices when no "
+                             "--graph is given (default 8)")
+    parser.add_argument("--sources", type=int, default=16,
+                        help="k source vertices")
+    parser.add_argument("--events", type=int, default=100,
+                        help="churn-stream length")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--backend", default="gpu-node",
+                        help="execution strategy (see DynamicBC)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="report format (json is the stable "
+                             "SanitizerReport schema)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="also write the JSON report to PATH (what "
+                             "the CI job uploads as an artifact)")
+    return parser
+
+
+def run_sanitize(args: argparse.Namespace) -> int:
+    """Execute the ``sanitize`` subcommand; returns a process exit code."""
+    from repro.bc.engine import DynamicBC
+    from repro.graph.stream import EdgeStream
+
+    if args.graph is not None:
+        from repro.graph.suite import make_suite_graph
+
+        graph = make_suite_graph(args.graph, scale=args.scale,
+                                 seed=args.seed).graph
+    else:
+        from repro.graph.generators import kronecker
+
+        graph = kronecker(args.kron_scale, 8, seed=args.seed)
+    stream = EdgeStream.churn(graph, args.events, seed=args.seed + 1)
+    engine = DynamicBC.from_graph(graph, num_sources=args.sources,
+                                  seed=args.seed, backend=args.backend,
+                                  sanitize=True)
+    try:
+        applied = 0
+        for event in stream:
+            try:
+                if event.op == "insert":
+                    engine.insert_edge(event.u, event.v)
+                else:
+                    engine.delete_edge(event.u, event.v)
+            except ValueError:
+                continue  # duplicate insert / missing delete in churn
+            applied += 1
+        report = engine.sanitizer_report()
+    finally:
+        engine.close()
+    if args.output:  # persist the artifact before stdout can fail
+        import os
+
+        parent = os.path.dirname(os.path.abspath(args.output))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.output, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report: {args.output}", file=sys.stderr)
+    if args.fmt == "json":
+        print(report.to_json())
+    else:
+        print(report.summary())
+        print(f"replayed {applied}/{len(stream)} events on "
+              f"{graph.num_vertices} vertices / {graph.num_edges} edges "
+              f"({args.backend}, {args.sources} sources)")
+    return 0 if report.ok else 1
+
+
 def build_chaos_parser() -> argparse.ArgumentParser:
     """Parser for ``repro-bc chaos``: one seeded fault-injection run."""
     parser = argparse.ArgumentParser(
@@ -299,6 +390,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_replay(build_replay_parser().parse_args(argv[1:]))
     if argv and argv[0] == "chaos":
         return run_chaos_cmd(build_chaos_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "sanitize":
+        return run_sanitize(build_sanitize_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)
     start = time.time()
     save_dir = None

@@ -17,9 +17,89 @@ and one scatter.
 from __future__ import annotations
 
 import math
+from typing import Dict, Tuple
+
 import numpy as np
 
 from repro.gpu.counters import Trace
+from repro.sanitize import tracer as _san
+
+# ----------------------------------------------------------------------
+# Declared atomics and benign races
+# ----------------------------------------------------------------------
+#: Races the kernels run *on purpose*, keyed ``(array, intent)`` →
+#: rationale.  The race sanitizer whitelists these by construction:
+#: a conflicting access is benign only when every contributing call
+#: site tags itself with a registered intent, so the whitelist lives
+#: here — next to the atomic semantics — not in suppression comments
+#: at the observation sites.
+BENIGN_RACES: Dict[Tuple[str, str], str] = {}
+
+
+def declare_benign_race(array: str, intent: str, why: str) -> None:
+    """Register an intentionally-benign race class.
+
+    Call at import time, next to the primitive that makes the race
+    safe; the sanitizer treats any *other* conflicting access to the
+    same array as a real S101/S102 finding.
+    """
+    BENIGN_RACES[(array, intent)] = why
+
+
+# The paper's kernels rely on two benign race shapes:
+#
+# 1. Same-value stamps: many lanes store the *identical* value to one
+#    address (BFS level discovery, touched flags).  Any interleaving
+#    yields the same memory image.
+declare_benign_race(
+    "d", "discover",
+    "level-synchronous BFS discovery: every lane stores depth+1, so "
+    "duplicate stores commute (Alg. 1/3 distance stamp)",
+)
+declare_benign_race(
+    "d_new", "relabel",
+    "Case-3 pull relabel: every lane stores level+1 for the vertices "
+    "it pulls closer — duplicate stores carry the same value",
+)
+declare_benign_race(
+    "t", "mark",
+    "touched-flag stamp (untouched/down/up): lanes marking one vertex "
+    "in one interval all store the same state",
+)
+declare_benign_race(
+    "moved", "mark",
+    "moved-flag stamp: duplicate True stores commute",
+)
+# 2. Atomic accumulation: the edge-parallel Case-2 σ update (and every
+#    δ/BC accumulation) lets many lanes atomicAdd one address.  The
+#    *order* of the adds is nondeterministic on hardware; the
+#    simulation fixes arc order, so results stay bit-identical while
+#    the contention itself is declared here (§III-B of the paper: the
+#    edge-parallel kernels "require atomic operations" on σ and δ).
+for _array in ("sigma", "sigma_hat", "delta", "delta_hat", "pull_buf", "bc"):
+    declare_benign_race(
+        _array, "accumulate",
+        "atomicAdd accumulation: conflicting adds commute up to "
+        "floating-point ordering, which the fixed arc order pins",
+    )
+del _array
+
+
+def atomic_scatter_add(
+    target: np.ndarray, idx, values, *, array: str, intent: str = "accumulate"
+) -> None:
+    """The declared atomicAdd: scatter-add *values* into *target* at
+    *idx*, bit-identical to ``np.add.at``.
+
+    This is the **only** sanctioned route for conflicting accumulation
+    in the kernels — the race sanitizer flags any scatter with
+    duplicate targets that did not come through here (finding S101).
+    ``(array, intent)`` must name a :data:`BENIGN_RACES` entry for the
+    contention to be whitelisted; subtraction is accumulation of
+    negated values (IEEE-754 ``x - y == x + (-y)``).
+    """
+    np.add.at(target, idx, values)
+    _san.atomic(array, idx, intent)
 
 
 def _next_pow2(x: int) -> int:

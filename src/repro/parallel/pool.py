@@ -33,6 +33,7 @@ into "retry, quarantine, degrade, re-promote".
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import queue as _queue
 import time
@@ -289,11 +290,9 @@ class WorkerPool:
         for q in (self._tasks, self._results):
             if q is None:
                 continue
-            try:
+            with contextlib.suppress(Exception):  # platform teardown races
                 q.cancel_join_thread()
                 q.close()
-            except Exception:  # pragma: no cover - platform teardown races
-                pass
         self._tasks = None
         self._results = None
         self._heartbeat = None

@@ -37,6 +37,7 @@ guarded by design; the chaos/CI tooling is the backstop there.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import os
 import signal
 import weakref
@@ -167,10 +168,8 @@ def _unlink_live_arenas() -> None:
     if os.getpid() != _GUARD_PID:
         return  # forked child: the parent owns these segments
     for arena in list(_LIVE_ARENAS):
-        try:
+        with contextlib.suppress(Exception):  # teardown is best effort
             arena.close()
-        except Exception:  # pragma: no cover - teardown best effort
-            pass
 
 
 def _guard_signal_handler(signum, frame) -> None:

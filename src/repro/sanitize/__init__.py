@@ -1,0 +1,34 @@
+"""Correctness tooling for the simulated GPU kernels (two layers).
+
+**Layer 1 — kernel race sanitizer** (:mod:`repro.sanitize.tracer`):
+an opt-in instrumentation mode that records per-lane read/write sets
+inside every simulated barrier interval of the per-level kernels and
+flags the hazards GPU memory-model discipline forbids — unprotected
+write-write conflicts (S101), read-after-write across lanes within a
+level (S102, a missing barrier), and frontier-monotonicity violations
+in the Q/Q2/QQ queue kernels (S103).  Exposed as
+``DynamicBC(sanitize=True)``, ``brandes_bc(..., sanitize=True)`` and
+the ``repro-bc sanitize`` CLI subcommand; results come back as a
+structured :class:`~repro.sanitize.report.SanitizerReport`.
+
+**Layer 2 — AST repo linter** (:mod:`repro.sanitize.lint`,
+``python -m repro.sanitize.lint``): custom :class:`ast.NodeVisitor`
+rules R001–R005 enforcing the repo invariants the simulation's
+bit-identity guarantees rest on (no raw wall-clock in kernel code,
+no unseeded RNG, shm lifecycle pairing, no silent exception
+swallowing in the resilience layers, kernels must charge counters).
+
+See ``docs/SANITIZER.md`` for the rule table, the benign-race
+annotation protocol and usage examples.
+"""
+
+from repro.sanitize.report import Finding, SanitizerReport
+from repro.sanitize.tracer import MemoryTracer, current_tracer, tracing
+
+__all__ = [
+    "Finding",
+    "MemoryTracer",
+    "SanitizerReport",
+    "current_tracer",
+    "tracing",
+]

@@ -1,0 +1,446 @@
+"""AST-based repo linter: the determinism/lifecycle invariants the
+simulation's bit-identity guarantees rest on (Layer 2 of
+:mod:`repro.sanitize`).
+
+Run as ``python -m repro.sanitize.lint src/ tests/``; exits 0 on a
+clean tree and 1 when any finding survives.  Rules:
+
+====  ==============================================================
+R001  No raw wall-clock (``time.time``/``perf_counter``/...) inside
+      ``repro/bc`` or ``repro/gpu`` — simulated time must flow
+      through ``CostModel``; wall timing belongs in
+      ``repro.utils.timing.WallTimer`` callers outside the kernels.
+R002  No module-level / unseeded ``np.random.*``: the legacy global
+      API is banned everywhere, and RNG constructors must receive an
+      explicit seed or Generator (``repro.utils.prng.default_rng``).
+R003  Every ``ShmArena``/``SharedMemory`` creation must be lexically
+      paired with a ``close``/``unlink`` path (or a ``with`` block)
+      in its enclosing function/class/module; importing raw
+      ``multiprocessing.shared_memory`` is banned outside
+      ``parallel/shm.py``.
+R004  No bare ``except:`` and no ``except Exception: pass`` in
+      ``resilience/`` and ``parallel/`` — swallowed failures defeat
+      the supervision/transaction layers (use
+      ``contextlib.suppress`` to make best-effort teardown explicit).
+R005  Kernel functions in ``bc/`` taking an ``acc`` accountant must
+      charge it (call a method on ``acc`` or pass it onward) before
+      returning, so no kernel escapes the cost model.
+====  ==============================================================
+
+A finding on a line carrying ``# sanitize: ignore[RNNN]`` (comma list
+allowed) is suppressed; the shipped tree carries no ignores — add a
+justification comment next to any you introduce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: schema version of the ``--format json`` document
+LINT_VERSION = 1
+
+#: rule code → (summary, fix-it hint)
+RULES: Dict[str, Tuple[str, str]] = {
+    "R001": (
+        "raw wall-clock read in simulated-kernel code",
+        "route simulated time through CostModel; if you need wall "
+        "time, use repro.utils.timing.WallTimer outside bc/ and gpu/",
+    ),
+    "R002": (
+        "module-level or unseeded numpy RNG",
+        "take an explicit seed or np.random.Generator argument and "
+        "build it with repro.utils.prng.default_rng(seed)",
+    ),
+    "R003": (
+        "shared-memory lifecycle hazard",
+        "pair the creation with close()/unlink() in the same "
+        "function/class (or use a with-block), and go through "
+        "repro.parallel.shm instead of multiprocessing.shared_memory",
+    ),
+    "R004": (
+        "silently swallowed exception in a resilience-critical layer",
+        "catch the narrowest exception you can handle, or make "
+        "best-effort teardown explicit with contextlib.suppress(...)",
+    ),
+    "R005": (
+        "kernel function never charges its accountant",
+        "call a method on `acc` (acc.sp_level/acc.dep_level/...) or "
+        "pass `acc` to a helper that does, before returning",
+    ),
+}
+
+#: legacy global-RNG attributes always banned (non-exhaustive ban is
+#: fine: anything not in the constructor allow-list is flagged)
+_RNG_CONSTRUCTORS = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+_WALL_CLOCK_FUNCS = {"time", "perf_counter", "perf_counter_ns",
+                     "monotonic", "monotonic_ns", "process_time",
+                     "process_time_ns"}
+
+_PRAGMA = re.compile(r"#\s*sanitize:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def hint(self) -> str:
+        """The rule's fix-it hint."""
+        return RULES[self.rule][1]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (``--format json`` schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "summary": RULES[self.rule][0],
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One ``path:line:col: RULE message`` block with the fix-it."""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"{self.message}\n    fix-it: {self.hint}")
+
+    def sort_key(self) -> tuple:
+        """Stable output order: location first, then rule/message."""
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+
+def _norm(path: str) -> str:
+    """Slash-normalized path with a leading separator so directory
+    membership tests are unambiguous substring checks."""
+    return "/" + str(path).replace("\\", "/").lstrip("/")
+
+
+def _in_kernel_tree(path: str) -> bool:
+    p = _norm(path)
+    return "/repro/bc/" in p or "/repro/gpu/" in p
+
+
+def _in_resilient_tree(path: str) -> bool:
+    p = _norm(path)
+    return "/repro/resilience/" in p or "/repro/parallel/" in p
+
+
+def _is_shm_module(path: str) -> bool:
+    return _norm(path).endswith("/parallel/shm.py")
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    """``a.b.c`` → ``["a", "b", "c"]``; empty when not a pure chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass collector for all five rules."""
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.path = path
+        self.findings: List[LintFinding] = []
+        self.numpy_aliases: Set[str] = {"numpy"}
+        self.time_aliases: Set[str] = {"time"}
+        #: names bound by ``from time import perf_counter [as pc]``
+        self.wall_clock_names: Set[str] = set()
+        #: stack of (node, is_class) scopes for the R003 pairing search
+        self._scopes: List[ast.AST] = [tree]
+        #: with-statement nesting: creations inside one are managed
+        self._with_depth = 0
+
+    # -- helpers -------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(LintFinding(
+            path=self.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1, rule=rule,
+            message=message,
+        ))
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy":
+                self.numpy_aliases.add(alias.asname or "numpy")
+            elif alias.name == "time":
+                self.time_aliases.add(alias.asname or "time")
+            elif alias.name.startswith("multiprocessing.shared_memory"):
+                if not _is_shm_module(self.path):
+                    self._flag(node, "R003",
+                               "raw multiprocessing.shared_memory import "
+                               "outside parallel/shm.py")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_FUNCS:
+                    self.wall_clock_names.add(alias.asname or alias.name)
+        elif node.module == "multiprocessing.shared_memory" or (
+            node.module == "multiprocessing"
+            and any(a.name == "shared_memory" for a in node.names)
+        ):
+            if not _is_shm_module(self.path):
+                self._flag(node, "R003",
+                           "raw multiprocessing.shared_memory import "
+                           "outside parallel/shm.py")
+        self.generic_visit(node)
+
+    # -- scope tracking ------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._handle_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._handle_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scopes.append(node)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def _handle_function(self, node) -> None:
+        self._check_accountant(node)
+        self._scopes.append(node)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with_depth += 1
+        self.generic_visit(node)
+        self._with_depth -= 1
+
+    # -- R004 ----------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _in_resilient_tree(self.path):
+            if node.type is None:
+                self._flag(node, "R004", "bare `except:` clause")
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+                and all(isinstance(stmt, ast.Pass) for stmt in node.body)
+            ):
+                self._flag(node, "R004",
+                           f"`except {node.type.id}: pass` swallows "
+                           f"failures silently")
+        self.generic_visit(node)
+
+    # -- R001 / R002 / R003 creations ---------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        self._check_wall_clock(node, chain)
+        self._check_numpy_rng(node, chain)
+        self._check_shm_creation(node, chain)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, chain: List[str]) -> None:
+        if not _in_kernel_tree(self.path):
+            return
+        if (len(chain) == 2 and chain[0] in self.time_aliases
+                and chain[1] in _WALL_CLOCK_FUNCS):
+            self._flag(node, "R001",
+                       f"`{'.'.join(chain)}()` in kernel code")
+        elif (len(chain) == 1 and chain[0] in self.wall_clock_names):
+            self._flag(node, "R001", f"`{chain[0]}()` in kernel code")
+
+    def _check_numpy_rng(self, node: ast.Call, chain: List[str]) -> None:
+        if len(chain) != 3 or chain[1] != "random":
+            return
+        if chain[0] not in self.numpy_aliases and chain[0] != "np":
+            return
+        name = chain[2]
+        if name in _RNG_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                self._flag(node, "R002",
+                           f"`{'.'.join(chain)}()` without an explicit "
+                           f"seed draws OS entropy")
+            return
+        self._flag(node, "R002",
+                   f"legacy global-state RNG call `{'.'.join(chain)}`")
+
+    def _check_shm_creation(self, node: ast.Call, chain: List[str]) -> None:
+        name = chain[-1] if chain else ""
+        if name not in ("ShmArena", "SharedMemory"):
+            return
+        if self._with_depth > 0:
+            return  # context-managed: lifecycle is structural
+        # Widening search: function -> class -> module.  A method may
+        # hand the segment to the instance (release in a sibling
+        # method), and a factory helper may hand it to a module-level
+        # destructor.
+        if not any(_scope_releases(s) for s in reversed(self._scopes)):
+            self._flag(node, "R003",
+                       f"`{name}(...)` has no close()/unlink() path in "
+                       f"its enclosing scope")
+
+    # -- R005 ----------------------------------------------------------
+    def _check_accountant(self, node) -> None:
+        p = _norm(self.path)
+        if "/repro/bc/" not in p:
+            return
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if "acc" not in names:
+            return
+        if not _charges_accountant(node):
+            self._flag(node, "R005",
+                       f"kernel `{node.name}` takes `acc` but never "
+                       f"charges it")
+
+
+def _scope_releases(scope: ast.AST) -> bool:
+    """True when *scope* lexically contains a ``.close()``/``.unlink()``
+    call — the pairing R003 requires."""
+    for sub in ast.walk(scope):
+        if (isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("close", "unlink")):
+            return True
+    return False
+
+
+def _charges_accountant(func: ast.AST) -> bool:
+    """True when the function calls a method rooted at ``acc`` or
+    passes ``acc`` (positionally or by keyword) to another call."""
+    for sub in ast.walk(func):
+        if not isinstance(sub, ast.Call):
+            continue
+        chain = _attr_chain(sub.func)
+        if len(chain) >= 2 and chain[0] == "acc":
+            return True
+        for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+            if isinstance(arg, ast.Name) and arg.id == "acc":
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+def _suppressed(source_lines: Sequence[str], finding: LintFinding) -> bool:
+    if not 1 <= finding.line <= len(source_lines):
+        return False
+    match = _PRAGMA.search(source_lines[finding.line - 1])
+    if not match:
+        return False
+    codes = {c.strip() for c in match.group(1).split(",")}
+    return finding.rule in codes
+
+
+def lint_source(source: str, path: str) -> List[LintFinding]:
+    """Lint Python *source*, scoping path-dependent rules by *path*
+    (which may be virtual — the tests lint snippets under synthetic
+    paths like ``src/repro/bc/mod.py``)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path=path, line=exc.lineno or 1,
+                            col=(exc.offset or 0) + 1, rule="R001",
+                            message=f"unparseable source: {exc.msg}")]
+    visitor = _Visitor(path, tree)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    return sorted(
+        (f for f in visitor.findings if not _suppressed(lines, f)),
+        key=LintFinding.sort_key,
+    )
+
+
+def lint_file(path, virtual_path: Optional[str] = None) -> List[LintFinding]:
+    """Lint one file; *virtual_path* overrides the path used for rule
+    scoping and reporting."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, virtual_path or str(path))
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files-or-directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
+    """Lint every Python file under *paths*, sorted and deduplicated
+    by location."""
+    findings: List[LintFinding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f))
+    return sorted(findings, key=LintFinding.sort_key)
+
+
+def render_text(findings: Sequence[LintFinding], checked: int) -> str:
+    """Human-readable report: one block per finding plus a status line."""
+    lines = [f.render() for f in findings]
+    status = "FAIL" if findings else "ok"
+    lines.append(f"sanitize-lint: {status} — {len(findings)} finding(s) "
+                 f"over {checked} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[LintFinding], checked: int) -> str:
+    """Stable machine-readable report (see ``LINT_VERSION``)."""
+    return json.dumps({
+        "version": LINT_VERSION,
+        "ok": not findings,
+        "files_checked": checked,
+        "findings": [f.to_dict() for f in findings],
+    }, indent=2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns 1 when any finding survives, else 0."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize.lint",
+        description="Determinism/lifecycle linter (rules R001-R005; "
+                    "see docs/SANITIZER.md)",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="output format (stable for tooling)")
+    parser.add_argument("--output", default=None,
+                        help="write the report here instead of stdout")
+    opts = parser.parse_args(argv)
+    files = iter_python_files(opts.paths)
+    findings = lint_paths(opts.paths)
+    rendered = (render_json if opts.fmt == "json" else render_text)(
+        findings, len(files)
+    )
+    if opts.output:
+        Path(opts.output).write_text(rendered + "\n", encoding="utf-8")
+    else:
+        print(rendered)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

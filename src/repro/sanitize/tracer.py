@@ -1,0 +1,480 @@
+"""Shadow-memory tracer for the simulated per-level GPU kernels.
+
+The NumPy kernels execute each barrier-delimited parallel phase as a
+handful of vectorized gathers and scatters; GPU-faithfulness means
+those phases must also be *legal* under the GPU memory model — no two
+lanes may store to one address without an atomic, no lane may read an
+address another lane writes in the same interval, and the queue
+kernels must push strictly level-monotone frontiers.  The simulation
+encodes these rules implicitly (``np.unique`` models the §III-A dedup
+pipeline, ``np.add.at`` models ``atomicAdd``), so a refactor can break
+GPU-legality while still computing correct numbers on small inputs.
+
+This module makes the rules checkable.  Kernels call the module-level
+hooks (:func:`read`, :func:`write`, :func:`enqueue`, :func:`interval`,
+:func:`kernel`) at the points where a real kernel would issue the
+corresponding memory traffic; the hooks are no-ops unless a
+:class:`MemoryTracer` has been activated with :func:`tracing`, so the
+uninstrumented hot path pays one ``is None`` test per hook.  Atomic
+scatter-adds are *not* recorded here directly — they must route
+through the declared atomic helpers in :mod:`repro.gpu.primitives`
+(:func:`~repro.gpu.primitives.atomic_scatter_add`), which is exactly
+what finding class S101 enforces.
+
+Lane semantics: call sites record the cross-lane data flow — gathers
+from addresses other lanes own and every scatter.  A lane re-reading
+an address it just wrote in program order is not a race on real
+hardware and is deliberately not recorded, so every read/write overlap
+the checker sees involves distinct lanes.
+
+Tracing never mutates kernel state: hooks only read the index arrays
+they are handed and summarize them eagerly at interval end, so an
+instrumented run is bit-identical to an uninstrumented one in every
+reported artifact except wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.sanitize.report import S101, S102, S103, Finding, SanitizerReport
+
+#: max offending addresses stored per finding
+_SAMPLE = 8
+
+
+def _as_index_array(idx) -> np.ndarray:
+    """Normalize an index operand (array, list, mask, scalar) to a flat
+    int64 address array without mutating the caller's data."""
+    arr = np.asarray(idx)
+    if arr.dtype == bool:
+        arr = np.flatnonzero(arr)
+    return arr.astype(np.int64, copy=False).ravel()
+
+
+def _sample(addresses: np.ndarray) -> Tuple[int, ...]:
+    return tuple(int(a) for a in np.sort(addresses)[:_SAMPLE])
+
+
+@dataclass
+class _Access:
+    """One recorded gather/scatter: addresses + benign-intent flag."""
+
+    addresses: np.ndarray
+    benign: bool
+    intent: str
+
+
+@dataclass
+class _QueueState:
+    """Per-queue monotonicity state within one kernel session."""
+
+    direction: int  #: +1 frontier descends the BFS, -1 climbs, 0 free
+    last_level: Optional[int] = None
+    seen: Set[int] = field(default_factory=set)
+
+
+class MemoryTracer:
+    """Records per-interval read/write sets and checks them at every
+    simulated barrier (see the finding classes in
+    :mod:`repro.sanitize.report`)."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.kernels = 0
+        self.intervals = 0
+        self.read_ops = 0
+        self.write_ops = 0
+        self.atomic_ops = 0
+        self.benign: Dict[str, int] = {}
+        self._kernel: str = ""
+        self._queues: Dict[str, _QueueState] = {}
+        self._stage: str = ""
+        self._level: int = 0
+        self._open = False
+        self._reads: Dict[str, List[_Access]] = {}
+        self._writes: Dict[str, List[_Access]] = {}
+        self._atomics: Dict[str, List[_Access]] = {}
+
+    # ------------------------------------------------------------------
+    # Session / interval structure
+    # ------------------------------------------------------------------
+    def begin_kernel(self, label: str) -> None:
+        """Open a kernel session: queue-monotonicity state is scoped to
+        one kernel invocation (one source's update / Brandes pass)."""
+        self._kernel = label
+        self._queues = {}
+        self.kernels += 1
+
+    def end_kernel(self) -> None:
+        """Close the current kernel session (resets per-kernel queue
+        state; defensively closes a still-open interval)."""
+        if self._open:  # unbalanced instrumentation: close defensively
+            self.end_interval()
+        self._kernel = ""
+        self._queues = {}
+
+    def begin_interval(self, stage: str, level: int) -> None:
+        """Start one barrier-delimited phase; every access recorded
+        until :meth:`end_interval` is concurrent with every other."""
+        if self._open:
+            self.end_interval()
+        self._open = True
+        self._stage = stage
+        self._level = int(level)
+        self._reads = {}
+        self._writes = {}
+        self._atomics = {}
+
+    def end_interval(self) -> None:
+        """The simulated barrier: run the race checks over everything
+        recorded since :meth:`begin_interval`."""
+        if not self._open:
+            return
+        self.intervals += 1
+        arrays = set(self._writes) | set(self._atomics)
+        for array in sorted(arrays):
+            self._check_array(array)
+        self._open = False
+        self._reads = {}
+        self._writes = {}
+        self._atomics = {}
+
+    # ------------------------------------------------------------------
+    # Access recording (module hooks forward here)
+    # ------------------------------------------------------------------
+    def read(self, array: str, idx) -> None:
+        """Record a cross-lane gather of *array* at *idx*."""
+        addresses = _as_index_array(idx)
+        if addresses.size == 0:
+            return
+        self.read_ops += int(addresses.size)
+        if self._open:
+            self._reads.setdefault(array, []).append(
+                _Access(addresses, benign=False, intent="")
+            )
+
+    def write(self, array: str, idx, intent: str = "") -> None:
+        """A plain (non-atomic) store from one lane per index entry."""
+        addresses = _as_index_array(idx)
+        if addresses.size == 0:
+            return
+        self.write_ops += int(addresses.size)
+        if self._open:
+            self._writes.setdefault(array, []).append(
+                _Access(addresses, self._is_benign(array, intent), intent)
+            )
+
+    def atomic(self, array: str, idx, intent: str = "") -> None:
+        """An atomic RMW per index entry — recorded by the declared
+        helpers in :mod:`repro.gpu.primitives`, never by kernels
+        directly."""
+        addresses = _as_index_array(idx)
+        if addresses.size == 0:
+            return
+        self.atomic_ops += int(addresses.size)
+        if self._open:
+            self._atomics.setdefault(array, []).append(
+                _Access(addresses, self._is_benign(array, intent), intent)
+            )
+
+    def enqueue(
+        self,
+        queue: str,
+        vertices,
+        level: int,
+        distances: Optional[np.ndarray] = None,
+        direction: int = 1,
+    ) -> None:
+        """A frontier push into *queue* targeting *level*.
+
+        Checks (S103): every vertex's distance equals *level* (when
+        *distances* is given), no duplicate within the push (the dedup
+        pipeline must have run), no re-enqueue across levels, and the
+        pushed levels move strictly in *direction* (+1 down the BFS,
+        -1 up, 0 unordered — the Case-3 pre-pass discovers vertices at
+        arbitrary levels).
+        """
+        verts = _as_index_array(vertices)
+        if verts.size == 0:
+            return
+        level = int(level)
+        state = self._queues.setdefault(queue, _QueueState(direction))
+        if distances is not None:
+            off = verts[np.asarray(distances)[verts] != level]
+            if off.size:
+                self._flag(S103, queue, off,
+                           f"enqueued {off.size} vertices whose distance "
+                           f"!= target level {level}")
+        uniq, counts = np.unique(verts, return_counts=True)
+        dup = uniq[counts > 1]
+        if dup.size:
+            self._flag(S103, queue, dup,
+                       "duplicate vertices in one push (dedup pipeline "
+                       "missing)")
+        seen = state.seen
+        re_enq = [int(v) for v in uniq if int(v) in seen]
+        if re_enq:
+            self._flag(S103, queue, np.asarray(re_enq, dtype=np.int64),
+                       "vertex re-enqueued across levels")
+        # Repeated pushes into the same level bucket are legal (one
+        # interval may push several groups); moving *against* the
+        # declared direction is not.
+        if (state.direction and state.last_level is not None
+                and (level - state.last_level) * state.direction < 0):
+            self._flag(S103, queue, uniq,
+                       f"level {level} pushed after {state.last_level} "
+                       f"(direction {state.direction:+d})")
+        state.last_level = level
+        seen.update(int(v) for v in uniq)
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _is_benign(self, array: str, intent: str) -> bool:
+        """True when (array, intent) is a declared benign race — the
+        registry lives with the atomic helpers in
+        :mod:`repro.gpu.primitives` so races are whitelisted where the
+        hardware semantics are defined, not where they are observed."""
+        if not intent:
+            return False
+        from repro.gpu.primitives import BENIGN_RACES
+
+        return (array, intent) in BENIGN_RACES
+
+    def _count_benign(self, array: str, intent: str, lanes: int) -> None:
+        key = f"{array}:{intent or '?'}"
+        self.benign[key] = self.benign.get(key, 0) + int(lanes)
+
+    def _flag(self, code: str, array: str, addresses: np.ndarray,
+              message: str) -> None:
+        self.findings.append(Finding(
+            code=code, kernel=self._kernel, stage=self._stage,
+            level=self._level, array=array, count=int(addresses.size),
+            sample=_sample(addresses), message=message,
+        ))
+
+    def _conflicts(self, accesses: List[_Access], array: str,
+                   what: str) -> None:
+        """Duplicate-address check over one access class: an address
+        stored by >1 lane is a conflict unless *every* contributing
+        record carries a registered benign intent."""
+        if not accesses:
+            return
+        addrs = np.concatenate([a.addresses for a in accesses])
+        flags = np.concatenate([
+            np.full(a.addresses.size, a.benign) for a in accesses
+        ])
+        uniq, inverse, counts = np.unique(
+            addrs, return_inverse=True, return_counts=True
+        )
+        dup_elem = counts[inverse] > 1
+        if not np.any(dup_elem):
+            return
+        hot = addrs[dup_elem & ~flags]
+        if hot.size:
+            self._flag(S101, array, np.unique(hot),
+                       f"{what} conflict: address stored by multiple "
+                       f"lanes without a declared atomic/benign route")
+        # Fully-benign hot addresses: count the whitelisted extra lanes.
+        benign_elems = int(np.count_nonzero(dup_elem & flags))
+        if benign_elems and not hot.size:
+            intents = {a.intent for a in accesses if a.benign}
+            for intent in intents:
+                self._count_benign(array, intent, benign_elems)
+
+    def _check_array(self, array: str) -> None:
+        writes = self._writes.get(array, [])
+        atomics = self._atomics.get(array, [])
+        reads = self._reads.get(array, [])
+        # (a) S101: plain write-write conflicts / unannotated atomic
+        # contention, each class checked against itself...
+        self._conflicts(writes, array, "write-write")
+        self._conflicts(atomics, array, "atomic-accumulation")
+        # ...and plain stores overlapping atomic accumulation: the
+        # lazy-seed pattern (delta_hat[w] = delta[w] racing the adds)
+        # is wrong without a barrier regardless of intents.
+        if writes and atomics:
+            w = np.concatenate([a.addresses for a in writes])
+            a = np.concatenate([a.addresses for a in atomics])
+            mixed = np.intersect1d(w, a)
+            if mixed.size:
+                self._flag(S101, array, mixed,
+                           "plain store and atomic accumulation hit the "
+                           "same address inside one barrier interval")
+        # (b) S102: cross-lane read of an address written this
+        # interval.  Same-value stamps (benign plain writes: discover /
+        # mark / relabel) are RAW-safe by construction — readers cannot
+        # observe a wrong value.  Atomic *accumulation* is not: the
+        # atomicity protects the adds from each other, but a reader in
+        # the same interval observes a partial sum, so atomics always
+        # participate in the hazard set.
+        if reads:
+            read_addrs = np.unique(np.concatenate(
+                [a.addresses for a in reads]
+            ))
+            hazard_writes = [a for a in writes if not a.benign] + atomics
+            benign_writes = [a for a in writes if a.benign]
+            if hazard_writes:
+                w = np.concatenate([a.addresses for a in hazard_writes])
+                overlap = np.intersect1d(read_addrs, w)
+                if overlap.size:
+                    self._flag(S102, array, overlap,
+                               "address read and written by different "
+                               "lanes in one barrier interval (missing "
+                               "barrier)")
+            for acc in benign_writes:
+                overlap = np.intersect1d(read_addrs, acc.addresses)
+                if overlap.size:
+                    self._count_benign(array, acc.intent, int(overlap.size))
+
+    # ------------------------------------------------------------------
+    def report(self) -> SanitizerReport:
+        """Snapshot everything observed so far (tracing may continue)."""
+        return SanitizerReport(
+            findings=list(self.findings),
+            kernels=self.kernels,
+            intervals=self.intervals,
+            reads=self.read_ops,
+            writes=self.write_ops,
+            atomics=self.atomic_ops,
+            benign=dict(self.benign),
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level hook surface (what the kernels call)
+# ----------------------------------------------------------------------
+_CURRENT: Optional[MemoryTracer] = None
+
+
+def current_tracer() -> Optional[MemoryTracer]:
+    """The active tracer, or ``None`` when sanitize mode is off."""
+    return _CURRENT
+
+
+def active() -> bool:
+    """True when a tracer is installed — guard for callers that would
+    otherwise compute index arrays only to throw them away."""
+    return _CURRENT is not None
+
+
+class _Tracing:
+    """Context manager installing a tracer as the current one."""
+
+    __slots__ = ("tracer", "_prev")
+
+    def __init__(self, tracer: MemoryTracer) -> None:
+        self.tracer = tracer
+        self._prev: Optional[MemoryTracer] = None
+
+    def __enter__(self) -> MemoryTracer:
+        global _CURRENT
+        self._prev = _CURRENT
+        _CURRENT = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc) -> None:
+        global _CURRENT
+        _CURRENT = self._prev
+
+
+def tracing(tracer: MemoryTracer) -> _Tracing:
+    """``with tracing(MemoryTracer()) as t: ...`` activates *t* for
+    every kernel executed in the block (single-threaded by design —
+    sanitize mode bypasses the worker pool)."""
+    return _Tracing(tracer)
+
+
+class _NullCtx:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL = _NullCtx()
+
+
+class _KernelCtx:
+    __slots__ = ("_tracer", "_label")
+
+    def __init__(self, tracer: MemoryTracer, label: str) -> None:
+        self._tracer = tracer
+        self._label = label
+
+    def __enter__(self) -> MemoryTracer:
+        self._tracer.begin_kernel(self._label)
+        return self._tracer
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer.end_kernel()
+        return False
+
+
+class _IntervalCtx:
+    __slots__ = ("_tracer", "_stage", "_level")
+
+    def __init__(self, tracer: MemoryTracer, stage: str, level: int) -> None:
+        self._tracer = tracer
+        self._stage = stage
+        self._level = level
+
+    def __enter__(self) -> MemoryTracer:
+        self._tracer.begin_interval(self._stage, self._level)
+        return self._tracer
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer.end_interval()
+        return False
+
+
+def kernel(label: str):
+    """Scope one kernel invocation (``with san.kernel("case2:5"):``)."""
+    t = _CURRENT
+    return _NULL if t is None else _KernelCtx(t, label)
+
+
+def interval(stage: str, level: int):
+    """Scope one barrier-delimited phase; the exit is the barrier."""
+    t = _CURRENT
+    return _NULL if t is None else _IntervalCtx(t, stage, level)
+
+
+def read(array: str, idx) -> None:
+    """Hook: forward a gather to the current tracer (no-op when off)."""
+    t = _CURRENT
+    if t is not None:
+        t.read(array, idx)
+
+
+def write(array: str, idx, intent: str = "") -> None:
+    """Hook: forward a plain scatter to the current tracer (no-op when
+    off)."""
+    t = _CURRENT
+    if t is not None:
+        t.write(array, idx, intent)
+
+
+def atomic(array: str, idx, intent: str = "") -> None:
+    """Record atomic RMW traffic — called by the declared helpers in
+    :mod:`repro.gpu.primitives` only; kernels never call this
+    directly (that is the convention finding class S101 checks)."""
+    t = _CURRENT
+    if t is not None:
+        t.atomic(array, idx, intent)
+
+
+def enqueue(queue: str, vertices, level: int, distances=None,
+            direction: int = 1) -> None:
+    """Hook: forward a frontier push to the current tracer (no-op when
+    off)."""
+    t = _CURRENT
+    if t is not None:
+        t.enqueue(queue, vertices, level, distances, direction)

@@ -54,3 +54,10 @@ def two_components() -> CSRGraph:
 @pytest.fixture
 def dyn_karate(karate) -> DynamicGraph:
     return DynamicGraph.from_csr(karate)
+
+
+@pytest.fixture(scope="session")
+def kron_small() -> CSRGraph:
+    """The sanitizer suite's standard workload: Kronecker n=2^8, k=8
+    (session-scoped — the graph is immutable; engines copy state)."""
+    return gen.kronecker(8, 8, seed=3)
