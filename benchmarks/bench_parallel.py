@@ -20,7 +20,15 @@ worker count, and
 The >= 2x speedup floor at 4 workers only applies when the host
 actually has >= 4 usable cores; constrained CI runners still exercise
 the full sweep and the bit-identity asserts, they just skip the
-wall-clock floor (and say so in the artifact).
+wall-clock floor (and say so in the artifact).  That skip used to be a
+blind spot — on a starved runner a pathological pool regression (e.g.
+a respawn storm adding seconds per round) passed silently — so a
+second, *always-on* bound applies everywhere: per-event pool overhead
+(the parallel replay's wall-clock delta over serial, divided by the
+event count) must stay under ``MAX_OVERHEAD_PER_EVENT`` at every
+worker count, cores be damned.  Observed overhead is ~20-35 ms/event
+on a single-core host; the 0.5 s budget is ~15x headroom, catching
+order-of-magnitude regressions without flaking on slow machines.
 """
 
 import os
@@ -43,6 +51,10 @@ WORKER_SWEEP = (2, 4)
 
 #: acceptance floor at 4 workers — enforced only on >= 4-core hosts
 MIN_SPEEDUP = 2.0
+
+#: always-on budget: wall seconds of pool overhead per stream event
+#: ((parallel replay - serial replay) / events), any host, any width
+MAX_OVERHEAD_PER_EVENT = 0.5
 
 
 def available_cores():
@@ -97,11 +109,22 @@ def test_parallel_sweep(benchmark, bench_config, save_artifact, record_bench):
         for x, y in zip(res_s.reports, res_w.reports):
             assert reports_identical(x, y), f"report diverged at workers={w}"
         assert res_s.simulated_seconds == res_w.simulated_seconds
+        overhead = (t_w - t_s) / NUM_EVENTS
         sweep[w] = {
             "replay_seconds": t_w,
             "speedup": t_s / t_w,
+            "overhead_per_event_seconds": overhead,
             "bit_identical": True,
         }
+        # Always-on regression bound (the <4-core blind spot fix): a
+        # pool that is merely not-faster is acceptable on a starved
+        # host, a pool that adds >0.5 s of overhead per event is broken
+        # on any host.
+        assert overhead <= MAX_OVERHEAD_PER_EVENT, (
+            f"workers={w} adds {overhead:.3f}s pool overhead per event "
+            f"(budget {MAX_OVERHEAD_PER_EVENT}s; serial {t_s:.3f}s, "
+            f"parallel {t_w:.3f}s over {NUM_EVENTS} events)"
+        )
 
     cores = available_cores()
     enforce_floor = cores >= 4
@@ -118,6 +141,8 @@ def test_parallel_sweep(benchmark, bench_config, save_artifact, record_bench):
             "workers": {str(w): sweep[w] for w in sorted(sweep)},
             "min_speedup_floor": MIN_SPEEDUP,
             "floor_enforced": enforce_floor,
+            "max_overhead_per_event_seconds": MAX_OVERHEAD_PER_EVENT,
+            "overhead_enforced": True,
         },
     )
     lines = [

@@ -1,0 +1,174 @@
+"""Service-layer load test: query latency vs sustained update rate.
+
+Drives the always-on :class:`~repro.service.BCService` with seeded
+mixed read/write traffic under three profiles — steady, diurnal, and
+flash-crowd — and records p50/p99/max query latency against the
+sustained applied-updates/sec into ``BENCH_service.json`` at the repo
+root (one section per profile).
+
+Two properties are *asserted*, not just measured, on every run:
+
+* **Differential correctness** — the service's final BC vector,
+  counters and report count are bit-identical to a plain
+  :func:`replay` of the workload's write events on a twin engine, so
+  the latency numbers describe a correct service, and
+* **Non-blocking reads** — at least one query per profile was answered
+  while an update batch was in flight (the snapshot-store guarantee
+  that reads never wait on writers).
+
+Like ``bench_parallel.py``, the artifact records ``cores`` and whether
+the parallel speedup floor would be enforced on this host, so a reader
+comparing the two files knows what machine produced the numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bc.engine import DynamicBC
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import replay
+from repro.resilience.chaos import reports_identical
+from repro.service import PROFILES, drive_workload, generate_workload
+
+from bench_parallel import MIN_SPEEDUP, available_cores
+
+pytestmark = pytest.mark.service
+
+KRON_SCALE = 10  # n = 2^10 = 1024 vertices
+NUM_SOURCES = 64
+NUM_OPS = 400  # reads + writes per profile
+MAX_BATCH = 16
+MAX_DELAY = 0.01
+SEED = 2014
+
+
+def _build_engine(graph):
+    return DynamicBC.from_graph(DynamicGraph.from_csr(graph),
+                                num_sources=NUM_SOURCES, seed=SEED)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_service_profile(profile, benchmark, save_artifact,
+                         record_service_bench):
+    graph = gen.kronecker(KRON_SCALE, seed=SEED)
+    workload = generate_workload(graph, profile, NUM_OPS, seed=SEED + 1)
+    assert workload.writes > 0 and workload.reads > 0
+
+    def run():
+        engine = _build_engine(graph)
+        try:
+            return drive_workload(
+                engine, workload, max_batch=MAX_BATCH, max_delay=MAX_DELAY,
+            ), engine.state.bc.copy(), engine.counters
+        finally:
+            engine.close()
+
+    metrics, bc_service, counters_service = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Differential correctness: the served stream is bit-identical to
+    # a plain replay of the workload's writes on a twin engine.
+    twin = _build_engine(graph)
+    try:
+        twin_result = replay(twin, workload.edge_stream())
+        assert np.array_equal(bc_service, twin.state.bc)
+        assert counters_service == twin.counters
+        assert metrics["updates_applied"] == len(twin_result.reports)
+        assert metrics["final_watermark"] == workload.writes
+    finally:
+        twin.close()
+
+    # Non-blocking reads: queries were answered mid-apply, and answered
+    # fast — their latency distribution is recorded separately so a
+    # blocking regression shows up as a p99 cliff.
+    assert metrics["queries"] == workload.reads
+    assert metrics["queries_during_apply"] >= 1, (
+        "no query overlapped an in-flight batch — reads are "
+        "serializing behind updates"
+    )
+
+    cores = available_cores()
+    record_service_bench(profile, {
+        "graph": f"kronecker(scale={KRON_SCALE})",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_sources": NUM_SOURCES,
+        "cores": cores,
+        "floor_enforced": cores >= 4,
+        "min_speedup_floor": MIN_SPEEDUP,
+        "bit_identical": True,
+        **{k: metrics[k] for k in (
+            "profile", "ops_total", "reads", "writes", "seed",
+            "max_batch", "max_delay", "wall_seconds", "updates_applied",
+            "updates_skipped", "updates_per_second", "batches",
+            "flush_reasons", "backpressure_waits", "max_queue_depth",
+            "queries", "queries_during_apply", "query_latency",
+            "query_latency_during_apply", "final_watermark",
+            "snapshot_version", "snapshots_published",
+            "snapshot_buffers_allocated", "snapshot_buffers_reused",
+            "health_level",
+        )},
+    })
+
+    lat = metrics["query_latency"]
+    save_artifact(f"service_{profile}.txt", "\n".join([
+        f"Service load test — {profile} profile on "
+        f"kronecker(scale={KRON_SCALE}) (n={graph.num_vertices}, "
+        f"m={graph.num_edges}, k={NUM_SOURCES}, {cores} cores):",
+        f"  traffic     : {workload.writes} writes + {workload.reads} "
+        f"reads in {metrics['wall_seconds']:.2f}s wall",
+        f"  updates/sec : {metrics['updates_per_second']:8.1f} "
+        f"({metrics['batches']} batches, {metrics['flush_reasons']})",
+        f"  query p50   : {lat['p50_ms']:8.3f} ms",
+        f"  query p99   : {lat['p99_ms']:8.3f} ms",
+        f"  query max   : {lat['max_ms']:8.3f} ms",
+        f"  mid-apply   : {metrics['queries_during_apply']} of "
+        f"{metrics['queries']} queries served during an in-flight batch",
+        "  differential: bit-identical to plain replay of the writes",
+    ]))
+
+
+def test_profiles_are_deterministic():
+    """Same seed, same workload — byte-for-byte (the bench is
+    replayable run-to-run)."""
+    graph = gen.kronecker(8, seed=SEED)
+    a = generate_workload(graph, "flash-crowd", 100, seed=7)
+    b = generate_workload(graph, "flash-crowd", 100, seed=7)
+    assert a.ops == b.ops
+    c = generate_workload(graph, "flash-crowd", 100, seed=8)
+    assert a.ops != c.ops
+
+
+def test_service_reports_match_replay_reports():
+    """Field-level differential on the reports themselves (the sweep
+    asserts bc/counters; this pins every UpdateReport field too)."""
+    graph = gen.kronecker(8, seed=SEED)
+    workload = generate_workload(graph, "steady", 80, seed=9)
+
+    import asyncio
+
+    from repro.service import BCService
+
+    async def main():
+        eng = _build_engine(graph)
+        try:
+            async with BCService(eng, max_batch=8, max_delay=0.005) as svc:
+                for event in workload.edge_stream():
+                    await svc.submit(event)
+                await svc.drain()
+            return svc
+        finally:
+            eng.close()
+
+    svc = asyncio.run(main())
+    service_reports = svc.core.result.reports
+    twin = _build_engine(graph)
+    try:
+        twin_result = replay(twin, workload.edge_stream())
+        assert len(service_reports) == len(twin_result.reports)
+        for a, b in zip(service_reports, twin_result.reports):
+            assert reports_identical(a, b)
+    finally:
+        twin.close()

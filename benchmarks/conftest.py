@@ -26,6 +26,23 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 #: runs without parsing rendered text artifacts
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_parallel.json"
 
+#: the service-layer benchmark's artifact (same merge semantics)
+BENCH_SERVICE_JSON = Path(__file__).parent.parent / "BENCH_service.json"
+
+
+def _merge_section(path: Path, section: str, payload: dict) -> None:
+    """Merge one ``{section: payload}`` entry into the JSON document at
+    *path* (sections accumulate across independent pytest runs)."""
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"[recorded section {section!r} in {path.name}]")
+
 
 def _env_float(name: str, default: float) -> float:
     return float(os.environ.get(name, default))
@@ -70,14 +87,18 @@ def record_bench():
     """
 
     def _record(section: str, payload: dict) -> None:
-        data = {}
-        if BENCH_JSON.exists():
-            try:
-                data = json.loads(BENCH_JSON.read_text())
-            except (json.JSONDecodeError, OSError):
-                data = {}
-        data[section] = payload
-        BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-        print(f"[recorded section {section!r} in {BENCH_JSON.name}]")
+        _merge_section(BENCH_JSON, section, payload)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_service_bench():
+    """Merge one section into ``BENCH_service.json`` at the repo root
+    (one section per traffic profile; the CI service job uploads the
+    file as an artifact)."""
+
+    def _record(section: str, payload: dict) -> None:
+        _merge_section(BENCH_SERVICE_JSON, section, payload)
 
     return _record

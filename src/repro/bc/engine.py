@@ -304,6 +304,26 @@ class DynamicBC:
     def sources(self) -> np.ndarray:
         return self.state.sources
 
+    def bc_snapshot(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Export a detached copy of the current BC scores.
+
+        Unlike :attr:`bc_scores` (a live view that mutates under the
+        caller as updates land), the returned array is the caller's to
+        keep — the service layer's snapshot-publication hook.  Pass
+        *out* (a ``float64[n]`` buffer) to copy in place and avoid a
+        transient allocation; it is returned for convenience.
+        """
+        bc = self.state.bc
+        if out is None:
+            return bc.copy()
+        if out.shape != bc.shape or out.dtype != bc.dtype:
+            raise ValueError(
+                f"out must be {bc.dtype}{list(bc.shape)}, got "
+                f"{out.dtype}{list(out.shape)}"
+            )
+        np.copyto(out, bc)
+        return out
+
     def top_k(self, k: int = 10) -> List:
         """The k most central vertices right now, as ``(vertex, score)``
         pairs in descending order — §II-A: "Typically the vertices with

@@ -25,6 +25,13 @@ Sanitizer subcommand (see docs/SANITIZER.md)::
 
     python -m repro.cli sanitize --events 100 --format json \\
         --output artifacts/sanitizer-report.json
+
+Service subcommands (see docs/SERVICE.md)::
+
+    python -m repro.cli loadgen --profile flash-crowd --ops 400 \\
+        --output workload.jsonl
+    python -m repro.cli serve --workload workload.jsonl --duration 30 \\
+        --bench-json BENCH_service.json
 """
 
 from __future__ import annotations
@@ -382,6 +389,166 @@ def _write_health_log(path: str, report) -> None:
             fh.write(json.dumps({"record": "injection", "event": line}) + "\n")
 
 
+# ----------------------------------------------------------------------
+# Service subcommands
+# ----------------------------------------------------------------------
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro-bc loadgen``: generate a seeded mixed
+    read/write workload file (see docs/SERVICE.md)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc loadgen",
+        description="Generate a seeded mixed read/write workload "
+                    "(steady, diurnal, or flash-crowd traffic) as a "
+                    "JSONL file for 'repro.cli serve'.",
+    )
+    parser.add_argument("--profile", choices=("steady", "diurnal",
+                                              "flash-crowd"),
+                        default="steady", help="traffic shape")
+    parser.add_argument("--ops", type=int, default=500,
+                        help="total operations (reads + writes)")
+    parser.add_argument("--read-fraction", type=float, default=0.5,
+                        help="fraction of ops that are queries")
+    parser.add_argument("--delete-fraction", type=float, default=0.3,
+                        help="fraction of writes that are deletions")
+    parser.add_argument("--rate", type=float, default=100.0,
+                        help="base arrival rate (events per workload "
+                             "time unit)")
+    parser.add_argument("--graph", default="small",
+                        help="suite graph name the workload targets")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="suite graph size multiplier")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--output", required=True, metavar="PATH",
+                        help="workload JSONL file to write")
+    return parser
+
+
+def run_loadgen(args: argparse.Namespace) -> int:
+    """Execute the ``loadgen`` subcommand; returns a process exit code."""
+    import os
+
+    from repro.graph.suite import make_suite_graph
+    from repro.service.loadgen import generate_workload
+
+    graph = make_suite_graph(args.graph, scale=args.scale,
+                             seed=args.seed).graph
+    workload = generate_workload(
+        graph, args.profile, args.ops,
+        read_fraction=args.read_fraction,
+        delete_fraction=args.delete_fraction,
+        base_rate=args.rate, seed=args.seed,
+    )
+    parent = os.path.dirname(os.path.abspath(args.output))
+    os.makedirs(parent, exist_ok=True)
+    workload.save(args.output)
+    print(f"wrote {args.output}: {workload.writes} writes + "
+          f"{workload.reads} reads ({args.profile}, "
+          f"{graph.num_vertices} vertices, seed {args.seed})")
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro-bc serve``: run the always-on BC service
+    against a workload file and report serving metrics."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc serve",
+        description="Serve a BC engine behind the asyncio service layer "
+                    "and drive a workload file through it, reporting "
+                    "p50/p99 query latency and sustained updates/sec "
+                    "(see docs/SERVICE.md).",
+    )
+    parser.add_argument("--workload", required=True, metavar="PATH",
+                        help="workload JSONL from 'repro.cli loadgen'")
+    parser.add_argument("--graph", default="small",
+                        help="suite graph name (must match the one the "
+                             "workload was generated against)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="suite graph size multiplier")
+    parser.add_argument("--sources", type=int, default=32,
+                        help="k source vertices")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="engine worker processes (default serial)")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="coalescer flush threshold (events)")
+    parser.add_argument("--max-delay", type=float, default=0.05,
+                        help="coalescer latency deadline (seconds)")
+    parser.add_argument("--max-pending", type=int, default=1024,
+                        help="bounded ingest queue depth")
+    parser.add_argument("--pace", type=float, default=0.0,
+                        help="wall-seconds per workload time unit "
+                             "(0 = back-to-back stress)")
+    parser.add_argument("--duration", type=float, default=0.0,
+                        help="wall-clock budget in seconds (0 = whole "
+                             "workload)")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        help="checkpoint every N committed events (0 = off)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="directory for checkpoint files")
+    parser.add_argument("--resume-from", default=None,
+                        help="checkpoint file to restore the engine and "
+                             "watermark from before serving")
+    parser.add_argument("--bench-json", default=None, metavar="PATH",
+                        help="write the metrics as a {'service': ...} "
+                             "JSON document to PATH")
+    return parser
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Execute the ``serve`` subcommand; returns a process exit code."""
+    import json
+    import os
+
+    from repro.bc.engine import DynamicBC
+    from repro.graph.suite import make_suite_graph
+    from repro.service.driver import drive_workload
+    from repro.service.loadgen import Workload
+
+    workload = Workload.load(args.workload)
+    graph = make_suite_graph(args.graph, scale=args.scale,
+                             seed=args.seed).graph
+    if graph.num_vertices != workload.num_vertices:
+        print(f"warning: workload was generated for "
+              f"{workload.num_vertices} vertices, serving graph has "
+              f"{graph.num_vertices}", file=sys.stderr)
+    engine = DynamicBC.from_graph(graph, num_sources=args.sources,
+                                  seed=args.seed, workers=args.workers)
+    try:
+        metrics = drive_workload(
+            engine, workload,
+            max_batch=args.max_batch, max_delay=args.max_delay,
+            max_pending=args.max_pending, pace=args.pace,
+            duration=args.duration,
+            checkpoint_every=args.checkpoint_every or None,
+            checkpoint_dir=args.checkpoint_dir,
+            resume_from=args.resume_from,
+        )
+    finally:
+        engine.close()
+    lat = metrics["query_latency"]
+    print(f"served {metrics['queries']} queries "
+          f"({metrics['queries_during_apply']} during in-flight batches) "
+          f"over {metrics['updates_applied']} applied updates "
+          f"in {metrics['wall_seconds']:.2f}s"
+          f"{' [truncated]' if metrics['truncated'] else ''}")
+    print(f"query latency: p50 {lat['p50_ms']:.3f} ms, "
+          f"p99 {lat['p99_ms']:.3f} ms, max {lat['max_ms']:.3f} ms")
+    print(f"updates/sec: {metrics['updates_per_second']:.1f} across "
+          f"{metrics['batches']} batches {metrics['flush_reasons']}")
+    print(f"watermark: {metrics['final_watermark']}, snapshot version "
+          f"{metrics['snapshot_version']}, health {metrics['health_level']}, "
+          f"{metrics['checkpoints_written']} checkpoints")
+    if args.bench_json:
+        parent = os.path.dirname(os.path.abspath(args.bench_json))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.bench_json, "w") as fh:
+            json.dump({"service": {workload.profile: metrics}}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"bench json: {args.bench_json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: print (and optionally save) the requested artifact."""
     if argv is None:
@@ -392,6 +559,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_chaos_cmd(build_chaos_parser().parse_args(argv[1:]))
     if argv and argv[0] == "sanitize":
         return run_sanitize(build_sanitize_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "loadgen":
+        return run_loadgen(build_loadgen_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "serve":
+        return run_serve(build_serve_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)
     start = time.time()
     save_dir = None

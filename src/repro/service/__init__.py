@@ -1,0 +1,52 @@
+"""Always-on BC serving layer: concurrent ingest, coalesced update
+batches, and snapshot-isolated reads.
+
+The package turns :meth:`DynamicBC.replay` from a batch driver into a
+long-lived service (ROADMAP's top open item; the serving model of
+Kourtellis et al., *Scalable Online Betweenness Centrality in Evolving
+Graphs*).  See ``docs/SERVICE.md`` for the architecture and knobs.
+
+- :mod:`repro.service.snapshots` — immutable versioned BC snapshots
+  (:class:`SnapshotStore`): reads never block on, or observe, an
+  in-flight batch.
+- :mod:`repro.service.core` — :class:`ServiceCore`: ordered,
+  watermarked, replay-bit-identical batch application with periodic
+  checkpoints.
+- :mod:`repro.service.service` — :class:`BCService`: the asyncio
+  front-end with a bounded ingest queue, burst coalescing (flush on
+  size or deadline), and backpressure.
+- :mod:`repro.service.loadgen` — seeded mixed read/write workloads
+  (steady / diurnal / flash-crowd).
+- :mod:`repro.service.driver` — the measurement harness behind
+  ``repro.cli serve`` and ``benchmarks/bench_service.py``.
+"""
+
+from repro.service.core import BatchOutcome, ServiceCore
+from repro.service.driver import drive_workload
+from repro.service.loadgen import (
+    PROFILES,
+    QueryOp,
+    Workload,
+    generate_workload,
+)
+from repro.service.service import (
+    BCService,
+    IngestQueue,
+    ServiceClosed,
+)
+from repro.service.snapshots import Snapshot, SnapshotStore
+
+__all__ = [
+    "BCService",
+    "BatchOutcome",
+    "IngestQueue",
+    "PROFILES",
+    "QueryOp",
+    "ServiceClosed",
+    "ServiceCore",
+    "Snapshot",
+    "SnapshotStore",
+    "Workload",
+    "drive_workload",
+    "generate_workload",
+]

@@ -1,0 +1,208 @@
+"""Synchronous heart of the BC service: ordered batch application.
+
+:class:`ServiceCore` owns the engine on behalf of the service and is
+the *only* code that mutates it once the service is running.  It
+applies coalesced event batches strictly in ingest order through the
+exact per-event machinery :func:`repro.graph.stream.replay` uses
+(:func:`~repro.graph.stream._apply_event`), so a service run is
+bit-identical — reports, skipped events, counters, BC scores,
+simulated-seconds left-fold, even checkpoint files — to replaying the
+same event sequence in one batch call, for *every* coalescing
+configuration (``tests/test_service.py`` is the differential proof).
+
+On top of the replay semantics it adds the service bookkeeping:
+
+* the **watermark** — how many stream events have been consumed —
+  which stamps every published snapshot and every checkpoint
+  (``event_index``), so resume restores the exact stream offset;
+* periodic **checkpoints** on the same cadence as
+  ``replay(checkpoint_every=N)`` (after every N-th event, even when
+  that lands mid-batch), reusing the PR-2 checksummed NPZ format;
+* snapshot **publication** into a :class:`~repro.service.snapshots.
+  SnapshotStore` via the engine's ``bc_snapshot`` export hook.
+
+The async front-end (:class:`~repro.service.service.BCService`) calls
+:meth:`apply_batch` from a single worker thread and everything else
+from the event loop; the core itself is deliberately synchronous and
+single-threaded so the differential tests can drive it directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.graph.stream import (
+    EdgeEvent,
+    ReplayResult,
+    _apply_event,
+    _fold_health_events,
+)
+from repro.service.snapshots import Snapshot, SnapshotStore
+from repro.utils.timing import WallTimer
+
+
+@dataclass
+class BatchOutcome:
+    """What one coalesced batch did (service stats, not the report
+    stream — the full per-event reports live in
+    :attr:`ServiceCore.result`)."""
+
+    events: int  #: stream events consumed by the batch
+    applied: int  #: updates that produced a report
+    skipped: int  #: no-op / failed events recorded as skipped
+    recovered: int  #: updates that succeeded on the post-rollback retry
+    first_index: int  #: watermark of the batch's first event
+    watermark: int  #: watermark after the batch committed
+    simulated_seconds: float  #: simulated cost added by the batch
+    checkpoints: List[str]  #: checkpoint files written inside the batch
+
+
+class ServiceCore:
+    """Ordered, watermarked batch application over one engine."""
+
+    def __init__(
+        self,
+        engine,
+        *,
+        store: Optional[SnapshotStore] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        resume_from=None,
+    ) -> None:
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+            os.makedirs(checkpoint_dir, exist_ok=True)
+        self.engine = engine
+        self.store = store if store is not None else SnapshotStore()
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        #: the same accumulator replay() fills — reports, skipped,
+        #: recovered, guard/health events, checkpoints, totals
+        self.result = ReplayResult(
+            reports=[], simulated_seconds=0.0, wall_seconds=0.0
+        )
+        #: stream events consumed so far (event offset of the next event)
+        self.watermark = 0
+        self._sim_seconds = 0.0
+        self._applied_before = 0
+        if resume_from is not None:
+            self._resume(resume_from)
+        # Version 0 (or the first post-resume version) carries the
+        # restored state so reads work before the first batch lands.
+        self.publish()
+
+    # ------------------------------------------------------------------
+    def _resume(self, path) -> None:
+        """Restore engine state and the exact stream watermark from a
+        PR-2 checkpoint (see docs/RESILIENCE.md)."""
+        from repro.resilience.checkpoint import load_checkpoint
+
+        ckpt = load_checkpoint(path)
+        ckpt.restore_into(self.engine)
+        self.watermark = ckpt.event_index
+        self._sim_seconds = ckpt.simulated_prefix
+        self._applied_before = ckpt.applied_count
+        self.result.start_index = self.watermark
+        self.result.resumed_from = os.fspath(path)
+
+    # ------------------------------------------------------------------
+    @property
+    def applied_total(self) -> int:
+        """Updates applied across the whole stream (including any
+        pre-resume prefix recorded in the checkpoint)."""
+        return self._applied_before + len(self.result.reports)
+
+    def publish(self) -> Snapshot:
+        """Publish the engine's current BC scores at the current
+        watermark (double-buffered copy through the engine's
+        ``bc_snapshot`` hook)."""
+        return self.store.publish_with(
+            lambda out: self.engine.bc_snapshot(out=out),
+            self.engine.state.num_vertices,
+            self.watermark,
+        )
+
+    def apply_batch(self, events: Sequence[EdgeEvent]) -> BatchOutcome:
+        """Apply one coalesced batch in ingest order.
+
+        Each event goes through the replay machinery with
+        retry-after-rollback enabled: a mid-update fault rolls the
+        failing update back (the transaction journal), the event is
+        retried once, and a deterministic failure is recorded as
+        skipped — the batch, and the service, keep going.  Nothing is
+        published here; the caller publishes *after* the batch commits
+        so readers never observe a half-applied batch.
+        """
+        first_index = self.watermark
+        applied = skipped = recovered = 0
+        sim_before = self._sim_seconds
+        checkpoints: List[str] = []
+        timer = WallTimer()
+        with timer:
+            for event in events:
+                index = self.watermark
+                before_skip = len(self.result.skipped)
+                before_rec = len(self.result.recovered)
+                report = _apply_event(
+                    self.engine, event, index, self.result, retry=True
+                )
+                if report is not None:
+                    self.result.reports.append(report)
+                    # Left-fold, matching replay(): a resumed or
+                    # service-batched run reproduces the same float
+                    # total as one uninterrupted pass.
+                    self._sim_seconds += report.simulated_seconds
+                    applied += 1
+                skipped += len(self.result.skipped) - before_skip
+                recovered += len(self.result.recovered) - before_rec
+                self.watermark += 1
+                _fold_health_events(self.engine, index, self.result, None)
+                path = self._maybe_checkpoint()
+                if path is not None:
+                    checkpoints.append(path)
+        self.result.simulated_seconds = self._sim_seconds
+        self.result.wall_seconds += timer.elapsed
+        return BatchOutcome(
+            events=len(events),
+            applied=applied,
+            skipped=skipped,
+            recovered=recovered,
+            first_index=first_index,
+            watermark=self.watermark,
+            simulated_seconds=self._sim_seconds - sim_before,
+            checkpoints=checkpoints,
+        )
+
+    def _maybe_checkpoint(self) -> Optional[str]:
+        """Write a checkpoint when the watermark crosses the cadence —
+        the same files, names and payloads ``replay(checkpoint_every=
+        N)`` produces for the same stream."""
+        if self.checkpoint_every is None:
+            return None
+        if self.watermark % self.checkpoint_every != 0:
+            return None
+        from repro.resilience.checkpoint import save_checkpoint
+
+        path = os.path.join(
+            os.fspath(self.checkpoint_dir), f"ckpt-{self.watermark:08d}.npz"
+        )
+        save_checkpoint(
+            self.engine, path,
+            event_index=self.watermark,
+            simulated_prefix=self._sim_seconds,
+            applied_count=self.applied_total,
+        )
+        self.result.checkpoints.append(path)
+        return path
+
+    def __repr__(self) -> str:
+        return (f"ServiceCore(watermark={self.watermark}, "
+                f"applied={len(self.result.reports)}, "
+                f"skipped={len(self.result.skipped)})")

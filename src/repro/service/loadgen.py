@@ -1,0 +1,263 @@
+"""Seeded mixed read/write workload generation for the service layer.
+
+A :class:`Workload` is a time-ordered list of operations — edge
+:class:`~repro.graph.stream.EdgeEvent` writes interleaved with
+:class:`QueryOp` reads — produced by :func:`generate_workload` under
+one of three traffic profiles:
+
+``steady``
+    Constant arrival rate; the baseline sustained-load shape.
+``diurnal``
+    Sinusoidal rate between ~25% and ~175% of the base rate over a
+    configurable period — the day/night cycle of a social workload.
+``flash-crowd``
+    Steady background with short windows at ~15x the base rate — the
+    burst shape the coalescer's size-triggered flush exists for.
+
+Arrival times are drawn by thinning a homogeneous Poisson process at
+the profile's peak rate (Lewis & Shedler), so any rate curve yields a
+correctly distributed, fully seeded arrival sequence.  Writes use the
+same live-edge-set tracking as :meth:`EdgeStream.churn` (deletes hit a
+live edge, inserts a live non-edge) so every generated workload is
+applicable in full.
+
+Workloads round-trip through JSONL (:meth:`Workload.save` /
+:meth:`Workload.load`) so the CLI can generate once and serve many
+times — and so CI's smoke run replays a file rather than a process-
+local object.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.graph.csr import CSRGraph
+from repro.graph.stream import DELETE, INSERT, EdgeEvent, EdgeStream
+from repro.utils.prng import SeedLike, default_rng
+
+PROFILES = ("steady", "diurnal", "flash-crowd")
+
+#: flash-crowd burst multiplier over the base rate
+FLASH_MULTIPLIER = 15.0
+#: fraction of the flash-crowd timeline spent inside bursts
+FLASH_DUTY = 0.08
+#: diurnal rate swing: rate(t) = base * (1 + AMP * sin)
+DIURNAL_AMPLITUDE = 0.75
+
+
+@dataclass(frozen=True)
+class QueryOp:
+    """One read operation in a workload.
+
+    ``kind`` is ``"top_k"`` (``arg`` = k) or ``"bc"`` (``arg`` = vertex
+    id to read, or ``None`` for the full vector).
+    """
+
+    time: float
+    kind: str = "top_k"
+    arg: Optional[int] = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("top_k", "bc"):
+            raise ValueError(f"kind must be 'top_k' or 'bc', got {self.kind!r}")
+
+
+Op = Union[EdgeEvent, QueryOp]
+
+
+@dataclass
+class Workload:
+    """A time-ordered mixed sequence of edge events and queries."""
+
+    profile: str
+    num_vertices: int
+    seed: Optional[int]
+    ops: List[Op]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def writes(self) -> int:
+        """Number of edge events in the workload."""
+        return sum(1 for op in self.ops if isinstance(op, EdgeEvent))
+
+    @property
+    def reads(self) -> int:
+        """Number of query operations in the workload."""
+        return len(self.ops) - self.writes
+
+    def edge_stream(self) -> EdgeStream:
+        """Just the writes, as a replayable :class:`EdgeStream` — the
+        differential twin for service-vs-replay comparisons."""
+        return EdgeStream([op for op in self.ops if isinstance(op, EdgeEvent)])
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the workload as JSONL: one header record, then one
+        record per op, atomically (tmp file + :func:`os.replace`)."""
+        path = os.fspath(path)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps({
+                    "kind": "workload", "profile": self.profile,
+                    "num_vertices": self.num_vertices, "seed": self.seed,
+                    "ops": len(self.ops),
+                }) + "\n")
+                for op in self.ops:
+                    if isinstance(op, EdgeEvent):
+                        rec = {"t": op.time, "op": op.op, "u": op.u, "v": op.v}
+                    else:
+                        rec = {"t": op.time, "op": "query", "kind": op.kind,
+                               "arg": op.arg}
+                    fh.write(json.dumps(rec) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    @classmethod
+    def load(cls, path) -> "Workload":
+        """Read a workload written by :meth:`save`, validating the
+        header and every record with ``path:lineno`` diagnostics."""
+        path = os.fspath(path)
+        with open(path) as fh:
+            header_line = fh.readline()
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError:
+                raise ValueError(f"{path}:1: invalid JSON header") from None
+            if not isinstance(header, dict) or header.get("kind") != "workload":
+                raise ValueError(f"{path}:1: not a workload file")
+            ops: List[Op] = []
+            for lineno, line in enumerate(fh, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                where = f"{path}:{lineno}"
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    raise ValueError(f"{where}: invalid JSON") from None
+                try:
+                    if rec["op"] == "query":
+                        ops.append(QueryOp(float(rec["t"]), rec["kind"],
+                                           rec["arg"]))
+                    elif rec["op"] in (INSERT, DELETE):
+                        ops.append(EdgeEvent(float(rec["t"]), int(rec["u"]),
+                                             int(rec["v"]), rec["op"]))
+                    else:
+                        raise ValueError(f"invalid op {rec['op']!r}")
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ValueError(f"{where}: {exc}") from None
+        return cls(profile=header.get("profile", "unknown"),
+                   num_vertices=int(header.get("num_vertices", 0)),
+                   seed=header.get("seed"), ops=ops)
+
+
+# ----------------------------------------------------------------------
+# Rate curves
+# ----------------------------------------------------------------------
+def _rate_at(profile: str, base_rate: float, t: float, period: float) -> float:
+    """Instantaneous arrival rate of *profile* at time *t*."""
+    if profile == "steady":
+        return base_rate
+    if profile == "diurnal":
+        return base_rate * (
+            1.0 + DIURNAL_AMPLITUDE * math.sin(2.0 * math.pi * t / period)
+        )
+    if profile == "flash-crowd":
+        # Bursts occupy the first FLASH_DUTY of every period.
+        phase = (t % period) / period
+        if phase < FLASH_DUTY:
+            return base_rate * FLASH_MULTIPLIER
+        return base_rate
+    raise ValueError(f"unknown profile {profile!r} (expected one of {PROFILES})")
+
+
+def _peak_rate(profile: str, base_rate: float) -> float:
+    """Upper bound of the profile's rate curve (thinning envelope)."""
+    if profile == "diurnal":
+        return base_rate * (1.0 + DIURNAL_AMPLITUDE)
+    if profile == "flash-crowd":
+        return base_rate * FLASH_MULTIPLIER
+    return base_rate
+
+
+def generate_workload(
+    graph: CSRGraph,
+    profile: str = "steady",
+    num_ops: int = 500,
+    *,
+    read_fraction: float = 0.5,
+    base_rate: float = 100.0,
+    delete_fraction: float = 0.3,
+    period: float = 4.0,
+    top_k: int = 10,
+    seed: SeedLike = 0,
+) -> Workload:
+    """Generate a seeded mixed workload against *graph*.
+
+    Arrivals follow the profile's rate curve via Poisson thinning; each
+    arrival is a read with probability *read_fraction* (split between
+    ``top_k`` and single-vertex ``bc`` lookups), otherwise a write
+    drawn churn-style against the evolving edge set (*delete_fraction*
+    of writes are deletions when a live edge exists).
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r} (expected one of {PROFILES})")
+    if num_ops < 1:
+        raise ValueError(f"num_ops must be >= 1, got {num_ops}")
+    if not 0 <= read_fraction <= 1:
+        raise ValueError("read_fraction must be in [0, 1]")
+    if not 0 <= delete_fraction <= 1:
+        raise ValueError("delete_fraction must be in [0, 1]")
+    if base_rate <= 0:
+        raise ValueError(f"base_rate must be positive, got {base_rate}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    rng = default_rng(seed)
+    n = graph.num_vertices
+    live = {tuple(e) for e in graph.edge_list().tolist()}
+    peak = _peak_rate(profile, base_rate)
+    ops: List[Op] = []
+    t = 0.0
+    guard = 0
+    while len(ops) < num_ops:
+        guard += 1
+        if guard > 100 * num_ops + 1000:
+            raise RuntimeError("could not generate workload")
+        # Thinning: candidate arrivals at the peak rate, accepted with
+        # probability rate(t)/peak — a non-homogeneous Poisson process.
+        t += float(rng.exponential(1.0 / peak))
+        if rng.random() >= _rate_at(profile, base_rate, t, period) / peak:
+            continue
+        if rng.random() < read_fraction:
+            if rng.random() < 0.5:
+                ops.append(QueryOp(t, "top_k", top_k))
+            else:
+                ops.append(QueryOp(t, "bc", int(rng.integers(0, n))))
+            continue
+        if live and rng.random() < delete_fraction:
+            idx = int(rng.integers(0, len(live)))
+            u, v = sorted(live)[idx]
+            live.remove((u, v))
+            ops.append(EdgeEvent(t, u, v, DELETE))
+            continue
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in live:
+            continue
+        live.add(key)
+        ops.append(EdgeEvent(t, key[0], key[1], INSERT))
+    seed_out = seed if isinstance(seed, int) or seed is None else None
+    return Workload(profile=profile, num_vertices=n, seed=seed_out, ops=ops)

@@ -1,0 +1,445 @@
+"""Asyncio front-end: concurrent edge ingest and centrality reads.
+
+:class:`BCService` is the always-on serving layer over one
+:class:`~repro.bc.engine.DynamicBC` engine::
+
+    submit()  ->  IngestQueue  ->  coalescer/flusher  ->  ServiceCore
+                 (bounded,          (flush on size        (ordered apply,
+                  backpressure)      or deadline)          checkpoints)
+                                                              |
+    query_*() <------------------  SnapshotStore  <---- publish()
+
+Writes enter a bounded :class:`IngestQueue` (await-based backpressure
+when full); a single flusher task coalesces them into batches —
+flushing when ``max_batch`` events are waiting or the oldest has aged
+``max_delay`` seconds — and applies each batch through
+:class:`~repro.service.core.ServiceCore` on a one-thread executor so
+the event loop keeps serving queries while a batch runs.  After each
+commit the flusher publishes a frozen BC snapshot; queries read the
+latest snapshot synchronously on the loop, so they are wait-free with
+respect to in-flight batches and can never observe a half-applied one.
+
+Determinism: events are applied strictly in submission order through
+the same per-event machinery as :func:`repro.graph.stream.replay`, so
+final scores, reports, counters and checkpoints are bit-identical to a
+plain replay of the same sequence for *any* ``max_batch``/``max_delay``
+setting (``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.stream import EdgeEvent
+from repro.service.core import BatchOutcome, ServiceCore
+from repro.service.snapshots import Snapshot, SnapshotStore
+
+#: flush when this many events are waiting (vectorized batch ceiling)
+DEFAULT_MAX_BATCH = 64
+#: flush when the oldest queued event has waited this long (seconds)
+DEFAULT_MAX_DELAY = 0.05
+#: bounded ingest depth — beyond it, submit() awaits (backpressure)
+DEFAULT_MAX_PENDING = 1024
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when submitting to a service that has been stopped."""
+
+
+class IngestQueue:
+    """Bounded FIFO of pending edge events with await-based
+    backpressure.
+
+    ``asyncio.Queue.get`` under ``wait_for`` can drop an item on a
+    cancellation race, which would silently corrupt the event order the
+    differential tests certify — so this queue is built on a plain
+    deque plus two events, where the timed wait is on an
+    :class:`asyncio.Event` (cancellation-safe) and items only move
+    under synchronous code.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._items: deque = deque()
+        self._not_empty = asyncio.Event()
+        self._space = asyncio.Event()
+        self._space.set()
+        self._flush_requested = False
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has been called."""
+        return self._closed
+
+    def _after_append(self) -> None:
+        self._not_empty.set()
+        if len(self._items) >= self.maxsize:
+            self._space.clear()
+
+    async def put(self, item: EdgeEvent) -> bool:
+        """Enqueue, awaiting while the queue is full; returns ``True``
+        when the caller had to wait (a backpressure stall)."""
+        waited = False
+        while len(self._items) >= self.maxsize:
+            if self._closed:
+                raise ServiceClosed("service is stopped")
+            waited = True
+            self._space.clear()
+            await self._space.wait()
+        if self._closed:
+            raise ServiceClosed("service is stopped")
+        self._items.append(item)
+        self._after_append()
+        return waited
+
+    def put_nowait(self, item: EdgeEvent) -> bool:
+        """Enqueue without waiting; ``False`` when the queue is full
+        (admission-control rejection)."""
+        if self._closed:
+            raise ServiceClosed("service is stopped")
+        if len(self._items) >= self.maxsize:
+            return False
+        self._items.append(item)
+        self._after_append()
+        return True
+
+    def request_flush(self) -> None:
+        """Ask the consumer to flush whatever is queued right now
+        instead of waiting out the deadline."""
+        self._flush_requested = True
+        self._not_empty.set()
+
+    def close(self) -> None:
+        """Refuse new items; the consumer drains what is left."""
+        self._closed = True
+        self._not_empty.set()
+        self._space.set()
+
+    async def collect(
+        self, max_batch: int, max_delay: float,
+    ) -> Tuple[Optional[List[EdgeEvent]], str]:
+        """Coalesce the next batch.
+
+        Waits for the first event, then keeps accepting until either
+        *max_batch* events are in hand (``"size"``), the deadline since
+        the first event expires (``"deadline"``), or a flush/close is
+        requested (``"flush"`` / ``"drain"``).  Returns ``(None,
+        "closed")`` once the queue is closed and empty.
+        """
+        loop = asyncio.get_running_loop()
+        while not self._items:
+            if self._closed:
+                return None, "closed"
+            if self._flush_requested:
+                # A flush raced with an empty queue: nothing to do.
+                self._flush_requested = False
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        deadline = loop.time() + max_delay
+        while (len(self._items) < max_batch
+               and not self._flush_requested and not self._closed):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            self._not_empty.clear()
+            if self._items:
+                # Items arrived between the length check and clear().
+                self._not_empty.set()
+            try:
+                await asyncio.wait_for(self._not_empty.wait(), remaining)
+            except asyncio.TimeoutError:
+                break
+        if len(self._items) >= max_batch:
+            reason = "size"
+        elif self._closed:
+            reason = "drain"
+        elif self._flush_requested:
+            reason = "flush"
+        else:
+            reason = "deadline"
+        self._flush_requested = False
+        batch = [self._items.popleft()
+                 for _ in range(min(max_batch, len(self._items)))]
+        self._space.set()
+        return batch, reason
+
+
+class BCService:
+    """Always-on BC serving: concurrent ingest, coalesced batches,
+    snapshot reads.
+
+    Use as an async context manager (or :meth:`start` / :meth:`stop`)::
+
+        async with BCService(engine, max_batch=64, max_delay=0.05) as svc:
+            await svc.submit(EdgeEvent("insert", u, v))
+            top = await svc.query_top_k(10)
+
+    Determinism contract: results are bit-identical to
+    ``replay(engine_twin, same_events)`` regardless of coalescing
+    configuration; see the module docstring.
+
+    Construct the service *inside* a running event loop (i.e. within
+    the coroutine passed to ``asyncio.run``): on Python 3.9 the asyncio
+    primitives bind their loop at construction time, so building the
+    service before the loop exists ties it to the wrong loop.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay: float = DEFAULT_MAX_DELAY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        store: Optional[SnapshotStore] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        resume_from=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay <= 0:
+            raise ValueError(f"max_delay must be > 0, got {max_delay}")
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.core = ServiceCore(
+            engine, store=store, checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir, resume_from=resume_from,
+        )
+        self.queue = IngestQueue(max_pending)
+        self.stats: Dict = {
+            "submitted": 0,
+            "rejected": 0,
+            "backpressure_waits": 0,
+            "batches": 0,
+            "flush_reasons": {},
+            "events_applied": 0,
+            "events_skipped": 0,
+            "events_recovered": 0,
+            "queries": 0,
+            "queries_during_apply": 0,
+            "max_queue_depth": 0,
+        }
+        self._flusher: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._applying = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._failure: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "BCService":
+        """Start the flusher task (idempotent); requires a running
+        event loop."""
+        if self._flusher is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="bc-service-apply"
+            )
+            self._flusher = asyncio.get_running_loop().create_task(
+                self._run_flusher()
+            )
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (default) every accepted event is applied
+        before the flusher exits — no accepted write is ever lost on a
+        clean shutdown.  With ``drain=False`` pending events are
+        discarded.
+        """
+        if not drain:
+            self.queue._items.clear()
+        self.queue.close()
+        if self._flusher is not None:
+            # A flusher failure is recorded in _failure and re-raised
+            # (wrapped) below — awaiting with return_exceptions keeps
+            # the executor shutdown on the path either way.
+            await asyncio.gather(self._flusher, return_exceptions=True)
+            self._flusher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._raise_if_failed()
+
+    async def __aenter__(self) -> "BCService":
+        return self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop(drain=exc == (None, None, None))
+
+    def _raise_if_failed(self) -> None:
+        if self._failure is not None:
+            raise RuntimeError("service flusher failed") from self._failure
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    async def submit(self, event: EdgeEvent) -> None:
+        """Accept one edge event, awaiting under backpressure when the
+        ingest queue is full."""
+        self._raise_if_failed()
+        waited = await self.queue.put(event)
+        self.stats["submitted"] += 1
+        if waited:
+            self.stats["backpressure_waits"] += 1
+        self._note_depth()
+
+    def try_submit(self, event: EdgeEvent) -> bool:
+        """Accept one edge event without waiting; ``False`` means the
+        queue was full and the event was rejected (admission control)."""
+        self._raise_if_failed()
+        if self.queue.put_nowait(event):
+            self.stats["submitted"] += 1
+            self._note_depth()
+            return True
+        self.stats["rejected"] += 1
+        return False
+
+    async def submit_many(self, events: Sequence[EdgeEvent]) -> None:
+        """Submit a sequence of events in order (awaits backpressure)."""
+        for event in events:
+            await self.submit(event)
+
+    def flush(self) -> None:
+        """Ask the coalescer to flush the queued events now rather than
+        waiting out the latency deadline."""
+        self.queue.request_flush()
+
+    async def drain(self) -> None:
+        """Wait until every accepted event has been applied and
+        published (the service is idle)."""
+        self._raise_if_failed()
+        while self.queue or self._applying or not self._idle.is_set():
+            self.queue.request_flush()
+            self._idle.clear()
+            if not self.queue and not self._applying:
+                self._idle.set()
+                break
+            await self._idle.wait()
+            self._raise_if_failed()
+
+    def _note_depth(self) -> None:
+        depth = len(self.queue)
+        if depth > self.stats["max_queue_depth"]:
+            self.stats["max_queue_depth"] = depth
+
+    async def _run_flusher(self) -> None:
+        """Coalescer loop: collect -> apply (executor thread) ->
+        publish, until the queue is closed and drained."""
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                batch, reason = await self.queue.collect(
+                    self.max_batch, self.max_delay
+                )
+                if batch is None:
+                    return
+                self._applying = True
+                self._idle.clear()
+                try:
+                    outcome: BatchOutcome = await loop.run_in_executor(
+                        self._executor, self.core.apply_batch, batch
+                    )
+                finally:
+                    self._applying = False
+                self.core.publish()
+                self.stats["batches"] += 1
+                reasons = self.stats["flush_reasons"]
+                reasons[reason] = reasons.get(reason, 0) + 1
+                self.stats["events_applied"] += outcome.applied
+                self.stats["events_skipped"] += outcome.skipped
+                self.stats["events_recovered"] += outcome.recovered
+                if not self.queue:
+                    self._idle.set()
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._failure = exc
+            self.queue.close()
+            self._idle.set()
+            raise
+        finally:
+            self._idle.set()
+
+    # ------------------------------------------------------------------
+    # read path — wait-free with respect to in-flight batches
+    # ------------------------------------------------------------------
+    def _count_query(self) -> None:
+        self.stats["queries"] += 1
+        if self._applying:
+            self.stats["queries_during_apply"] += 1
+
+    async def query_top_k(self, k: int = 10) -> Dict:
+        """The k most central vertices in the latest snapshot, with the
+        snapshot's version/watermark provenance."""
+        snap = self.core.store.current()
+        self._count_query()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(k, snap.bc.size)
+        order = np.argsort(snap.bc)[::-1][:k]
+        return {
+            "version": snap.version,
+            "watermark": snap.watermark,
+            "top": [(int(v), float(snap.bc[v])) for v in order],
+        }
+
+    async def query_bc(self, vertices: Optional[Sequence[int]] = None) -> Dict:
+        """BC scores (all vertices, or a selection) from the latest
+        snapshot, with version/watermark provenance."""
+        snap = self.core.store.current()
+        self._count_query()
+        if vertices is None:
+            scores = snap.bc.copy()
+        else:
+            scores = snap.bc[np.asarray(vertices, dtype=np.int64)]
+        return {
+            "version": snap.version,
+            "watermark": snap.watermark,
+            "scores": scores,
+        }
+
+    def snapshot(self) -> Snapshot:
+        """Borrow the latest snapshot (valid until the caller yields)."""
+        return self.core.store.current()
+
+    def acquire_snapshot(self) -> Snapshot:
+        """Pin and return the latest snapshot; it stays frozen across
+        later commits until released (``with svc.acquire_snapshot():``)."""
+        return self.core.store.acquire()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        """Events committed into the published state so far."""
+        return self.core.store.watermark
+
+    def health_report(self) -> Dict:
+        """Engine health (PR-4 supervision ladder) plus service-level
+        queue and flow counters — the degradation surface an operator
+        watches."""
+        report = dict(self.core.engine.health_report())
+        report.update(
+            queue_depth=len(self.queue),
+            queue_capacity=self.queue.maxsize,
+            applying=self._applying,
+            watermark=self.watermark,
+            snapshot_version=self.core.store.version,
+            service=dict(self.stats,
+                         flush_reasons=dict(self.stats["flush_reasons"])),
+        )
+        return report

@@ -1,0 +1,219 @@
+"""Immutable, versioned BC snapshots for the always-on service layer.
+
+The service's reads must never block on (or observe) an in-flight
+update batch.  :class:`SnapshotStore` makes that a structural property
+instead of a locking discipline: the ingest side *publishes* a frozen
+copy of the BC vector after each committed batch, and every query is
+served from the most recently published :class:`Snapshot` — a
+read-only array stamped with a monotonically increasing ``version``
+and the *watermark*, the number of stream events folded into it.  A
+reader therefore sees either the state before a batch or the state
+after it, never a half-applied one.
+
+Buffer management is double-buffered in steady state: when no reader
+holds the previous snapshot, its backing buffer is recycled for the
+next publish (the engine's :meth:`~repro.bc.engine.DynamicBC.
+bc_snapshot` export hook copies straight into it — one copy, no
+transient).  A reader that needs the snapshot to stay frozen across
+later commits *pins* it (:meth:`SnapshotStore.acquire` /
+:meth:`Snapshot.release`, or a ``with`` block); pinned buffers are
+never recycled, the store simply allocates a fresh one, so a pin costs
+one O(n) buffer, not a stalled writer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+#: buffers kept for reuse once their snapshot is retired and unpinned —
+#: two is the steady-state double buffer; anything beyond covers a
+#: burst of short-lived pins without unbounded growth
+DEFAULT_MAX_SPARES = 2
+
+
+class Snapshot:
+    """One published, frozen view of the BC scores.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing publish counter (0 for the first
+        snapshot a store publishes).
+    watermark:
+        Number of stream events committed into this snapshot — the
+        event offset a reader can correlate with the ingest log and
+        with checkpoint ``event_index`` values.
+    bc:
+        Read-only ``float64[n]`` view of the scores.  Writing through
+        it raises; the backing buffer is only recycled once the
+        snapshot is both superseded *and* unpinned.
+    """
+
+    __slots__ = ("version", "watermark", "bc", "_buffer", "_store", "_pins",
+                 "_retired")
+
+    def __init__(self, version: int, watermark: int, bc: np.ndarray,
+                 buffer: np.ndarray, store: "SnapshotStore") -> None:
+        self.version = int(version)
+        self.watermark = int(watermark)
+        self.bc = bc
+        self._buffer = buffer
+        self._store: Optional[SnapshotStore] = store
+        self._pins = 0
+        self._retired = False
+
+    # ------------------------------------------------------------------
+    @property
+    def stale(self) -> bool:
+        """``True`` once a newer snapshot has been published."""
+        return self._retired
+
+    @property
+    def pinned(self) -> bool:
+        """``True`` while at least one reader holds a pin."""
+        return self._pins > 0
+
+    def pin(self) -> "Snapshot":
+        """Protect this snapshot's buffer from recycling until a
+        matching :meth:`release`; returns ``self`` so
+        ``store.current().pin()`` chains."""
+        self._pins += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one pin; the last release of a superseded snapshot
+        returns its buffer to the store's spare pool."""
+        if self._pins <= 0:
+            raise RuntimeError("release() without a matching pin()")
+        self._pins -= 1
+        if self._pins == 0 and self._retired and self._store is not None:
+            store, self._store = self._store, None
+            store._reclaim(self)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (f"Snapshot(version={self.version}, "
+                f"watermark={self.watermark}, n={self.bc.size}, "
+                f"pins={self._pins}, stale={self._retired})")
+
+
+class SnapshotStore:
+    """Single-writer, many-reader store of the latest :class:`Snapshot`.
+
+    The writer (the service's flusher) calls :meth:`publish` /
+    :meth:`publish_with` after each committed batch; readers call
+    :meth:`current` for a borrow valid until they next yield control,
+    or :meth:`acquire` for a pinned snapshot that stays frozen across
+    any number of later publishes.  All methods are plain synchronous
+    calls — on an asyncio event loop they are atomic with respect to
+    each other, which is the whole concurrency story.
+    """
+
+    def __init__(self, max_spares: int = DEFAULT_MAX_SPARES) -> None:
+        if max_spares < 0:
+            raise ValueError(f"max_spares must be >= 0, got {max_spares}")
+        self._current: Optional[Snapshot] = None
+        self._spares: List[np.ndarray] = []
+        self._max_spares = int(max_spares)
+        self._version = -1
+        #: publish / buffer-economy counters (observability only)
+        self.published = 0
+        self.buffers_allocated = 0
+        self.buffers_reused = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Version of the current snapshot (-1 before the first
+        publish)."""
+        return self._version
+
+    @property
+    def watermark(self) -> int:
+        """Watermark of the current snapshot (-1 before the first
+        publish)."""
+        return -1 if self._current is None else self._current.watermark
+
+    def current(self) -> Snapshot:
+        """Borrow the latest snapshot (unpinned).
+
+        Safe for reads that complete before the caller yields back to
+        the event loop (every built-in query does); use
+        :meth:`acquire` when the snapshot must outlive later commits.
+        """
+        if self._current is None:
+            raise RuntimeError("no snapshot published yet")
+        return self._current
+
+    def acquire(self) -> Snapshot:
+        """The latest snapshot, pinned — release it (or use ``with``)
+        when done so its buffer can be recycled."""
+        return self.current().pin()
+
+    # ------------------------------------------------------------------
+    def publish(self, bc: np.ndarray, watermark: int) -> Snapshot:
+        """Publish a new snapshot holding a frozen copy of *bc*."""
+        def _fill(out: np.ndarray) -> None:
+            np.copyto(out, bc)
+
+        return self.publish_with(_fill, int(bc.shape[0]), watermark)
+
+    def publish_with(self, fill: Callable[[np.ndarray], object], n: int,
+                     watermark: int) -> Snapshot:
+        """Publish a snapshot whose buffer is written by *fill(out)* —
+        the zero-temporary path used with the engine's
+        ``bc_snapshot(out=...)`` export hook.
+
+        The watermark must be monotonically non-decreasing across
+        publishes (versions always strictly increase).
+        """
+        watermark = int(watermark)
+        if self._current is not None and watermark < self._current.watermark:
+            raise ValueError(
+                f"watermark must not decrease: {watermark} < "
+                f"{self._current.watermark}"
+            )
+        buffer = self._obtain_buffer(int(n))
+        fill(buffer)
+        view = buffer[:]
+        view.setflags(write=False)
+        self._version += 1
+        snap = Snapshot(self._version, watermark, view, buffer, self)
+        old, self._current = self._current, snap
+        if old is not None:
+            old._retired = True
+            if old._pins == 0:
+                old._store = None
+                self._reclaim(old)
+        self.published += 1
+        return snap
+
+    # ------------------------------------------------------------------
+    def _obtain_buffer(self, n: int) -> np.ndarray:
+        """A writable float64[n] buffer: a recycled spare when one of
+        the right size exists, else a fresh allocation."""
+        while self._spares:
+            candidate = self._spares.pop()
+            if candidate.shape[0] == n:
+                self.buffers_reused += 1
+                return candidate
+            # wrong size (add_vertex grew the graph): drop it
+        self.buffers_allocated += 1
+        return np.empty(n, dtype=np.float64)
+
+    def _reclaim(self, snap: Snapshot) -> None:
+        """Return a retired, unpinned snapshot's buffer to the spare
+        pool (bounded; excess buffers are simply dropped)."""
+        if len(self._spares) < self._max_spares:
+            self._spares.append(snap._buffer)
+
+    def __repr__(self) -> str:
+        return (f"SnapshotStore(version={self._version}, "
+                f"watermark={self.watermark}, spares={len(self._spares)})")

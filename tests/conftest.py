@@ -1,8 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and timing helpers for the test suite."""
 
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -20,6 +21,48 @@ from repro.graph.dynamic import DynamicGraph
 settings.register_profile("default", max_examples=40, deadline=None)
 settings.register_profile("ci", max_examples=10, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.01,
+               message: str = "condition"):
+    """Poll *predicate* until truthy, with a hard deadline.
+
+    The suite's replacement for fixed wall-clock sleeps: a test that
+    needs "the worker has started a chunk" or "the event was observed"
+    states the condition and a generous deadline instead of guessing a
+    duration that is both slow on fast machines and flaky on loaded
+    ones.  Returns the predicate's final (truthy) value.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"timed out after {timeout}s waiting for {message}"
+            )
+        time.sleep(interval)
+
+
+async def async_wait_until(predicate, timeout: float = 10.0,
+                           interval: float = 0.01,
+                           message: str = "condition"):
+    """:func:`wait_until` for asyncio tests — polls without blocking
+    the event loop, so the code under test keeps running between
+    checks."""
+    import asyncio
+
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"timed out after {timeout}s waiting for {message}"
+            )
+        await asyncio.sleep(interval)
 
 
 @pytest.fixture

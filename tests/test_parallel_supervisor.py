@@ -101,18 +101,38 @@ class TestDetection:
     def test_externally_sigstopped_worker_mid_chunk(self):
         # Freeze a live worker from the outside while it busy-sleeps
         # on a chunk — the closest harness analogue of a production
-        # hang that no cooperative check can see.
+        # hang that no cooperative check can see.  The trigger watches
+        # the heartbeat block for a worker that has demonstrably picked
+        # up a chunk (HB_TASK_START goes nonzero) instead of sleeping a
+        # fixed 0.2s and hoping the pipeline lined up — freezing an
+        # *idle* worker would never trip hung detection and the
+        # counts below would flake.
+        from repro.parallel import worker as _worker
+
+        from tests.conftest import wait_until
+
         with SupervisedPool(2, policy=FAST) as pool:
-            victim = pool._pool._procs[0]
-            timer = threading.Timer(
-                0.2, lambda: os.kill(victim.pid, signal.SIGSTOP)
-            )
-            timer.start()
+            hb = pool._pool._heartbeat
+
+            def busy_worker():
+                for j in range(2):
+                    base = _worker.HB_SLOTS * j
+                    if hb[base + _worker.HB_TASK_START] > 0.0:
+                        return j + 1  # 1-based so 0 stays falsy
+                return 0
+
+            def freeze_first_busy():
+                j = wait_until(busy_worker, timeout=10.0,
+                               message="a worker to pick up a chunk") - 1
+                os.kill(pool._pool._procs[j].pid, signal.SIGSTOP)
+
+            trigger = threading.Thread(target=freeze_first_busy, daemon=True)
+            trigger.start()
             try:
                 payloads = [{"items": [i], "seconds": 1.5} for i in range(2)]
                 outs = pool.run("sleep", {}, payloads, serial=serial_ping)
             finally:
-                timer.cancel()
+                trigger.join(timeout=30.0)
             assert outs == [[0], [1]]
             assert pool.counts["hung"] >= 1
             assert pool.counts["kills"] >= 1

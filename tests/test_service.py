@@ -1,0 +1,323 @@
+"""Differential service suite: `BCService` vs plain `replay()`.
+
+The service layer's whole determinism contract is that coalescing is
+*invisible* — the same event sequence produces bit-identical final BC
+scores, counters, per-event reports, skipped records, simulated-time
+totals and checkpoint files as a plain :func:`replay`, no matter how
+the coalescer slices it into batches (size-triggered, deadline-
+triggered, or interleaved with reads at arbitrary offsets).  Every
+test here runs the two paths on twin engines and compares exactly.
+
+pytest-asyncio is not a dependency: each test drives its own event
+loop with :func:`asyncio.run`, constructing the service inside the
+coroutine (required on Python 3.9, see the BCService docstring).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bc.engine import DynamicBC
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import EdgeEvent, EdgeStream, replay
+from repro.resilience.chaos import reports_identical
+from repro.resilience.checkpoint import load_checkpoint
+from repro.service import BCService, ServiceClosed
+
+pytestmark = pytest.mark.service
+
+K = 12
+SEED = 3
+
+
+def make_engine(graph):
+    """A fresh serial engine over *graph* with the suite's fixed
+    source sample."""
+    return DynamicBC.from_graph(DynamicGraph.from_csr(graph),
+                                num_sources=K, seed=SEED)
+
+
+def assert_equivalent(service_engine, service_result, twin_engine,
+                      twin_result):
+    """Full bit-identity check between a service run and a replay."""
+    assert np.array_equal(service_engine.bc_scores, twin_engine.bc_scores)
+    for name in ("sources", "d", "sigma", "delta"):
+        assert np.array_equal(getattr(service_engine.state, name),
+                              getattr(twin_engine.state, name)), name
+    assert service_engine.counters == twin_engine.counters
+    assert len(service_result.reports) == len(twin_result.reports)
+    for a, b in zip(service_result.reports, twin_result.reports):
+        assert reports_identical(a, b)
+    assert service_result.skipped == twin_result.skipped
+    assert service_result.recovered == twin_result.recovered
+    assert service_result.simulated_seconds == twin_result.simulated_seconds
+
+
+async def run_service(graph, stream, **kwargs):
+    """Push *stream* through a fresh service; returns the service (its
+    engine and accumulated result attached) after a drained stop."""
+    engine = make_engine(graph)
+    try:
+        async with BCService(engine, **kwargs) as svc:
+            for event in stream:
+                await svc.submit(event)
+            await svc.drain()
+        return svc
+    finally:
+        engine.close()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.erdos_renyi(40, 90, seed=7)
+
+
+@pytest.fixture(scope="module")
+def stream(graph):
+    # Churn long enough to cross several batch boundaries at size 8
+    # and to include both inserts and deletes.
+    return EdgeStream.churn(graph, 40, seed=5)
+
+
+@pytest.fixture(scope="module")
+def twin(graph, stream):
+    engine = make_engine(graph)
+    result = replay(engine, stream)
+    return engine, result
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("max_batch", [1, 8, 64])
+    def test_bit_identical_across_batch_sizes(self, graph, stream, twin,
+                                              max_batch):
+        twin_engine, twin_result = twin
+        svc = asyncio.run(run_service(graph, stream, max_batch=max_batch,
+                                      max_delay=5.0))
+        assert_equivalent(svc.core.engine, svc.core.result,
+                          twin_engine, twin_result)
+        # Size-1 batches flush per event; size-64 coalesces everything
+        # the flusher finds queued.
+        assert svc.stats["events_applied"] == len(twin_result.reports)
+        assert svc.watermark == len(stream)
+        assert svc.core.store.version == svc.stats["batches"]
+
+    def test_deadline_triggered_flushes_are_identical(self, graph, stream,
+                                                      twin):
+        twin_engine, twin_result = twin
+
+        async def main():
+            engine = make_engine(graph)
+            try:
+                # max_batch far above the stream length: every flush is
+                # deadline- (or drain-) triggered, never size-triggered.
+                async with BCService(engine, max_batch=1024,
+                                     max_delay=0.005) as svc:
+                    for chunk_start in range(0, len(stream), 7):
+                        for event in stream.events[chunk_start:chunk_start + 7]:
+                            await svc.submit(event)
+                        await svc.drain()
+                return svc
+            finally:
+                engine.close()
+
+        svc = asyncio.run(main())
+        assert_equivalent(svc.core.engine, svc.core.result,
+                          twin_engine, twin_result)
+        assert svc.stats["flush_reasons"].get("size", 0) == 0
+
+    def test_reads_interleaved_at_random_offsets(self, graph, stream):
+        # Oracle: prefix_bc[w] is the BC vector after consuming w
+        # events — every query's (watermark, scores) answer must match
+        # it exactly, wherever the read lands relative to batches.
+        oracle_engine = make_engine(graph)
+        prefix_bc = [oracle_engine.bc_scores.copy()]
+        for event in stream:
+            try:
+                if event.op == "insert":
+                    oracle_engine.insert_edge(event.u, event.v)
+                else:
+                    oracle_engine.delete_edge(event.u, event.v)
+            except ValueError:
+                pass
+            prefix_bc.append(oracle_engine.bc_scores.copy())
+        oracle_engine.close()
+
+        rng = np.random.default_rng(99)
+        read_after = set(rng.integers(0, len(stream), size=15).tolist())
+
+        async def main():
+            engine = make_engine(graph)
+            answers = []
+            try:
+                async with BCService(engine, max_batch=8,
+                                     max_delay=0.005) as svc:
+                    for i, event in enumerate(stream):
+                        await svc.submit(event)
+                        if i in read_after:
+                            # Yield once so the flusher can interleave,
+                            # then read whatever snapshot is current.
+                            await asyncio.sleep(0)
+                            ans = await svc.query_bc()
+                            answers.append(ans)
+                    await svc.drain()
+                    answers.append(await svc.query_bc())
+                return answers
+            finally:
+                engine.close()
+
+        answers = asyncio.run(main())
+        assert answers[-1]["watermark"] == len(stream)
+        for ans in answers:
+            assert np.array_equal(ans["scores"], prefix_bc[ans["watermark"]])
+
+    def test_checkpoints_match_replay(self, graph, stream, tmp_path):
+        svc_dir = tmp_path / "svc"
+        twin_dir = tmp_path / "twin"
+        twin_engine = make_engine(graph)
+        twin_result = replay(twin_engine, stream, checkpoint_every=10,
+                             checkpoint_dir=twin_dir)
+        svc = asyncio.run(run_service(graph, stream, max_batch=8,
+                                      max_delay=0.005, checkpoint_every=10,
+                                      checkpoint_dir=svc_dir))
+        assert [p.split("/")[-1] for p in svc.core.result.checkpoints] == \
+               [p.split("/")[-1] for p in twin_result.checkpoints]
+        for svc_path, twin_path in zip(svc.core.result.checkpoints,
+                                       twin_result.checkpoints):
+            a, b = load_checkpoint(svc_path), load_checkpoint(twin_path)
+            assert a.event_index == b.event_index
+            assert a.simulated_prefix == b.simulated_prefix
+            assert a.applied_count == b.applied_count
+            for name in ("row_offsets", "col_indices", "sources", "d",
+                         "sigma", "delta", "bc"):
+                assert np.array_equal(getattr(a, name), getattr(b, name)), name
+            assert a.counters == b.counters
+        twin_engine.close()
+
+
+class TestAdmission:
+    def test_backpressure_waits_are_counted_and_lossless(self, graph, stream):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine, max_batch=4, max_delay=0.005,
+                                     max_pending=4) as svc:
+                    for event in stream:
+                        await svc.submit(event)
+                    await svc.drain()
+                return svc
+            finally:
+                engine.close()
+
+        svc = asyncio.run(main())
+        # The queue is 10x smaller than the stream: submissions stalled
+        # on backpressure, yet every event was accepted and applied.
+        assert svc.stats["backpressure_waits"] > 0
+        assert svc.stats["rejected"] == 0
+        assert svc.watermark == len(stream)
+        assert svc.stats["max_queue_depth"] <= 4
+
+    def test_try_submit_rejects_when_full(self, graph, stream):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                # Not started: nothing drains the queue, so admission
+                # control is deterministic.
+                svc = BCService(engine, max_pending=3)
+                accepted = [svc.try_submit(e) for e in stream.events[:5]]
+                assert accepted == [True, True, True, False, False]
+                assert svc.stats["rejected"] == 2
+                svc.start()
+                await svc.drain()
+                await svc.stop()
+                return svc
+            finally:
+                engine.close()
+
+        svc = asyncio.run(main())
+        assert svc.watermark == 3
+
+    def test_submit_after_stop_raises(self, graph, stream):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                svc = BCService(engine).start()
+                await svc.stop()
+                with pytest.raises(ServiceClosed):
+                    await svc.submit(stream.events[0])
+                with pytest.raises(ServiceClosed):
+                    svc.try_submit(stream.events[0])
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+
+    def test_drained_stop_applies_every_accepted_event(self, graph, stream):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                svc = BCService(engine, max_batch=8, max_delay=5.0).start()
+                for event in stream:
+                    await svc.submit(event)
+                # Stop immediately: drain=True must still flush the
+                # queue before the flusher exits.
+                await svc.stop()
+                return svc
+            finally:
+                engine.close()
+
+        svc = asyncio.run(main())
+        assert svc.watermark == len(stream)
+
+
+@settings(deadline=None, max_examples=25)
+@given(data=st.data())
+def test_fuzz_interleaving_matches_replay(data):
+    """Property fuzz: any (stream, batch config, read offsets, drain
+    points) interleaving is bit-identical to plain replay."""
+    graph = gen.erdos_renyi(24, 50, seed=11)
+    num_events = data.draw(st.integers(min_value=1, max_value=16),
+                           label="num_events")
+    stream_seed = data.draw(st.integers(min_value=0, max_value=2**16),
+                            label="stream_seed")
+    max_batch = data.draw(st.sampled_from([1, 2, 5, 64]), label="max_batch")
+    stream = EdgeStream.churn(graph, num_events, seed=stream_seed)
+    reads = data.draw(
+        st.sets(st.integers(min_value=0, max_value=num_events - 1),
+                max_size=4),
+        label="read_offsets",
+    )
+    drains = data.draw(
+        st.sets(st.integers(min_value=0, max_value=num_events - 1),
+                max_size=2),
+        label="drain_offsets",
+    )
+
+    twin_engine = make_engine(graph)
+    twin_result = replay(twin_engine, stream)
+
+    async def main():
+        engine = make_engine(graph)
+        try:
+            async with BCService(engine, max_batch=max_batch,
+                                 max_delay=0.002) as svc:
+                for i, event in enumerate(stream):
+                    await svc.submit(event)
+                    if i in drains:
+                        await svc.drain()
+                    if i in reads:
+                        await asyncio.sleep(0)
+                        ans = await svc.query_top_k(5)
+                        assert 0 <= ans["watermark"] <= i + 1
+                await svc.drain()
+            return svc
+        finally:
+            engine.close()
+
+    svc = asyncio.run(main())
+    assert_equivalent(svc.core.engine, svc.core.result,
+                      twin_engine, twin_result)
+    twin_engine.close()

@@ -1,0 +1,291 @@
+"""Snapshot isolation, watermark resume, and crash safety for the
+service layer.
+
+Three claims from the tentpole are proven here:
+
+* a reader *pinning* snapshot v sees BC frozen at v's watermark while
+  any number of further batches commit (and the store's double
+  buffering keeps recycling for unpinned readers);
+* resume-from-checkpoint restores the engine *and* the exact stream
+  watermark, so a resumed service continues bit-identically;
+* a seeded :class:`FaultInjector` crash mid-batch rolls the failing
+  update back without ever corrupting the published snapshot — readers
+  keep getting committed state throughout.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.bc.engine import DynamicBC
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import EdgeStream, replay
+from repro.resilience import FaultInjector
+from repro.resilience.checkpoint import load_checkpoint
+from repro.service import BCService, SnapshotStore
+
+pytestmark = pytest.mark.service
+
+K = 12
+SEED = 3
+
+
+def make_engine(graph):
+    """A fresh serial engine with the suite's fixed source sample."""
+    return DynamicBC.from_graph(DynamicGraph.from_csr(graph),
+                                num_sources=K, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.erdos_renyi(40, 90, seed=7)
+
+
+@pytest.fixture(scope="module")
+def stream(graph):
+    return EdgeStream.churn(graph, 40, seed=5)
+
+
+# ----------------------------------------------------------------------
+# SnapshotStore unit behaviour
+# ----------------------------------------------------------------------
+class TestSnapshotStore:
+    def test_versions_increase_and_watermark_monotonic(self):
+        store = SnapshotStore()
+        with pytest.raises(RuntimeError):
+            store.current()
+        a = store.publish(np.arange(4, dtype=np.float64), watermark=2)
+        b = store.publish(np.ones(4), watermark=2)
+        c = store.publish(np.zeros(4), watermark=5)
+        assert (a.version, b.version, c.version) == (0, 1, 2)
+        assert store.version == 2 and store.watermark == 5
+        with pytest.raises(ValueError):
+            store.publish(np.zeros(4), watermark=4)
+
+    def test_snapshots_are_read_only(self):
+        store = SnapshotStore()
+        snap = store.publish(np.arange(4, dtype=np.float64), watermark=0)
+        with pytest.raises(ValueError):
+            snap.bc[0] = 99.0
+
+    def test_publish_copies_the_source(self):
+        store = SnapshotStore()
+        src = np.arange(4, dtype=np.float64)
+        snap = store.publish(src, watermark=0)
+        src[0] = 42.0
+        assert snap.bc[0] == 0.0
+
+    def test_unpinned_buffers_are_recycled(self):
+        store = SnapshotStore()
+        for w in range(6):
+            store.publish(np.full(8, float(w)), watermark=w)
+        # Steady-state double buffer: after warm-up every publish
+        # reuses a retired buffer instead of allocating.
+        assert store.buffers_allocated == 2
+        assert store.buffers_reused == 4
+
+    def test_pinned_buffer_is_never_recycled(self):
+        store = SnapshotStore()
+        store.publish(np.zeros(4), watermark=0)
+        pinned = store.acquire()
+        frozen = pinned.bc.copy()
+        for w in range(1, 4):
+            store.publish(np.full(4, float(w)), watermark=w)
+        assert np.array_equal(pinned.bc, frozen)
+        assert pinned.stale and pinned.pinned
+        pinned.release()
+        assert not pinned.pinned
+        with pytest.raises(RuntimeError):
+            pinned.release()
+
+    def test_release_returns_buffer_to_spares(self):
+        store = SnapshotStore()
+        store.publish(np.zeros(4), watermark=0)
+        with store.acquire():
+            store.publish(np.ones(4), watermark=1)
+            allocated_while_pinned = store.buffers_allocated
+        store.publish(np.full(4, 2.0), watermark=2)
+        # The released buffer came back through the spare pool.
+        assert store.buffers_allocated == allocated_while_pinned
+        assert store.buffers_reused >= 1
+
+    def test_max_spares_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotStore(max_spares=-1)
+
+
+# ----------------------------------------------------------------------
+# Service-level snapshot isolation
+# ----------------------------------------------------------------------
+class TestServiceIsolation:
+    def test_pinned_reader_frozen_while_batches_commit(self, graph, stream):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine, max_batch=8,
+                                     max_delay=0.005) as svc:
+                    # Commit a first chunk, pin its snapshot.
+                    for event in stream.events[:10]:
+                        await svc.submit(event)
+                    await svc.drain()
+                    pinned = svc.acquire_snapshot()
+                    frozen = pinned.bc.copy()
+                    frozen_watermark = pinned.watermark
+                    version_at_pin = pinned.version
+                    assert frozen_watermark == 10
+
+                    # At least two further batches commit under the pin
+                    # (max_batch=8 over 30 events guarantees >= 2).
+                    for event in stream.events[10:]:
+                        await svc.submit(event)
+                    await svc.drain()
+                    assert svc.core.store.version >= version_at_pin + 2
+
+                    # The pinned view is bitwise frozen at watermark 10
+                    # while the live snapshot has moved on.
+                    assert np.array_equal(pinned.bc, frozen)
+                    assert pinned.watermark == frozen_watermark
+                    assert pinned.stale
+                    live = svc.snapshot()
+                    assert live.watermark == len(stream)
+                    assert not np.array_equal(pinned.bc, live.bc)
+                    pinned.release()
+                return svc
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+
+    def test_store_recycles_across_service_batches(self, graph, stream):
+        svc_store = SnapshotStore()
+
+        async def main():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine, max_batch=4, max_delay=0.005,
+                                     store=svc_store) as svc:
+                    for event in stream:
+                        await svc.submit(event)
+                    await svc.drain()
+                return svc
+            finally:
+                engine.close()
+
+        svc = asyncio.run(main())
+        # Many batches, constant buffer economy: the double buffer means
+        # allocations stay at 2 no matter how many snapshots published.
+        assert svc.core.store.published == svc.stats["batches"] + 1
+        assert svc_store.buffers_allocated == 2
+        assert svc_store.buffers_reused == svc_store.published - 2
+
+
+# ----------------------------------------------------------------------
+# Watermark resume
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_resume_restores_exact_watermark_and_state(self, graph, stream,
+                                                       tmp_path):
+        # Uninterrupted twin for the expected final state.
+        twin = make_engine(graph)
+        twin_result = replay(twin, stream)
+
+        first = asyncio.run(self._run_prefix(graph, stream, tmp_path))
+        ckpt_path = first.core.result.checkpoints[-1]
+        ckpt = load_checkpoint(ckpt_path)
+        assert ckpt.event_index == 20
+
+        svc = asyncio.run(self._run_resumed(graph, stream, ckpt_path))
+        # The resumed service picked up at the checkpoint's watermark...
+        assert svc.core.result.start_index == 20
+        assert svc.core.result.resumed_from == ckpt_path
+        # ...its very first published snapshot carried that watermark...
+        assert svc.first_snapshot_watermark == 20
+        # ...and the finished run is bit-identical to the uninterrupted
+        # twin, including the cross-restart totals.
+        assert svc.watermark == len(stream)
+        assert np.array_equal(svc.core.engine.bc_scores, twin.bc_scores)
+        assert svc.core.engine.counters == twin.counters
+        assert svc.core._sim_seconds == twin_result.simulated_seconds
+        assert svc.core.applied_total == len(twin_result.reports)
+        twin.close()
+
+    @staticmethod
+    async def _run_prefix(graph, stream, tmp_path):
+        engine = make_engine(graph)
+        try:
+            async with BCService(engine, max_batch=8, max_delay=0.005,
+                                 checkpoint_every=10,
+                                 checkpoint_dir=tmp_path) as svc:
+                for event in stream.events[:20]:
+                    await svc.submit(event)
+                await svc.drain()
+            return svc
+        finally:
+            engine.close()
+
+    @staticmethod
+    async def _run_resumed(graph, stream, ckpt_path):
+        engine = make_engine(graph)
+        try:
+            async with BCService(engine, max_batch=8, max_delay=0.005,
+                                 resume_from=ckpt_path) as svc:
+                svc.first_snapshot_watermark = svc.snapshot().watermark
+                for event in stream.events[20:]:
+                    await svc.submit(event)
+                await svc.drain()
+            return svc
+        finally:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# Crash mid-batch
+# ----------------------------------------------------------------------
+class TestCrashMidBatch:
+    def test_fault_rolls_back_without_corrupting_snapshot(self, graph,
+                                                          stream):
+        # Clean twin (same stream, no faults): the service's retry-once
+        # recovery must land on exactly this state.
+        twin = make_engine(graph)
+        twin_result = replay(twin, stream)
+
+        async def main():
+            engine = make_engine(graph)
+            injector = FaultInjector(0)
+            try:
+                async with BCService(engine, max_batch=8,
+                                     max_delay=0.005) as svc:
+                    for event in stream.events[:10]:
+                        await svc.submit(event)
+                    await svc.drain()
+                    pinned = svc.acquire_snapshot()
+                    committed = pinned.bc.copy()
+
+                    # Arm a one-shot mid-update fault, then push the
+                    # rest of the stream through in one burst.
+                    injector.arm_update_fault(engine, after_sources=1)
+                    for event in stream.events[10:]:
+                        await svc.submit(event)
+                    await svc.drain()
+
+                    # The pinned pre-fault snapshot never changed —
+                    # readers could not observe the rolled-back state.
+                    assert np.array_equal(pinned.bc, committed)
+                    pinned.release()
+                return svc, injector
+            finally:
+                engine.close()
+
+        svc, injector = asyncio.run(main())
+        # The fault fired, was rolled back, and the retry recovered it.
+        assert any("update fault fired" in line for line in injector.log)
+        assert len(svc.core.result.recovered) == 1
+        assert svc.stats["events_recovered"] == 1
+        # Recovery is invisible in the final state: bit-identical to
+        # the clean twin.
+        assert np.array_equal(svc.core.engine.bc_scores, twin.bc_scores)
+        assert len(svc.core.result.reports) == len(twin_result.reports)
+        assert svc.watermark == len(stream)
+        twin.close()
