@@ -32,6 +32,13 @@ Service subcommands (see docs/SERVICE.md)::
         --output workload.jsonl
     python -m repro.cli serve --workload workload.jsonl --duration 30 \\
         --bench-json BENCH_service.json
+
+Durability subcommands (see docs/RESILIENCE.md)::
+
+    python -m repro.cli serve --workload workload.jsonl --wal wal/ \\
+        --checkpoint-every 50 --checkpoint-dir ckpts --checkpoint-keep 3
+    python -m repro.cli recover --wal wal/ --checkpoint-dir ckpts
+    python -m repro.cli drill --seed 3      # kill -9 crash-recovery drill
 """
 
 from __future__ import annotations
@@ -485,9 +492,32 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="checkpoint every N committed events (0 = off)")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="directory for checkpoint files")
+    parser.add_argument("--checkpoint-keep", type=int, default=0,
+                        help="retain only the newest N checkpoints "
+                             "(0 = keep all)")
     parser.add_argument("--resume-from", default=None,
-                        help="checkpoint file to restore the engine and "
-                             "watermark from before serving")
+                        help="checkpoint file or directory to restore the "
+                             "engine and watermark from before serving "
+                             "(a directory picks the newest valid "
+                             "checkpoint, falling back past corrupt ones)")
+    parser.add_argument("--wal", default=None, metavar="DIR",
+                        help="write-ahead journal directory: append every "
+                             "accepted event before acking, replay the "
+                             "tail past the checkpoint on startup")
+    parser.add_argument("--no-ack-durable", action="store_true",
+                        help="with --wal, ack writes after the journal "
+                             "append instead of after its fsync")
+    parser.add_argument("--fsync-every", type=int, default=None,
+                        help="group commit: fsync once N appends are "
+                             "buffered (default 64)")
+    parser.add_argument("--fsync-delay", type=float, default=None,
+                        help="group commit: fsync once the oldest "
+                             "buffered append has waited this many "
+                             "seconds (default 0.002)")
+    parser.add_argument("--ack-log", default=None, metavar="PATH",
+                        help="write one flushed 'ack <seq>' line per "
+                             "acknowledged write to PATH ('-' = stdout); "
+                             "the crash drill's observer reads these")
     parser.add_argument("--bench-json", default=None, metavar="PATH",
                         help="write the metrics as a {'service': ...} "
                              "JSON document to PATH")
@@ -513,6 +543,13 @@ def run_serve(args: argparse.Namespace) -> int:
               f"{graph.num_vertices}", file=sys.stderr)
     engine = DynamicBC.from_graph(graph, num_sources=args.sources,
                                   seed=args.seed, workers=args.workers)
+    ack_stream = None
+    if args.ack_log == "-":
+        ack_stream = sys.stdout
+    elif args.ack_log:
+        parent = os.path.dirname(os.path.abspath(args.ack_log))
+        os.makedirs(parent, exist_ok=True)
+        ack_stream = open(args.ack_log, "w")
     try:
         metrics = drive_workload(
             engine, workload,
@@ -521,16 +558,33 @@ def run_serve(args: argparse.Namespace) -> int:
             duration=args.duration,
             checkpoint_every=args.checkpoint_every or None,
             checkpoint_dir=args.checkpoint_dir,
+            checkpoint_keep=args.checkpoint_keep or None,
             resume_from=args.resume_from,
+            wal_dir=args.wal,
+            ack_durable=False if args.no_ack_durable else None,
+            fsync_every=args.fsync_every,
+            fsync_delay=args.fsync_delay,
+            install_signals=True,
+            ack_stream=ack_stream,
         )
     finally:
         engine.close()
+        if ack_stream is not None and ack_stream is not sys.stdout:
+            ack_stream.close()
     lat = metrics["query_latency"]
     print(f"served {metrics['queries']} queries "
           f"({metrics['queries_during_apply']} during in-flight batches) "
           f"over {metrics['updates_applied']} applied updates "
           f"in {metrics['wall_seconds']:.2f}s"
-          f"{' [truncated]' if metrics['truncated'] else ''}")
+          f"{' [truncated]' if metrics['truncated'] else ''}"
+          f"{' [interrupted: graceful shutdown]' if metrics['interrupted'] else ''}")
+    dur = metrics["durability"]
+    if dur["wal_dir"] is not None:
+        print(f"journal: {dur['wal_appends']} appends / {dur['wal_syncs']} "
+              f"fsyncs (ack_durable={dur['ack_durable']}, "
+              f"replayed {dur['wal_replayed_on_start']} on start)")
+        if dur["final_checkpoint"]:
+            print(f"final checkpoint: {dur['final_checkpoint']}")
     print(f"query latency: p50 {lat['p50_ms']:.3f} ms, "
           f"p99 {lat['p99_ms']:.3f} ms, max {lat['max_ms']:.3f} ms")
     print(f"updates/sec: {metrics['updates_per_second']:.1f} across "
@@ -549,6 +603,158 @@ def run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_recover_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro-bc recover``: rebuild service state from the
+    newest valid checkpoint plus the journal tail, offline."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc recover",
+        description="Recover BC service state after a crash: load the "
+                    "newest valid checkpoint (falling back past corrupt "
+                    "ones), truncate the journal's torn tail, replay the "
+                    "journal records past the checkpoint watermark, and "
+                    "report the recovered watermark and state digest. "
+                    "Exit code 1 on unrecoverable journal damage.",
+    )
+    parser.add_argument("--graph", default="small",
+                        help="suite graph name the service was built on")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="suite graph size multiplier")
+    parser.add_argument("--sources", type=int, default=32,
+                        help="k source vertices")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="engine worker processes (default serial)")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--wal", required=True, metavar="DIR",
+                        help="journal directory to recover from")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="checkpoint directory (omit to replay the "
+                             "whole journal from an empty engine)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        dest="json_out",
+                        help="also write the recovery summary as JSON "
+                             "('-' = stdout)")
+    return parser
+
+
+def run_recover(args: argparse.Namespace) -> int:
+    """Execute the ``recover`` subcommand; returns a process exit code."""
+    import hashlib
+    import json
+    import os
+
+    from repro.bc.engine import DynamicBC
+    from repro.graph.suite import make_suite_graph
+    from repro.resilience.errors import CheckpointError, WalError
+    from repro.resilience.wal import WriteAheadLog
+    from repro.service.core import ServiceCore
+
+    graph = make_suite_graph(args.graph, scale=args.scale,
+                             seed=args.seed).graph
+    engine = DynamicBC.from_graph(graph, num_sources=args.sources,
+                                  seed=args.seed, workers=args.workers)
+    resume = None
+    if args.checkpoint_dir and os.path.isdir(args.checkpoint_dir):
+        from repro.resilience.checkpoint import find_checkpoints
+
+        if find_checkpoints(args.checkpoint_dir):
+            resume = args.checkpoint_dir
+    try:
+        wal = WriteAheadLog(args.wal)
+        try:
+            core = ServiceCore(engine, checkpoint_dir=args.checkpoint_dir,
+                               resume_from=resume, wal=wal)
+        finally:
+            wal.close()
+    except (WalError, CheckpointError) as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        engine.close()
+        return 1
+    digest = hashlib.sha256(engine.bc_scores.tobytes()).hexdigest()
+    summary = {
+        "watermark": core.watermark,
+        "wal_replayed": core.wal_replayed,
+        "resumed_from": core.result.resumed_from,
+        "applied_total": core.applied_total,
+        "skipped": len(core.result.skipped),
+        "bc_digest": digest,
+        "torn_tail_truncated": wal.scan.torn_path is not None,
+        "torn_bytes": wal.scan.torn_bytes,
+    }
+    engine.close()
+    print(f"recovered to watermark {summary['watermark']} "
+          f"({summary['wal_replayed']} journal records replayed"
+          f"{', from ' + summary['resumed_from'] if summary['resumed_from'] else ''})")
+    if summary["torn_tail_truncated"]:
+        print(f"torn journal tail truncated "
+              f"({summary['torn_bytes']} bytes of partial write)")
+    print(f"bc digest: {digest[:16]}")
+    if args.json_out == "-":
+        print(json.dumps(summary, sort_keys=True))
+    elif args.json_out:
+        parent = os.path.dirname(os.path.abspath(args.json_out))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.json_out, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0
+
+
+def build_drill_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro-bc drill``: one seeded kill -9 crash drill."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc drill",
+        description="Run one seeded crash-recovery drill: spawn a "
+                    "durable 'serve' subprocess under load, SIGKILL it "
+                    "at a seed-derived moment, recover from checkpoint "
+                    "+ journal, and differentially check the recovered "
+                    "state against a no-crash oracle. Exit code 1 when "
+                    "any acknowledged event is lost or the recovered "
+                    "state diverges.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ops", type=int, default=200,
+                        help="workload length driven through the service")
+    parser.add_argument("--kills", type=int, default=1,
+                        help="consecutive kill/recover cycles (each "
+                             "restart resumes the same journal)")
+    parser.add_argument("--artifacts-dir", default=None, metavar="DIR",
+                        help="keep the drill's journal, checkpoints and "
+                             "logs under DIR (what the CI job uploads); "
+                             "default: a temp dir, removed on success")
+    parser.add_argument("--health-log", default=None, metavar="PATH",
+                        help="write the drill timeline as JSON lines to "
+                             "PATH")
+    return parser
+
+
+def run_drill_cmd(args: argparse.Namespace) -> int:
+    """Execute the ``drill`` subcommand; returns a process exit code."""
+    from repro.resilience.drill import run_drill
+
+    report = run_drill(seed=args.seed, ops=args.ops, kills=args.kills,
+                       artifacts_dir=args.artifacts_dir)
+    print(report.summary())
+    repro_line = (f"reproduce with: python -m repro.cli drill "
+                  f"--seed {report.seed} --ops {report.ops} "
+                  f"--kills {report.kills}")
+    print(repro_line)
+    if args.health_log:
+        import json
+        import os
+
+        parent = os.path.dirname(os.path.abspath(args.health_log))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.health_log, "w") as fh:
+            fh.write(json.dumps(report.header()) + "\n")
+            for entry in report.timeline:
+                fh.write(json.dumps(entry) + "\n")
+        print(f"health log: {args.health_log}")
+    if not report.ok:
+        print(repro_line, file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: print (and optionally save) the requested artifact."""
     if argv is None:
@@ -563,6 +769,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_loadgen(build_loadgen_parser().parse_args(argv[1:]))
     if argv and argv[0] == "serve":
         return run_serve(build_serve_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "recover":
+        return run_recover(build_recover_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "drill":
+        return run_drill_cmd(build_drill_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)
     start = time.time()
     save_dir = None

@@ -15,13 +15,18 @@ from typing import List, Union
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.utils.atomicio import atomic_write
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 
 def save_dimacs_metis(graph: CSRGraph, path: PathLike) -> None:
-    """Write *graph* in METIS / DIMACS-10 format (1-indexed)."""
-    with open(path, "w") as fh:
+    """Write *graph* in METIS / DIMACS-10 format (1-indexed).
+
+    The write is atomic: an interrupted save leaves any previous file
+    at *path* intact rather than a truncated hybrid.
+    """
+    with atomic_write(path, "w") as fh:
         fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
         for v in range(graph.num_vertices):
             fh.write(" ".join(str(int(w) + 1) for w in graph.neighbors(v)) + "\n")
@@ -63,8 +68,12 @@ def load_dimacs_metis(path: PathLike) -> CSRGraph:
 
 
 def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
-    """Write one ``u v`` pair per line (0-indexed, canonical order)."""
-    np.savetxt(path, graph.edge_list(), fmt="%d")
+    """Write one ``u v`` pair per line (0-indexed, canonical order).
+
+    Atomic: the rows land in a temp file renamed over *path*.
+    """
+    with atomic_write(path, "w") as fh:
+        np.savetxt(fh, graph.edge_list(), fmt="%d")
 
 
 def load_edge_list(path: PathLike, num_vertices: int = 0) -> CSRGraph:
@@ -87,10 +96,17 @@ def load_edge_list(path: PathLike, num_vertices: int = 0) -> CSRGraph:
 
 
 def save_npz(graph: CSRGraph, path: PathLike) -> None:
-    """Binary snapshot (fastest round trip, used for caching suites)."""
-    np.savez_compressed(
-        path, row_offsets=graph.row_offsets, col_indices=graph.col_indices
-    )
+    """Binary snapshot (fastest round trip, used for caching suites).
+
+    Atomic: readers observe either the old snapshot or the new one.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"  # np.savez appends the suffix; keep that contract
+    with atomic_write(path, "wb") as fh:
+        np.savez_compressed(
+            fh, row_offsets=graph.row_offsets, col_indices=graph.col_indices
+        )
 
 
 def load_npz(path: PathLike) -> CSRGraph:

@@ -358,14 +358,16 @@ def replay(
     applied_before = 0
     resumed_path: Optional[str] = None
     if resume_from is not None:
-        from repro.resilience.checkpoint import load_checkpoint
+        # resolve_resume accepts a directory (newest valid retained
+        # checkpoint) or a file, and falls back past corrupt files
+        # instead of aborting the replay.
+        from repro.resilience.checkpoint import resolve_resume
 
-        ckpt = load_checkpoint(resume_from)
+        ckpt, resumed_path, _ = resolve_resume(resume_from)
         ckpt.restore_into(engine)
         start_index = ckpt.event_index
         sim_seconds = ckpt.simulated_prefix
         applied_before = ckpt.applied_count
-        resumed_path = os.fspath(resume_from)
     if checkpoint_every is not None:
         if checkpoint_every < 1:
             raise ValueError(

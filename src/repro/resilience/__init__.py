@@ -13,9 +13,18 @@ streams survivable:
   classification, in-place row repair, escalation to full recompute;
 * :mod:`repro.resilience.checkpoint` — versioned, checksummed NPZ
   checkpoints with atomic writes and bit-identical resume;
+* :mod:`repro.resilience.wal` — segmented, CRC-checked write-ahead
+  event journal (group-commit fsync, torn-tail truncation, segment GC
+  tied to checkpoint watermarks) backing the service's ``ack_durable``
+  RPO-zero contract;
 * :mod:`repro.resilience.faults` — seeded chaos harness;
 * :mod:`repro.resilience.chaos` — end-to-end seeded chaos scenario
-  (the CI chaos job and ``python -m repro.cli chaos``).
+  (the CI chaos job and ``python -m repro.cli chaos``);
+* :mod:`repro.resilience.drill` — kill -9 crash drills: a live
+  ``serve`` subprocess is SIGKILLed mid-stream, recovered from
+  checkpoint + journal, and differentially checked against the
+  no-crash oracle (the CI crash-drill job and
+  ``python -m repro.cli drill``).
 
 See ``docs/RESILIENCE.md`` for the fault model and recovery matrix.
 """
@@ -24,7 +33,11 @@ from repro.resilience.chaos import ChaosReport, run_chaos
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
     Checkpoint,
+    find_checkpoints,
     load_checkpoint,
+    load_newest_valid,
+    resolve_resume,
+    retain_checkpoints,
     save_checkpoint,
 )
 from repro.resilience.errors import (
@@ -32,10 +45,12 @@ from repro.resilience.errors import (
     FaultInjected,
     ResilienceError,
     UpdateError,
+    WalError,
 )
 from repro.resilience.faults import FaultInjector
 from repro.resilience.guards import Guard, GuardEvent, GuardPolicy
 from repro.resilience.transactions import UpdateTransaction
+from repro.resilience.wal import WAL_VERSION, WalScan, WriteAheadLog, scan_wal
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -50,7 +65,16 @@ __all__ = [
     "ResilienceError",
     "UpdateError",
     "UpdateTransaction",
+    "WAL_VERSION",
+    "WalError",
+    "WalScan",
+    "WriteAheadLog",
+    "find_checkpoints",
     "load_checkpoint",
+    "load_newest_valid",
+    "resolve_resume",
+    "retain_checkpoints",
     "run_chaos",
     "save_checkpoint",
+    "scan_wal",
 ]

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import hashlib
 import os
+import re
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -188,20 +190,129 @@ def save_checkpoint(
     and then renamed over the target, so readers never observe a
     partial checkpoint.  Returns the final path as a string.
     """
+    from repro.utils.atomicio import atomic_write
+
     data = _payload(engine, event_index, simulated_prefix, applied_count)
     data["checksum"] = np.array(_digest(data))
     path = os.fspath(path)
-    tmp = path + ".tmp"
-    try:
-        with open(tmp, "wb") as fh:
-            np.savez(fh, **data)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
+    with atomic_write(path, "wb") as fh:
+        np.savez(fh, **data)
     return path
+
+
+#: cadence/replay checkpoint file name: ckpt-<watermark:08d>.npz
+_CKPT_RE = re.compile(r"^ckpt-(\d+)\.npz$")
+
+
+def checkpoint_watermark(path) -> Optional[int]:
+    """The stream watermark encoded in a ``ckpt-NNNNNNNN.npz`` file
+    name, or ``None`` for files that do not follow the convention."""
+    match = _CKPT_RE.match(os.path.basename(os.fspath(path)))
+    return int(match.group(1)) if match else None
+
+
+def find_checkpoints(directory) -> List[str]:
+    """Every retained checkpoint under *directory*, oldest watermark
+    first (in-flight ``.tmp`` files are never listed)."""
+    directory = os.fspath(directory)
+    found = []
+    for name in os.listdir(directory):
+        match = _CKPT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return [path for _, path in sorted(found)]
+
+
+def retain_checkpoints(directory, keep: int) -> List[str]:
+    """Delete all but the newest *keep* checkpoints in *directory*;
+    returns the removed paths (oldest first)."""
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    paths = find_checkpoints(directory)
+    removed = paths[:-keep] if len(paths) > keep else []
+    for path in removed:
+        os.unlink(path)
+    return removed
+
+
+def load_newest_valid(directory) -> Tuple[Checkpoint, str, List[str]]:
+    """Load the newest checkpoint in *directory* that passes
+    validation, walking backwards past corrupt ones.
+
+    Returns ``(checkpoint, path, skipped)`` where *skipped* lists the
+    newer files rejected (each with a warning naming the reason).
+    Raises :class:`CheckpointError` when no checkpoint validates.
+    """
+    directory = os.fspath(directory)
+    paths = find_checkpoints(directory)
+    if not paths:
+        raise CheckpointError(directory, "no checkpoints found")
+    skipped: List[str] = []
+    last_error: Optional[CheckpointError] = None
+    for path in reversed(paths):
+        try:
+            return load_checkpoint(path), path, skipped
+        except CheckpointError as exc:
+            warnings.warn(
+                f"skipping corrupt checkpoint {path}: {exc.reason}",
+                RuntimeWarning, stacklevel=2,
+            )
+            skipped.append(path)
+            last_error = exc
+    raise CheckpointError(
+        directory,
+        f"all {len(paths)} retained checkpoints are corrupt "
+        f"(newest: {last_error.reason})",
+        last_error,
+    )
+
+
+def resolve_resume(path) -> Tuple[Checkpoint, str, List[str]]:
+    """Resolve a ``resume_from`` target to a loaded checkpoint.
+
+    *path* may be a directory (the newest valid retained checkpoint is
+    chosen) or a file.  A corrupt file does not abort the resume: the
+    next-newest retained checkpoint in the same directory is tried
+    instead, with a warning — losing a little replay progress beats
+    losing the service.  Returns ``(checkpoint, path, skipped)``.
+    """
+    path = os.fspath(path)
+    if os.path.isdir(path):
+        return load_newest_valid(path)
+    try:
+        return load_checkpoint(path), path, []
+    except CheckpointError as exc:
+        warnings.warn(
+            f"checkpoint {path} failed to load ({exc.reason}); falling "
+            f"back to the next-newest retained checkpoint",
+            RuntimeWarning, stacklevel=2,
+        )
+        mark = checkpoint_watermark(path)
+        directory = os.path.dirname(path) or "."
+        older = [
+            p for p in find_checkpoints(directory)
+            if os.path.abspath(p) != os.path.abspath(path)
+            and (mark is None or (checkpoint_watermark(p) or 0) < mark)
+        ]
+        skipped = [path]
+        last_error = exc
+        for candidate in reversed(older):
+            try:
+                ckpt = load_checkpoint(candidate)
+                return ckpt, candidate, skipped
+            except CheckpointError as fallback_exc:
+                warnings.warn(
+                    f"skipping corrupt checkpoint {candidate}: "
+                    f"{fallback_exc.reason}",
+                    RuntimeWarning, stacklevel=2,
+                )
+                skipped.append(candidate)
+                last_error = fallback_exc
+        raise CheckpointError(
+            path,
+            f"{exc.reason}; no older valid checkpoint to fall back to",
+            last_error,
+        ) from exc
 
 
 def load_checkpoint(path) -> Checkpoint:

@@ -1,0 +1,388 @@
+"""Kill -9 crash-recovery drills for the durable BC service.
+
+A drill is the durability contract executed end to end, the way an
+operator would actually hit it:
+
+1. spawn a real ``python -m repro.cli serve`` subprocess with a
+   journal, checkpoints and a flushed ``ack <seq>`` line per durably
+   acknowledged write;
+2. SIGKILL it at a seed-derived moment — no atexit handlers, no
+   final sync, exactly what a power cut or OOM kill leaves behind;
+3. recover in-process (newest valid checkpoint + journal tail replay,
+   the same :class:`~repro.service.core.ServiceCore` path ``repro.cli
+   recover`` uses);
+4. differentially check the recovered state against a *no-crash
+   oracle*: a plain :func:`~repro.graph.stream.replay` of the exact
+   write prefix the journal preserved must match bit for bit — BC
+   scores, per-source state rows, counters, and the per-event report
+   stream;
+5. assert the RPO-zero claim: every write acknowledged before the
+   kill (the observer's last ``ack`` line) is inside the recovered
+   watermark — an acked event is never lost;
+6. optionally restart serving from the recovered state (``kills > 1``
+   repeats 1-5 on the remaining workload) and finally complete the
+   stream in-process, checking the end state against the full oracle.
+
+Everything is seeded: the workload, the kill moment, the engine's
+source sample.  A failing drill prints its reproduction line, and the
+CI ``crash-drill`` job runs a seed matrix and uploads the journal,
+checkpoints and drill log of any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.stream import EdgeEvent, EdgeStream, replay
+from repro.utils.atomicio import atomic_write
+from repro.utils.prng import default_rng
+
+#: drill engine/graph shape — small enough to crash-loop in CI, big
+#: enough that a kill lands mid-apply with work in every queue
+DRILL_GRAPH = "small"
+DRILL_SCALE = 0.5
+DRILL_SOURCES = 16
+#: serve-subprocess knobs: small batches and an aggressive group
+#: commit so acks flow continuously while the kill timer runs
+DRILL_MAX_BATCH = 8
+DRILL_CHECKPOINT_EVERY = 25
+DRILL_CHECKPOINT_KEEP = 3
+DRILL_FSYNC_EVERY = 8
+#: wait at most this long for a spawned/killed process to be reaped
+PROC_TIMEOUT = 120.0
+
+
+@dataclass
+class DrillReport:
+    """Outcome of one seeded crash drill (one or more kill cycles)."""
+
+    seed: int
+    ops: int
+    kills: int
+    ok: bool = True
+    failures: List[str] = field(default_factory=list)
+    #: one record per kill/recover cycle plus the completion phase
+    timeline: List[Dict] = field(default_factory=list)
+    #: where the journal/checkpoints/logs live (kept on failure)
+    artifacts_dir: Optional[str] = None
+    total_writes: int = 0
+    final_watermark: int = 0
+
+    def fail(self, message: str) -> None:
+        """Record a failed check; the drill as a whole becomes not-ok."""
+        self.ok = False
+        self.failures.append(message)
+
+    def note(self, phase: str, **detail) -> None:
+        """Append a timeline record for *phase* (spawned/killed/...)."""
+        entry = {"record": "drill", "phase": phase}
+        entry.update(detail)
+        self.timeline.append(entry)
+
+    def header(self) -> Dict:
+        """JSON-ready header record for the drill log."""
+        return {
+            "record": "drill-report", "seed": self.seed, "ops": self.ops,
+            "kills": self.kills, "ok": self.ok,
+            "total_writes": self.total_writes,
+            "final_watermark": self.final_watermark,
+            "failures": self.failures,
+            "artifacts_dir": self.artifacts_dir,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line account of the drill outcome."""
+        cycles = [t for t in self.timeline if t["phase"] == "recovered"]
+        lines = [
+            f"crash drill seed {self.seed}: "
+            f"{'OK' if self.ok else 'FAILED'} "
+            f"({len(cycles)} recovery cycle(s), "
+            f"{self.total_writes} writes, final watermark "
+            f"{self.final_watermark})"
+        ]
+        for t in self.timeline:
+            if t["phase"] == "killed":
+                lines.append(
+                    f"  kill -9 after {t['after_seconds']:.2f}s "
+                    f"(last ack {t['last_ack']})"
+                )
+            elif t["phase"] == "recovered":
+                lines.append(
+                    f"  recovered to watermark {t['watermark']} "
+                    f"({t['wal_replayed']} journal records replayed, "
+                    f"torn tail: {t['torn_tail']})"
+                )
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+
+def _make_graph(seed: int):
+    from repro.graph.suite import make_suite_graph
+
+    return make_suite_graph(DRILL_GRAPH, scale=DRILL_SCALE,
+                            seed=seed).graph
+
+
+def _make_engine(graph, seed: int):
+    from repro.bc.engine import DynamicBC
+
+    return DynamicBC.from_graph(graph, num_sources=DRILL_SOURCES,
+                                seed=seed)
+
+
+def _serve_argv(workload_path: str, seed: int, pace: float,
+                wal_dir: str, ckpt_dir: str, resume: bool) -> List[str]:
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--workload", workload_path,
+        "--graph", DRILL_GRAPH, "--scale", str(DRILL_SCALE),
+        "--sources", str(DRILL_SOURCES), "--seed", str(seed),
+        "--max-batch", str(DRILL_MAX_BATCH), "--pace", str(pace),
+        "--wal", wal_dir,
+        "--checkpoint-every", str(DRILL_CHECKPOINT_EVERY),
+        "--checkpoint-dir", ckpt_dir,
+        "--checkpoint-keep", str(DRILL_CHECKPOINT_KEEP),
+        "--fsync-every", str(DRILL_FSYNC_EVERY),
+        "--ack-log", "-",
+    ]
+    if resume:
+        argv += ["--resume-from", ckpt_dir]
+    return argv
+
+
+def _spawn_serve(argv: List[str]):
+    """Start the serve subprocess with a line-buffered stdout pipe and
+    a reader thread tracking the last acknowledged sequence number."""
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, bufsize=1, env=env,
+    )
+    state = {"last_ack": -1, "lines": []}
+    lock = threading.Lock()
+
+    def _reader() -> None:
+        for line in proc.stdout:
+            line = line.rstrip("\n")
+            with lock:
+                state["lines"].append(line)
+                if line.startswith("ack "):
+                    try:
+                        state["last_ack"] = int(line.split()[1])
+                    except (IndexError, ValueError):
+                        pass
+        proc.stdout.close()
+
+    thread = threading.Thread(target=_reader, daemon=True)
+    thread.start()
+    return proc, state, lock, thread
+
+
+def _recover(graph, seed: int, wal_dir: str, ckpt_dir: str):
+    """The exact recovery path ``repro.cli recover`` takes: newest
+    valid checkpoint (if any) + journal tail replay."""
+    from repro.resilience.checkpoint import find_checkpoints
+    from repro.resilience.wal import WriteAheadLog
+    from repro.service.core import ServiceCore
+
+    engine = _make_engine(graph, seed)
+    wal = WriteAheadLog(wal_dir)
+    resume = None
+    if os.path.isdir(ckpt_dir) and find_checkpoints(ckpt_dir):
+        resume = ckpt_dir
+    core = ServiceCore(
+        engine, checkpoint_every=DRILL_CHECKPOINT_EVERY,
+        checkpoint_dir=ckpt_dir, checkpoint_keep=DRILL_CHECKPOINT_KEEP,
+        resume_from=resume, wal=wal,
+    )
+    return engine, core, wal
+
+
+def _check_against_oracle(report: DrillReport, graph, seed: int,
+                          engine, core, writes: List[EdgeEvent],
+                          label: str) -> None:
+    """Bit-identity between a recovered core and a no-crash replay of
+    the write prefix its watermark claims."""
+    from repro.resilience.chaos import reports_identical
+
+    watermark = core.watermark
+    oracle = _make_engine(graph, seed)
+    try:
+        oracle_result = replay(oracle, EdgeStream(writes[:watermark]))
+        if not np.array_equal(engine.bc_scores, oracle.bc_scores):
+            report.fail(f"{label}: BC scores diverge from the no-crash "
+                        f"oracle at watermark {watermark}")
+        for name in ("sources", "d", "sigma", "delta"):
+            if not np.array_equal(getattr(engine.state, name),
+                                  getattr(oracle.state, name)):
+                report.fail(f"{label}: state array {name!r} diverges "
+                            f"at watermark {watermark}")
+        if engine.counters != oracle.counters:
+            report.fail(f"{label}: engine counters diverge "
+                        f"({engine.counters} != {oracle.counters})")
+        if core.applied_total != len(oracle_result.reports):
+            report.fail(
+                f"{label}: applied_total {core.applied_total} != oracle "
+                f"{len(oracle_result.reports)} at watermark {watermark}")
+        else:
+            prior = core.applied_total - len(core.result.reports)
+            for mine, theirs in zip(core.result.reports,
+                                    oracle_result.reports[prior:]):
+                if not reports_identical(mine, theirs):
+                    report.fail(f"{label}: update report at index "
+                                f"{theirs.event_index} diverges")
+                    break
+    finally:
+        oracle.close()
+
+
+def _remaining_workload(workload, watermark: int):
+    """The workload suffix a restarted service still has to serve:
+    drop every op up to and including the *watermark*-th write (reads
+    in that prefix were answered by the dead process)."""
+    from repro.service.loadgen import Workload
+
+    seen_writes = 0
+    rest = []
+    for op in workload.ops:
+        if seen_writes < watermark:
+            if isinstance(op, EdgeEvent):
+                seen_writes += 1
+            continue
+        rest.append(op)
+    return Workload(profile=workload.profile,
+                    num_vertices=workload.num_vertices,
+                    seed=workload.seed, ops=rest)
+
+
+def run_drill(
+    seed: int = 0,
+    *,
+    ops: int = 200,
+    kills: int = 1,
+    artifacts_dir: Optional[str] = None,
+    wall_target: float = 6.0,
+    kill_window: Tuple[float, float] = (0.8, 4.8),
+) -> DrillReport:
+    """Run one seeded crash drill; see the module docstring for the
+    protocol.  Artifacts are kept when *artifacts_dir* is given or the
+    drill fails; a passing drill on a temp dir cleans up after itself.
+    """
+    from repro.service.loadgen import generate_workload
+
+    report = DrillReport(seed=seed, ops=ops, kills=kills)
+    keep_artifacts = artifacts_dir is not None
+    root = (os.path.abspath(artifacts_dir) if artifacts_dir is not None
+            else tempfile.mkdtemp(prefix=f"bc-drill-{seed}-"))
+    os.makedirs(root, exist_ok=True)
+    report.artifacts_dir = root
+    wal_dir = os.path.join(root, "wal")
+    ckpt_dir = os.path.join(root, "ckpts")
+    rng = default_rng(seed ^ 0xD111)
+
+    graph = _make_graph(seed)
+    workload = generate_workload(graph, "steady", ops,
+                                 read_fraction=0.4, seed=seed + 1)
+    writes = workload.edge_stream().events
+    report.total_writes = len(writes)
+    span = workload.ops[-1].time - workload.ops[0].time if workload.ops else 0.0
+    pace = wall_target / span if span > 0 else 0.0
+
+    watermark = 0
+    engine = core = None
+    try:
+        for cycle in range(kills):
+            remaining = _remaining_workload(workload, watermark)
+            wl_path = os.path.join(root, f"workload-{cycle}.jsonl")
+            remaining.save(wl_path)
+            # Resume from checkpoints when any exist; otherwise the
+            # restarted service rebuilds purely from the journal (its
+            # own startup tail replay) — both are legitimate restarts.
+            from repro.resilience.checkpoint import find_checkpoints
+
+            resume = (os.path.isdir(ckpt_dir)
+                      and bool(find_checkpoints(ckpt_dir)))
+            argv = _serve_argv(wl_path, seed, pace, wal_dir, ckpt_dir,
+                               resume=resume)
+            proc, state, lock, thread = _spawn_serve(argv)
+            delay = kill_window[0] + float(rng.random()) * (
+                kill_window[1] - kill_window[0])
+            report.note("spawned", cycle=cycle, pid=proc.pid,
+                        kill_delay=round(delay, 3), resume=resume)
+            started = time.monotonic()
+            while (time.monotonic() - started < delay
+                   and proc.poll() is None):
+                time.sleep(0.02)
+            completed_early = proc.poll() is not None
+            if not completed_early:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=PROC_TIMEOUT)
+            thread.join(timeout=PROC_TIMEOUT)
+            with lock:
+                last_ack = state["last_ack"]
+                log_lines = list(state["lines"])
+            with atomic_write(os.path.join(root, f"serve-{cycle}.log")) as fh:
+                fh.write("\n".join(log_lines) + "\n")
+            if completed_early:
+                report.note("completed-before-kill", cycle=cycle,
+                            last_ack=last_ack,
+                            returncode=proc.returncode)
+            else:
+                report.note("killed", cycle=cycle, last_ack=last_ack,
+                            after_seconds=time.monotonic() - started)
+
+            if engine is not None:
+                engine.close()
+            engine, core, wal = _recover(graph, seed, wal_dir, ckpt_dir)
+            wal.close()
+            watermark = core.watermark
+            report.note(
+                "recovered", cycle=cycle, watermark=watermark,
+                wal_replayed=core.wal_replayed,
+                resumed_from=core.result.resumed_from,
+                torn_tail=wal.scan.torn_path is not None,
+                torn_bytes=wal.scan.torn_bytes,
+            )
+            # RPO zero: every acknowledged write survived the kill.
+            if last_ack >= 0 and watermark < last_ack + 1:
+                report.fail(
+                    f"cycle {cycle}: acked event lost — last ack "
+                    f"{last_ack} but recovered watermark {watermark}")
+            _check_against_oracle(report, graph, seed, engine, core,
+                                  writes, f"cycle {cycle}")
+
+        # Completion phase: finish the stream on the recovered state;
+        # the end state must equal a run that never crashed at all.
+        if core is not None and watermark < len(writes):
+            core.apply_batch(writes[watermark:])
+            watermark = core.watermark
+        report.final_watermark = watermark
+        if watermark != len(writes):
+            report.fail(f"completion: final watermark {watermark} != "
+                        f"total writes {len(writes)}")
+        if core is not None:
+            _check_against_oracle(report, graph, seed, engine, core,
+                                  writes, "completion")
+        report.note("completed", watermark=watermark)
+    finally:
+        if engine is not None:
+            engine.close()
+    if report.ok and not keep_artifacts:
+        shutil.rmtree(root, ignore_errors=True)
+        report.artifacts_dir = None
+    return report

@@ -73,6 +73,24 @@ class CheckpointError(ResilienceError):
         super().__init__(f"{self.path}: {reason}")
 
 
+class WalError(ResilienceError):
+    """The write-ahead journal is corrupt, inconsistent, or misused.
+
+    Raised for damage recovery cannot silently absorb: a corrupt
+    record *before* the journal tail (a torn tail — the partial write
+    of a crash — is truncated instead), a missing segment, a sequence
+    gap between the journal and a checkpoint watermark, or an append
+    against a closed/misaligned journal.  The message always names the
+    offending path so an operator can act on it.
+    """
+
+    def __init__(self, path, reason: str, cause: Optional[BaseException] = None):
+        self.path = str(path)
+        self.reason = reason
+        self.cause = cause
+        super().__init__(f"{self.path}: {reason}")
+
+
 class FaultInjected(RuntimeError):
     """Marker exception raised by an armed :class:`FaultInjector` trap.
 

@@ -1,0 +1,485 @@
+"""Segmented write-ahead event journal: the durability layer under
+the always-on BC service.
+
+Checkpoints bound the *recompute* cost of a crash but not the *data*
+cost: any edge event accepted after the last checkpoint dies with the
+process.  The journal closes that gap — the service appends every
+accepted event here *before* acknowledging it, so the event log (the
+source of truth in the streaming-BC setting of Kourtellis et al.) is
+reconstructible after a kill -9, and recovery is "newest valid
+checkpoint + replay the journal tail" instead of "replay everything".
+
+On-disk format (all little-endian):
+
+* A journal is a directory of segments named
+  ``wal-<first_seq:016d>.log``; each segment starts with a 16-byte
+  header — magic ``RWAL``, format version (u32), first sequence
+  number (u64) — followed by records.
+* One record per event: ``seq (u64) | payload_len (u32) | payload |
+  crc32 (u32)``, where the payload is the event as compact JSON
+  (floats round-trip exactly) and the CRC covers the header bytes and
+  payload.  Sequence numbers are the service watermark of the event —
+  monotone, contiguous, starting wherever the stream does.
+
+Durability is group-committed: :meth:`WriteAheadLog.append` only
+buffers; :meth:`WriteAheadLog.sync` pays one ``fsync`` for everything
+buffered since the last one.  The service amortizes that across a
+burst with its ``fsync_every`` / ``fsync_delay`` knobs and
+acknowledges an event only once its sequence number is synced
+(``ack_durable`` mode — RPO zero for acknowledged events).
+
+Recovery (:func:`scan_wal`) validates every record (CRC + contiguous
+sequence) and classifies damage: a *torn tail* — the final records of
+the final segment cut off or CRC-broken mid-write, with nothing valid
+after them — is truncated away (the crash interrupted an unsynced,
+therefore unacknowledged, write); anything else (corruption before the
+tail, a missing segment, a header mismatch) raises a structured
+:class:`~repro.resilience.errors.WalError` rather than silently
+dropping acknowledged data.  Segment GC (:meth:`WriteAheadLog.gc`)
+deletes segments wholly below the oldest *retained* checkpoint
+watermark, so journal size tracks the checkpoint window, not stream
+length.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.graph.stream import EdgeEvent
+from repro.resilience.errors import WalError
+from repro.utils.atomicio import fsync_dir
+
+#: bump when the on-disk record/segment layout changes incompatibly
+WAL_VERSION = 1
+
+_SEGMENT_MAGIC = b"RWAL"
+_SEGMENT_HEADER = struct.Struct("<4sIQ")  # magic, version, first_seq
+_RECORD_HEADER = struct.Struct("<QI")  # seq, payload length
+_RECORD_CRC = struct.Struct("<I")
+#: hard ceiling on one record's payload — anything larger is damage
+_MAX_PAYLOAD = 1 << 20
+
+#: rotate to a fresh segment after this many records
+DEFAULT_SEGMENT_RECORDS = 4096
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{16})\.log$")
+
+
+def segment_name(first_seq: int) -> str:
+    """Canonical file name of the segment starting at *first_seq*."""
+    return f"wal-{first_seq:016d}.log"
+
+
+def _encode_event(event: EdgeEvent) -> bytes:
+    return json.dumps(
+        {"t": event.time, "u": event.u, "v": event.v, "op": event.op},
+        separators=(",", ":"),
+    ).encode()
+
+
+def _decode_event(blob: bytes, path: str, seq: int) -> EdgeEvent:
+    try:
+        rec = json.loads(blob.decode())
+        return EdgeEvent(float(rec["t"]), int(rec["u"]), int(rec["v"]),
+                         str(rec["op"]))
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise WalError(
+            path, f"record seq {seq}: undecodable payload ({exc})"
+        ) from None
+
+
+def encode_record(seq: int, event: EdgeEvent) -> bytes:
+    """The exact bytes :meth:`WriteAheadLog.append` writes for one
+    event (exposed for the format tests)."""
+    payload = _encode_event(event)
+    head = _RECORD_HEADER.pack(seq, len(payload))
+    crc = zlib.crc32(head + payload) & 0xFFFFFFFF
+    return head + payload + _RECORD_CRC.pack(crc)
+
+
+@dataclass
+class SegmentInfo:
+    """One scanned segment file."""
+
+    path: str
+    first_seq: int
+    records: int  #: valid records in the segment
+    end_offset: int  #: byte offset just past the last valid record
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last valid record (first_seq - 1
+        when the segment holds none)."""
+        return self.first_seq + self.records - 1
+
+
+@dataclass
+class WalScan:
+    """Everything a recovery needs to know about a journal directory."""
+
+    directory: str
+    segments: List[SegmentInfo] = field(default_factory=list)
+    #: every valid record, in order: (seq, event)
+    events: List[Tuple[int, EdgeEvent]] = field(default_factory=list)
+    #: path whose tail was torn (partial final write), if any
+    torn_path: Optional[str] = None
+    #: byte offset the torn segment was (or should be) truncated to
+    torn_offset: int = 0
+    #: bytes past the last valid record in the torn segment
+    torn_bytes: int = 0
+
+    @property
+    def first_seq(self) -> Optional[int]:
+        return self.events[0][0] if self.events else None
+
+    @property
+    def last_seq(self) -> Optional[int]:
+        return self.events[-1][0] if self.events else None
+
+    def events_from(self, seq: int) -> List[Tuple[int, EdgeEvent]]:
+        """The journal suffix at or past *seq* (the checkpoint
+        watermark), i.e. the records recovery must replay."""
+        return [(s, e) for s, e in self.events if s >= seq]
+
+
+def list_segments(directory) -> List[Tuple[int, str]]:
+    """``(first_seq, path)`` for every segment file, oldest first."""
+    directory = os.fspath(directory)
+    out: List[Tuple[int, str]] = []
+    for name in sorted(os.listdir(directory)):
+        match = _SEGMENT_RE.match(name)
+        if match:
+            out.append((int(match.group(1)), os.path.join(directory, name)))
+    return out
+
+
+def _find_resync(blob: bytes, start: int, min_seq: int) -> Optional[int]:
+    """Search *blob* past a broken record for any complete, CRC-valid
+    record with a plausible sequence number.
+
+    Distinguishes a *torn tail* (partial final write — nothing valid
+    follows, safe to truncate) from *corruption* (valid acknowledged
+    records follow the damage — truncating would silently lose them).
+    """
+    for off in range(start, len(blob) - _RECORD_HEADER.size - _RECORD_CRC.size + 1):
+        seq, length = _RECORD_HEADER.unpack_from(blob, off)
+        if seq < min_seq or length > _MAX_PAYLOAD:
+            continue
+        end = off + _RECORD_HEADER.size + length
+        if end + _RECORD_CRC.size > len(blob):
+            continue
+        crc = zlib.crc32(blob[off:end]) & 0xFFFFFFFF
+        (stored,) = _RECORD_CRC.unpack_from(blob, end)
+        if crc == stored:
+            return off
+    return None
+
+
+def scan_wal(directory, truncate: bool = False) -> WalScan:
+    """Read and validate every segment of the journal at *directory*.
+
+    With ``truncate=True`` (what :class:`WriteAheadLog` does on open) a
+    torn tail is physically truncated off the final segment — and a
+    final segment too short to even hold its header is deleted — so the
+    journal on disk ends at its last valid record.  Corruption that is
+    *not* a torn tail raises :class:`WalError`.
+    """
+    directory = os.fspath(directory)
+    scan = WalScan(directory=directory)
+    segments = list_segments(directory)
+    expected_seq: Optional[int] = None
+    for position, (name_seq, path) in enumerate(segments):
+        last_segment = position == len(segments) - 1
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        if len(blob) < _SEGMENT_HEADER.size:
+            # A crash can only leave a partial *header* on the newest
+            # segment (rotation fsyncs before creating the next file).
+            if not last_segment:
+                raise WalError(path, "truncated segment header mid-journal")
+            scan.torn_path, scan.torn_offset = path, 0
+            scan.torn_bytes = len(blob)
+            if truncate:
+                os.unlink(path)
+                fsync_dir(directory)
+            break
+        magic, version, first_seq = _SEGMENT_HEADER.unpack_from(blob, 0)
+        if magic != _SEGMENT_MAGIC:
+            raise WalError(path, f"bad segment magic {magic!r}")
+        if version != WAL_VERSION:
+            raise WalError(
+                path,
+                f"unsupported journal version {version} "
+                f"(this build reads version {WAL_VERSION})",
+            )
+        if first_seq != name_seq:
+            raise WalError(
+                path, f"segment header seq {first_seq} does not match file name"
+            )
+        if expected_seq is not None and first_seq != expected_seq:
+            raise WalError(
+                path,
+                f"missing journal segment: expected seq {expected_seq}, "
+                f"found segment starting at {first_seq}",
+            )
+        info = SegmentInfo(path=path, first_seq=first_seq, records=0,
+                           end_offset=_SEGMENT_HEADER.size)
+        offset = _SEGMENT_HEADER.size
+        seq = first_seq
+        while offset < len(blob):
+            broken: Optional[str] = None
+            end = offset + _RECORD_HEADER.size
+            if end > len(blob):
+                broken = "cut off mid-header"
+            else:
+                rec_seq, length = _RECORD_HEADER.unpack_from(blob, offset)
+                end += length + _RECORD_CRC.size
+                if length > _MAX_PAYLOAD:
+                    broken = f"implausible payload length {length}"
+                elif end > len(blob):
+                    broken = "cut off mid-record"
+                else:
+                    crc = zlib.crc32(blob[offset:end - _RECORD_CRC.size]) & 0xFFFFFFFF
+                    (stored,) = _RECORD_CRC.unpack_from(blob, end - _RECORD_CRC.size)
+                    if crc != stored:
+                        broken = (f"CRC mismatch (stored {stored:#010x}, "
+                                  f"computed {crc:#010x})")
+                    elif rec_seq != seq:
+                        broken = f"sequence {rec_seq} where {seq} was expected"
+            if broken is None:
+                event = _decode_event(
+                    blob[offset + _RECORD_HEADER.size:end - _RECORD_CRC.size],
+                    path, seq,
+                )
+                scan.events.append((seq, event))
+                info.records += 1
+                info.end_offset = end
+                offset = end
+                seq += 1
+                continue
+            # Damage.  Only a torn tail — final segment, nothing valid
+            # after the break — may be repaired by truncation.
+            if not last_segment or _find_resync(blob, offset + 1, first_seq) is not None:
+                raise WalError(
+                    path,
+                    f"corrupt record at byte {offset} (seq {seq}): {broken}; "
+                    f"valid data follows, refusing to truncate",
+                )
+            scan.torn_path, scan.torn_offset = path, offset
+            scan.torn_bytes = len(blob) - offset
+            if truncate:
+                os.truncate(path, offset)
+                fsync_dir(directory)
+            break
+        scan.segments.append(info)
+        expected_seq = seq
+    return scan
+
+
+class WriteAheadLog:
+    """Append-only, group-committed event journal over a directory of
+    segments.
+
+    Opening scans (and repairs the torn tail of) whatever is already
+    there.  :meth:`append` only buffers the encoded record in memory —
+    it never touches the file, so the service can call it from its
+    event loop with zero I/O latency and perfect ordering.  All file
+    I/O (segment writes, rotation, the single group-commit fsync)
+    happens in :meth:`sync`, which the service runs on a dedicated
+    journal thread.  ``append`` is safe concurrently with one running
+    ``sync``; ``sync``/``close``/``align`` must not race each other
+    (the service guarantees one syncer).
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        start_seq: int = 0,
+    ) -> None:
+        if segment_records < 1:
+            raise ValueError(
+                f"segment_records must be >= 1, got {segment_records}"
+            )
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.segment_records = int(segment_records)
+        #: the recovery scan performed at open (tail already truncated)
+        self.scan = scan_wal(self.directory, truncate=True)
+        self._fh = None
+        self._segment_count = 0
+        if self.scan.segments:
+            tail = self.scan.segments[-1]
+            self._next_seq = tail.first_seq + tail.records
+            if tail.records < self.segment_records:
+                self._fh = open(tail.path, "ab")
+                self._segment_count = tail.records
+        else:
+            self._next_seq = int(start_seq)
+        # Everything that survived the scan is on disk already.
+        self._last_synced_seq = self._next_seq - 1
+        #: encoded (seq, record) pairs awaiting the next group commit
+        self._pending: List[Tuple[int, bytes]] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next :meth:`append` will use."""
+        return self._next_seq
+
+    @property
+    def last_synced_seq(self) -> int:
+        """Highest sequence number known durable (``next_seq - 1 -
+        unsynced``); acknowledging anything above this is a lie."""
+        return self._last_synced_seq
+
+    @property
+    def unsynced(self) -> int:
+        """Appends buffered since the last :meth:`sync`."""
+        return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def align(self, watermark: int) -> None:
+        """Reconcile the append cursor with a restored checkpoint
+        *watermark* before serving resumes.
+
+        After recovery replays the journal tail the cursor already
+        matches; when every journal record is older than the checkpoint
+        (all baked in, GC simply had not run yet) the stale segments
+        are dropped and the cursor jumps forward.  A cursor *ahead* of
+        the watermark means un-replayed records would be overwritten —
+        that is a caller bug and raises.
+        """
+        if self._next_seq == watermark:
+            return
+        if self._next_seq > watermark:
+            raise WalError(
+                self.directory,
+                f"journal cursor {self._next_seq} is ahead of watermark "
+                f"{watermark}: unreplayed records would be overwritten",
+            )
+        self._close_segment()
+        for _, path in list_segments(self.directory):
+            os.unlink(path)
+        fsync_dir(self.directory)
+        self._next_seq = int(watermark)
+        self._last_synced_seq = self._next_seq - 1
+        with self._lock:
+            # Anything buffered here predates the watermark (align is
+            # only legal before serving resumes) — drop it with the
+            # stale segments.
+            self._pending = []
+
+    def append(self, event: EdgeEvent, seq: Optional[int] = None) -> int:
+        """Buffer one encoded record in memory; returns its sequence
+        number.  On disk — and durable — only after the next
+        :meth:`sync`."""
+        if self._closed:
+            raise WalError(self.directory, "append to a closed journal")
+        if seq is None:
+            seq = self._next_seq
+        elif seq != self._next_seq:
+            raise WalError(
+                self.directory,
+                f"non-contiguous append: seq {seq} where {self._next_seq} "
+                f"was expected",
+            )
+        record = encode_record(seq, event)
+        with self._lock:
+            self._pending.append((seq, record))
+        self._next_seq = seq + 1
+        return seq
+
+    def sync(self) -> int:
+        """Group commit: write every buffered record (rotating
+        segments as needed) and pay one fsync for the lot.  Returns
+        the highest durable sequence number.  Appends may continue
+        concurrently; they land in the *next* commit."""
+        with self._lock:
+            batch = self._pending
+            self._pending = []
+        if batch:
+            for seq, record in batch:
+                if (self._fh is None
+                        or self._segment_count >= self.segment_records):
+                    self._rotate(seq)
+                self._fh.write(record)
+                self._segment_count += 1
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._last_synced_seq = batch[-1][0]
+        return self._last_synced_seq
+
+    def gc(self, watermark: int) -> List[str]:
+        """Delete segments whose every record is below *watermark*
+        (already baked into the oldest retained checkpoint).  The
+        newest segment is always kept.  Returns the removed paths."""
+        segments = list_segments(self.directory)
+        removed: List[str] = []
+        fh = self._fh  # snapshot: gc may run on the apply thread
+        active = fh.name if fh is not None else None
+        for (_, path), (next_first, _) in zip(segments, segments[1:]):
+            # The next segment's first seq bounds this one's last.
+            if next_first <= watermark and path != active:
+                os.unlink(path)
+                removed.append(path)
+            else:
+                break
+        if removed:
+            fsync_dir(self.directory)
+        return removed
+
+    def close(self) -> None:
+        """Final sync and release the segment handle (idempotent)."""
+        if self._closed:
+            return
+        self.sync()
+        self._close_segment()
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _close_segment(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+        self._segment_count = 0
+
+    def _rotate(self, first_seq: int) -> None:
+        """Seal the active segment (fsync) and start a fresh one; the
+        directory entry is fsynced so the new segment survives a crash
+        immediately after creation."""
+        self._close_segment()
+        path = os.path.join(self.directory, segment_name(first_seq))
+        if os.path.exists(path):
+            raise WalError(path, "segment already exists (journal misuse)")
+        self._fh = open(path, "wb")
+        self._fh.write(_SEGMENT_HEADER.pack(_SEGMENT_MAGIC, WAL_VERSION, first_seq))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        fsync_dir(self.directory)
+
+    def __repr__(self) -> str:
+        return (f"WriteAheadLog({self.directory!r}, next_seq={self._next_seq}, "
+                f"synced={self._last_synced_seq}, unsynced={self.unsynced})")

@@ -25,6 +25,13 @@ R004  No bare ``except:`` and no ``except Exception: pass`` in
 R005  Kernel functions in ``bc/`` taking an ``acc`` accountant must
       charge it (call a method on ``acc`` or pass it onward) before
       returning, so no kernel escapes the cost model.
+R006  No non-atomic write-mode ``open()`` in ``resilience/`` and
+      ``service/`` — durable artifacts must go through
+      ``repro.utils.atomicio.atomic_write`` (or the equivalent inline
+      tmp + ``os.replace`` pattern) so a crash can never leave a
+      truncated file.  ``resilience/faults.py`` (deliberate
+      corruption) and ``resilience/wal.py`` (the append-only journal
+      is its own durability mechanism) are exempt.
 ====  ==============================================================
 
 A finding on a line carrying ``# sanitize: ignore[RNNN]`` (comma list
@@ -73,6 +80,12 @@ RULES: Dict[str, Tuple[str, str]] = {
         "kernel function never charges its accountant",
         "call a method on `acc` (acc.sp_level/acc.dep_level/...) or "
         "pass `acc` to a helper that does, before returning",
+    ),
+    "R006": (
+        "non-atomic write to a durable path",
+        "write through repro.utils.atomicio.atomic_write (or an "
+        "inline tmp-file + os.replace) so readers never observe a "
+        "torn file after a crash",
     ),
 }
 
@@ -147,6 +160,17 @@ def _is_shm_module(path: str) -> bool:
     return _norm(path).endswith("/parallel/shm.py")
 
 
+def _in_durable_tree(path: str) -> bool:
+    """R006 scope: the layers whose on-disk artifacts a crash must not
+    corrupt.  ``faults.py`` exists to corrupt files and ``wal.py``'s
+    append-only segments get durability from CRC + torn-tail truncation
+    rather than rename, so both are exempt."""
+    p = _norm(path)
+    if p.endswith("/resilience/faults.py") or p.endswith("/resilience/wal.py"):
+        return False
+    return "/repro/resilience/" in p or "/repro/service/" in p
+
+
 def _attr_chain(node: ast.AST) -> List[str]:
     """``a.b.c`` → ``["a", "b", "c"]``; empty when not a pure chain."""
     parts: List[str] = []
@@ -160,7 +184,7 @@ def _attr_chain(node: ast.AST) -> List[str]:
 
 
 class _Visitor(ast.NodeVisitor):
-    """Single-pass collector for all five rules."""
+    """Single-pass collector for all six rules."""
 
     def __init__(self, path: str, tree: ast.Module) -> None:
         self.path = path
@@ -255,6 +279,7 @@ class _Visitor(ast.NodeVisitor):
         self._check_wall_clock(node, chain)
         self._check_numpy_rng(node, chain)
         self._check_shm_creation(node, chain)
+        self._check_durable_write(node, chain)
         self.generic_visit(node)
 
     def _check_wall_clock(self, node: ast.Call, chain: List[str]) -> None:
@@ -297,6 +322,22 @@ class _Visitor(ast.NodeVisitor):
                        f"`{name}(...)` has no close()/unlink() path in "
                        f"its enclosing scope")
 
+    # -- R006 ----------------------------------------------------------
+    def _check_durable_write(self, node: ast.Call, chain: List[str]) -> None:
+        if chain != ["open"] or not _in_durable_tree(self.path):
+            return
+        mode = _open_mode(node)
+        if mode is None or not any(c in mode for c in "wxa"):
+            return  # read mode, or dynamic mode we can't judge
+        # The same widening search R003 uses: the atomic rename (or the
+        # atomic_write helper wrapping it) may live anywhere in the
+        # enclosing function/class/module.
+        if any(_scope_writes_atomically(s) for s in reversed(self._scopes)):
+            return
+        self._flag(node, "R006",
+                   f"`open(..., {mode!r})` writes a durable path "
+                   f"without an atomic-rename path in scope")
+
     # -- R005 ----------------------------------------------------------
     def _check_accountant(self, node) -> None:
         p = _norm(self.path)
@@ -319,6 +360,37 @@ def _scope_releases(scope: ast.AST) -> bool:
         if (isinstance(sub, ast.Call)
                 and isinstance(sub.func, ast.Attribute)
                 and sub.func.attr in ("close", "unlink")):
+            return True
+    return False
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of an ``open(...)`` call, or ``None``
+    when absent / not a constant (absent means ``"r"`` — safe)."""
+    mode: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return None
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return "w"  # dynamic mode expression: assume the worst
+
+
+def _scope_writes_atomically(scope: ast.AST) -> bool:
+    """True when *scope* lexically contains an ``os.replace``/``os.rename``
+    call or uses the ``atomic_write`` helper — the pairing R006 requires
+    for a write-mode ``open`` on a durable path."""
+    for sub in ast.walk(scope):
+        if not isinstance(sub, ast.Call):
+            continue
+        chain = _attr_chain(sub.func)
+        if chain and chain[-1] in ("replace", "rename") and len(chain) >= 2:
+            return True
+        if chain and chain[-1] == "atomic_write":
             return True
     return False
 
@@ -419,7 +491,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns 1 when any finding survives, else 0."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.sanitize.lint",
-        description="Determinism/lifecycle linter (rules R001-R005; "
+        description="Determinism/lifecycle linter (rules R001-R006; "
                     "see docs/SANITIZER.md)",
     )
     parser.add_argument("paths", nargs="+",

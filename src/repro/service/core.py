@@ -17,7 +17,15 @@ On top of the replay semantics it adds the service bookkeeping:
   (``event_index``), so resume restores the exact stream offset;
 * periodic **checkpoints** on the same cadence as
   ``replay(checkpoint_every=N)`` (after every N-th event, even when
-  that lands mid-batch), reusing the PR-2 checksummed NPZ format;
+  that lands mid-batch), reusing the PR-2 checksummed NPZ format,
+  with optional **retention** (``checkpoint_keep``) so the directory
+  holds a bounded window of restore points;
+* optional **journal integration**: given a
+  :class:`~repro.resilience.wal.WriteAheadLog`, construction replays
+  the journal tail past the restored checkpoint watermark through the
+  same batch machinery (crash recovery — state lands bit-identical to
+  an uninterrupted run), and every checkpoint triggers journal GC up
+  to the oldest *retained* checkpoint's watermark;
 * snapshot **publication** into a :class:`~repro.service.snapshots.
   SnapshotStore` via the engine's ``bc_snapshot`` export hook.
 
@@ -69,7 +77,9 @@ class ServiceCore:
         store: Optional[SnapshotStore] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_dir=None,
+        checkpoint_keep: Optional[int] = None,
         resume_from=None,
+        wal=None,
     ) -> None:
         if checkpoint_every is not None:
             if checkpoint_every < 1:
@@ -78,11 +88,23 @@ class ServiceCore:
                 )
             if checkpoint_dir is None:
                 raise ValueError("checkpoint_every requires checkpoint_dir")
+        if checkpoint_keep is not None and checkpoint_keep < 1:
+            raise ValueError(
+                f"checkpoint_keep must be >= 1, got {checkpoint_keep}"
+            )
+        if checkpoint_dir is not None:
             os.makedirs(checkpoint_dir, exist_ok=True)
         self.engine = engine
         self.store = store if store is not None else SnapshotStore()
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_keep = checkpoint_keep
+        #: the journal (repro.resilience.wal.WriteAheadLog) when the
+        #: service runs durable; the core replays its tail on resume
+        #: and GCs its segments behind the retained checkpoints
+        self.wal = wal
+        #: journal records replayed during construction (crash recovery)
+        self.wal_replayed = 0
         #: the same accumulator replay() fills — reports, skipped,
         #: recovered, guard/health events, checkpoints, totals
         self.result = ReplayResult(
@@ -94,6 +116,8 @@ class ServiceCore:
         self._applied_before = 0
         if resume_from is not None:
             self._resume(resume_from)
+        if self.wal is not None:
+            self._replay_wal_tail()
         # Version 0 (or the first post-resume version) carries the
         # restored state so reads work before the first batch lands.
         self.publish()
@@ -101,16 +125,43 @@ class ServiceCore:
     # ------------------------------------------------------------------
     def _resume(self, path) -> None:
         """Restore engine state and the exact stream watermark from a
-        PR-2 checkpoint (see docs/RESILIENCE.md)."""
-        from repro.resilience.checkpoint import load_checkpoint
+        PR-2 checkpoint (see docs/RESILIENCE.md).  *path* may be a
+        checkpoint directory; corrupt files fall back to the
+        next-newest retained checkpoint with a warning."""
+        from repro.resilience.checkpoint import resolve_resume
 
-        ckpt = load_checkpoint(path)
+        ckpt, resolved, _ = resolve_resume(path)
         ckpt.restore_into(self.engine)
         self.watermark = ckpt.event_index
         self._sim_seconds = ckpt.simulated_prefix
         self._applied_before = ckpt.applied_count
         self.result.start_index = self.watermark
-        self.result.resumed_from = os.fspath(path)
+        self.result.resumed_from = os.fspath(resolved)
+
+    def _replay_wal_tail(self) -> None:
+        """Crash recovery: apply the journal records past the restored
+        watermark through the normal batch machinery, then reconcile
+        the journal cursor.
+
+        The journal holds every event the service accepted before the
+        crash (append happens before enqueue), so after this the engine
+        state is bit-identical to a run that never crashed — modulo the
+        unacknowledged suffix the torn-tail truncation removed.
+        """
+        from repro.resilience.errors import WalError
+
+        tail = self.wal.scan.events_from(self.watermark)
+        if tail:
+            if tail[0][0] != self.watermark:
+                raise WalError(
+                    self.wal.directory,
+                    f"journal gap: restored watermark {self.watermark} but "
+                    f"the journal tail starts at seq {tail[0][0]} — the "
+                    f"segments covering the gap were lost",
+                )
+            self.apply_batch([event for _, event in tail])
+        self.wal.align(self.watermark)
+        self.wal_replayed = len(tail)
 
     # ------------------------------------------------------------------
     @property
@@ -188,6 +239,18 @@ class ServiceCore:
             return None
         if self.watermark % self.checkpoint_every != 0:
             return None
+        return self._checkpoint()
+
+    def checkpoint_now(self) -> Optional[str]:
+        """Write a checkpoint at the current watermark regardless of
+        cadence (graceful shutdown / ``kill -TERM``), so restart
+        replays as little of the journal as possible.  ``None`` when
+        no checkpoint directory is configured."""
+        if self.checkpoint_dir is None:
+            return None
+        return self._checkpoint()
+
+    def _checkpoint(self) -> str:
         from repro.resilience.checkpoint import save_checkpoint
 
         path = os.path.join(
@@ -199,8 +262,29 @@ class ServiceCore:
             simulated_prefix=self._sim_seconds,
             applied_count=self.applied_total,
         )
-        self.result.checkpoints.append(path)
+        if path not in self.result.checkpoints:
+            self.result.checkpoints.append(path)
+        self._after_checkpoint()
         return path
+
+    def _after_checkpoint(self) -> None:
+        """Enforce checkpoint retention, then GC journal segments no
+        restore can need: recovery replays from the oldest *retained*
+        checkpoint at worst, so its watermark bounds the journal."""
+        from repro.resilience.checkpoint import (
+            checkpoint_watermark,
+            find_checkpoints,
+            retain_checkpoints,
+        )
+
+        if self.checkpoint_keep is not None:
+            retain_checkpoints(self.checkpoint_dir, self.checkpoint_keep)
+        if self.wal is not None:
+            kept = find_checkpoints(self.checkpoint_dir)
+            if kept:
+                horizon = checkpoint_watermark(kept[0])
+                if horizon is not None:
+                    self.wal.gc(horizon)
 
     def __repr__(self) -> str:
         return (f"ServiceCore(watermark={self.watermark}, "

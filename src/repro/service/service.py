@@ -24,6 +24,17 @@ the same per-event machinery as :func:`repro.graph.stream.replay`, so
 final scores, reports, counters and checkpoints are bit-identical to a
 plain replay of the same sequence for *any* ``max_batch``/``max_delay``
 setting (``tests/test_service.py``).
+
+Durability (``wal_dir=...``): every accepted event is appended to a
+:class:`~repro.resilience.wal.WriteAheadLog` *before* it enters the
+ingest queue, and a background syncer group-commits the journal — one
+fsync covers up to ``fsync_every`` appends or a ``fsync_delay`` window,
+whichever closes first.  In ``ack_durable`` mode (the default whenever
+a journal is configured) :meth:`BCService.submit` returns only after
+the event's journal record is fsynced, so an acknowledged event
+survives ``kill -9`` — recovery replays the journal tail past the
+newest valid checkpoint and lands bit-identical to a run that never
+crashed (``tests/test_service_wal.py``, ``repro.resilience.drill``).
 """
 
 from __future__ import annotations
@@ -45,6 +56,10 @@ DEFAULT_MAX_BATCH = 64
 DEFAULT_MAX_DELAY = 0.05
 #: bounded ingest depth — beyond it, submit() awaits (backpressure)
 DEFAULT_MAX_PENDING = 1024
+#: group commit: fsync once this many appends are buffered...
+DEFAULT_FSYNC_EVERY = 64
+#: ...or once the oldest buffered append has waited this long (seconds)
+DEFAULT_FSYNC_DELAY = 0.002
 
 
 class ServiceClosed(RuntimeError):
@@ -81,6 +96,22 @@ class IngestQueue:
     def closed(self) -> bool:
         """``True`` once :meth:`close` has been called."""
         return self._closed
+
+    @property
+    def full(self) -> bool:
+        """``True`` while the queue is at capacity (new puts would
+        wait or be rejected)."""
+        return len(self._items) >= self.maxsize
+
+    async def wait_space(self) -> None:
+        """Wait until the consumer frees at least one slot (the caller
+        re-checks :attr:`full` — space may be claimed by another
+        producer before it runs)."""
+        self._space.clear()
+        if not self.full or self._closed:
+            self._space.set()
+            return
+        await self._space.wait()
 
     def _after_append(self) -> None:
         self._not_empty.set()
@@ -205,17 +236,49 @@ class BCService:
         store: Optional[SnapshotStore] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_dir=None,
+        checkpoint_keep: Optional[int] = None,
         resume_from=None,
+        wal_dir=None,
+        wal_segment_records: Optional[int] = None,
+        ack_durable: Optional[bool] = None,
+        fsync_every: int = DEFAULT_FSYNC_EVERY,
+        fsync_delay: float = DEFAULT_FSYNC_DELAY,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay <= 0:
             raise ValueError(f"max_delay must be > 0, got {max_delay}")
+        if fsync_every < 1:
+            raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
+        if fsync_delay <= 0:
+            raise ValueError(f"fsync_delay must be > 0, got {fsync_delay}")
+        if ack_durable and wal_dir is None:
+            raise ValueError("ack_durable requires wal_dir")
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
+        self.fsync_every = int(fsync_every)
+        self.fsync_delay = float(fsync_delay)
+        self._wal = None
+        if wal_dir is not None:
+            from repro.resilience.wal import (
+                DEFAULT_SEGMENT_RECORDS,
+                WriteAheadLog,
+            )
+
+            self._wal = WriteAheadLog(
+                wal_dir,
+                segment_records=(wal_segment_records
+                                 if wal_segment_records is not None
+                                 else DEFAULT_SEGMENT_RECORDS),
+            )
+        #: whether submit() acks only after the event's journal record
+        #: is fsynced — on by default whenever a journal is configured
+        self.ack_durable = (self._wal is not None
+                            if ack_durable is None else bool(ack_durable))
         self.core = ServiceCore(
             engine, store=store, checkpoint_every=checkpoint_every,
-            checkpoint_dir=checkpoint_dir, resume_from=resume_from,
+            checkpoint_dir=checkpoint_dir, checkpoint_keep=checkpoint_keep,
+            resume_from=resume_from, wal=self._wal,
         )
         self.queue = IngestQueue(max_pending)
         self.stats: Dict = {
@@ -230,9 +293,18 @@ class BCService:
             "queries": 0,
             "queries_during_apply": 0,
             "max_queue_depth": 0,
+            "wal_appends": 0,
+            "wal_syncs": 0,
+            "durable_waits": 0,
         }
         self._flusher: Optional[asyncio.Task] = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._syncer: Optional[asyncio.Task] = None
+        self._wal_executor: Optional[ThreadPoolExecutor] = None
+        self._sync_wanted = asyncio.Event()
+        self._sync_full = asyncio.Event()
+        #: (seq, future) pairs awaiting a durable ack, seq-ordered
+        self._durable_waiters: List[Tuple[int, asyncio.Future]] = []
         self._applying = False
         self._idle = asyncio.Event()
         self._idle.set()
@@ -242,14 +314,23 @@ class BCService:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "BCService":
-        """Start the flusher task (idempotent); requires a running
-        event loop."""
+        """Start the flusher (and, with a journal, the group-commit
+        syncer) tasks (idempotent); requires a running event loop."""
         if self._flusher is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="bc-service-apply"
             )
             self._flusher = asyncio.get_running_loop().create_task(
                 self._run_flusher()
+            )
+        if self._wal is not None and self._syncer is None:
+            # fsyncs get their own one-thread executor so a slow disk
+            # never blocks batch application (and vice versa)
+            self._wal_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="bc-service-wal"
+            )
+            self._syncer = asyncio.get_running_loop().create_task(
+                self._run_syncer()
             )
         return self
 
@@ -259,7 +340,12 @@ class BCService:
         With ``drain=True`` (default) every accepted event is applied
         before the flusher exits — no accepted write is ever lost on a
         clean shutdown.  With ``drain=False`` pending events are
-        discarded.
+        discarded from the queue (the journal keeps them: a durably
+        acknowledged event survives even an unclean stop, and recovery
+        will apply it).
+
+        The journal is synced one final time and closed, so every
+        accepted event is durable on disk when this returns.
         """
         if not drain:
             self.queue._items.clear()
@@ -273,6 +359,19 @@ class BCService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._syncer is not None:
+            self._syncer.cancel()
+            await asyncio.gather(self._syncer, return_exceptions=True)
+            self._syncer = None
+        if self._wal_executor is not None:
+            self._wal_executor.shutdown(wait=True)
+            self._wal_executor = None
+        if self._wal is not None and not self._wal.closed:
+            # Final group commit + seal; resolve any waiters the
+            # cancelled syncer left behind so submitters never hang.
+            durable = self._wal.sync()
+            self._resolve_durable(durable)
+            self._wal.close()
         self._raise_if_failed()
 
     async def __aenter__(self) -> "BCService":
@@ -288,20 +387,68 @@ class BCService:
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
-    async def submit(self, event: EdgeEvent) -> None:
+    async def submit(
+        self, event: EdgeEvent, *, durable: Optional[bool] = None,
+    ) -> Optional[int]:
         """Accept one edge event, awaiting under backpressure when the
-        ingest queue is full."""
+        ingest queue is full.
+
+        With a journal the event is appended *before* it is enqueued
+        (so the journal is always a superset of what was applied), and
+        its journal sequence number — identical to the watermark the
+        event will commit at — is returned.  In ``ack_durable`` mode
+        the call additionally awaits the group commit that makes the
+        record durable (*durable* overrides the mode per call).
+        Without a journal, returns ``None``.
+        """
         self._raise_if_failed()
-        waited = await self.queue.put(event)
+        if self._wal is None:
+            waited = await self.queue.put(event)
+            self.stats["submitted"] += 1
+            if waited:
+                self.stats["backpressure_waits"] += 1
+            self._note_depth()
+            return None
+        # The append and the enqueue must agree on ordering across
+        # concurrent submitters, so the journal+enqueue pair runs with
+        # no await between the final capacity check and the put — the
+        # event loop makes that section atomic without a lock.
+        waited = False
+        while self.queue.full:
+            if self.queue.closed:
+                raise ServiceClosed("service is stopped")
+            waited = True
+            await self.queue.wait_space()
+        if self.queue.closed:
+            raise ServiceClosed("service is stopped")
+        seq = self._journal(event)
+        self.queue.put_nowait(event)
         self.stats["submitted"] += 1
         if waited:
             self.stats["backpressure_waits"] += 1
         self._note_depth()
+        if self.ack_durable if durable is None else durable:
+            await self._wait_durable(seq)
+        return seq
 
     def try_submit(self, event: EdgeEvent) -> bool:
         """Accept one edge event without waiting; ``False`` means the
-        queue was full and the event was rejected (admission control)."""
+        queue was full and the event was rejected (admission control).
+
+        With a journal the accepted event is appended before it is
+        enqueued, like :meth:`submit` — but since this path cannot
+        await, ``True`` means *accepted and journaled*, with
+        durability following at the next group commit."""
         self._raise_if_failed()
+        if self._wal is not None:
+            if self.queue.closed:
+                raise ServiceClosed("service is stopped")
+            # Capacity is checked BEFORE journaling: a rejected event
+            # must not burn a sequence number the stream never sees.
+            if self.queue.full:
+                self.stats["rejected"] += 1
+                return False
+            self._journal(event)
         if self.queue.put_nowait(event):
             self.stats["submitted"] += 1
             self._note_depth()
@@ -310,9 +457,21 @@ class BCService:
         return False
 
     async def submit_many(self, events: Sequence[EdgeEvent]) -> None:
-        """Submit a sequence of events in order (awaits backpressure)."""
+        """Submit a sequence of events in order (awaits backpressure).
+
+        In ``ack_durable`` mode only the *last* event's durability is
+        awaited: sequence numbers are monotone, so one group commit
+        covering the last record covers the whole batch — the fsync
+        cost amortizes across the sequence instead of gating every
+        event."""
+        if not events:
+            return
+        wait_last = self._wal is not None and self.ack_durable
+        last_seq: Optional[int] = None
         for event in events:
-            await self.submit(event)
+            last_seq = await self.submit(event, durable=False)
+        if wait_last and last_seq is not None:
+            await self._wait_durable(last_seq)
 
     def flush(self) -> None:
         """Ask the coalescer to flush the queued events now rather than
@@ -336,6 +495,63 @@ class BCService:
         depth = len(self.queue)
         if depth > self.stats["max_queue_depth"]:
             self.stats["max_queue_depth"] = depth
+
+    # ------------------------------------------------------------------
+    # journal: append on the loop, group-commit fsync on its own thread
+    # ------------------------------------------------------------------
+    def _journal(self, event: EdgeEvent) -> int:
+        """Append one record (buffered) and nudge the syncer; the
+        record's sequence number equals the watermark the event will
+        commit at."""
+        seq = self._wal.append(event)
+        self.stats["wal_appends"] += 1
+        if self._wal.unsynced >= self.fsync_every:
+            self._sync_full.set()
+        self._sync_wanted.set()
+        return seq
+
+    async def _wait_durable(self, seq: int) -> None:
+        """Block until the journal record *seq* is fsynced (resolved
+        by the syncer's next group commit)."""
+        if self._wal.last_synced_seq >= seq:
+            return
+        self.stats["durable_waits"] += 1
+        future = asyncio.get_running_loop().create_future()
+        self._durable_waiters.append((seq, future))
+        await future
+
+    def _resolve_durable(self, durable_seq: int) -> None:
+        still_waiting = []
+        for seq, future in self._durable_waiters:
+            if seq <= durable_seq:
+                if not future.done():
+                    future.set_result(durable_seq)
+            else:
+                still_waiting.append((seq, future))
+        self._durable_waiters = still_waiting
+
+    async def _run_syncer(self) -> None:
+        """Group-commit loop: wait for an append, hold the commit open
+        for up to ``fsync_delay`` seconds (or until ``fsync_every``
+        appends are buffered), then pay one fsync for the lot and
+        release every submitter the commit covered."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._sync_wanted.wait()
+            if not self._sync_full.is_set():
+                try:
+                    await asyncio.wait_for(
+                        self._sync_full.wait(), self.fsync_delay
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            self._sync_wanted.clear()
+            self._sync_full.clear()
+            durable = await loop.run_in_executor(
+                self._wal_executor, self._wal.sync
+            )
+            self.stats["wal_syncs"] += 1
+            self._resolve_durable(durable)
 
     async def _run_flusher(self) -> None:
         """Coalescer loop: collect -> apply (executor thread) ->
@@ -442,4 +658,13 @@ class BCService:
             service=dict(self.stats,
                          flush_reasons=dict(self.stats["flush_reasons"])),
         )
+        if self._wal is not None:
+            report["wal"] = {
+                "directory": self._wal.directory,
+                "ack_durable": self.ack_durable,
+                "next_seq": self._wal.next_seq,
+                "last_synced_seq": self._wal.last_synced_seq,
+                "unsynced": self._wal.unsynced,
+                "replayed_on_recovery": self.core.wal_replayed,
+            }
         return report

@@ -4,6 +4,7 @@ These are small, dependency-free building blocks used across the graph,
 GPU-model, and betweenness-centrality packages.
 """
 
+from repro.utils.atomicio import atomic_write, fsync_dir
 from repro.utils.prng import default_rng, sample_without_replacement, spawn_rngs
 from repro.utils.tables import format_table, format_float
 from repro.utils.timing import WallTimer
@@ -15,6 +16,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write",
+    "fsync_dir",
     "default_rng",
     "sample_without_replacement",
     "spawn_rngs",

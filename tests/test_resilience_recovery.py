@@ -1,0 +1,271 @@
+"""Crash recovery paths: checkpoint retention and watermark naming,
+corrupt-checkpoint fallback (:func:`load_newest_valid` /
+:func:`resolve_resume`), and the headline contract — a
+:class:`ServiceCore` reconstructed from newest-valid-checkpoint +
+journal tail is bit-identical to a process that never crashed."""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bc.engine import DynamicBC
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import EdgeStream, replay
+from repro.resilience import CheckpointError, FaultInjector, save_checkpoint
+from repro.resilience.checkpoint import (
+    checkpoint_watermark,
+    find_checkpoints,
+    load_newest_valid,
+    resolve_resume,
+    retain_checkpoints,
+)
+from repro.resilience.errors import WalError
+from repro.resilience.wal import WriteAheadLog, list_segments
+from repro.service.core import ServiceCore
+
+K = 12
+SEED = 3
+
+
+def make_engine(graph):
+    return DynamicBC.from_graph(DynamicGraph.from_csr(graph),
+                                num_sources=K, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.erdos_renyi(40, 90, seed=7)
+
+
+@pytest.fixture(scope="module")
+def stream(graph):
+    return EdgeStream.churn(graph, 30, seed=5)
+
+
+def write_checkpoints(graph, directory, watermarks):
+    """One checkpoint file per watermark (engine state is irrelevant
+    to the selection logic under test)."""
+    engine = make_engine(graph)
+    try:
+        for mark in watermarks:
+            save_checkpoint(
+                engine, os.path.join(directory, f"ckpt-{mark:08d}.npz"),
+                event_index=mark,
+            )
+    finally:
+        engine.close()
+    return find_checkpoints(directory)
+
+
+class TestRetention:
+    def test_watermark_parsing(self):
+        assert checkpoint_watermark("ckpt-00000012.npz") == 12
+        assert checkpoint_watermark("/a/b/ckpt-00000300.npz") == 300
+        assert checkpoint_watermark("snapshot.npz") is None
+
+    def test_find_checkpoints_sorted_and_tmp_free(self, graph, tmp_path):
+        write_checkpoints(graph, tmp_path, [20, 5, 10])
+        (tmp_path / "ckpt-00000030.npz.tmp").write_bytes(b"partial")
+        found = find_checkpoints(tmp_path)
+        assert [checkpoint_watermark(p) for p in found] == [5, 10, 20]
+
+    def test_retain_keeps_newest(self, graph, tmp_path):
+        write_checkpoints(graph, tmp_path, [5, 10, 15, 20])
+        removed = retain_checkpoints(tmp_path, 2)
+        assert [checkpoint_watermark(p) for p in removed] == [5, 10]
+        assert [checkpoint_watermark(p)
+                for p in find_checkpoints(tmp_path)] == [15, 20]
+
+    def test_retain_noop_under_limit(self, graph, tmp_path):
+        write_checkpoints(graph, tmp_path, [5])
+        assert retain_checkpoints(tmp_path, 3) == []
+
+    def test_retain_rejects_bad_keep(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            retain_checkpoints(tmp_path, 0)
+
+
+class TestFallback:
+    def test_newest_valid_picks_newest(self, graph, tmp_path):
+        paths = write_checkpoints(graph, tmp_path, [5, 10, 15])
+        ckpt, path, skipped = load_newest_valid(tmp_path)
+        assert path == paths[-1] and ckpt.event_index == 15
+        assert skipped == []
+
+    def test_falls_back_past_corrupt_newest(self, graph, tmp_path):
+        paths = write_checkpoints(graph, tmp_path, [5, 10, 15])
+        FaultInjector(0).corrupt_file(paths[-1])
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            ckpt, path, skipped = load_newest_valid(tmp_path)
+        assert ckpt.event_index == 10 and path == paths[1]
+        assert skipped == [paths[-1]]
+
+    def test_all_corrupt_raises(self, graph, tmp_path):
+        for path in write_checkpoints(graph, tmp_path, [5, 10]):
+            FaultInjector(1).corrupt_file(path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(CheckpointError, match="all 2 retained"):
+                load_newest_valid(tmp_path)
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            load_newest_valid(tmp_path)
+
+    def test_resolve_resume_directory(self, graph, tmp_path):
+        write_checkpoints(graph, tmp_path, [5, 10])
+        ckpt, _, _ = resolve_resume(tmp_path)
+        assert ckpt.event_index == 10
+
+    def test_resolve_resume_corrupt_file_falls_back(self, graph, tmp_path):
+        paths = write_checkpoints(graph, tmp_path, [5, 10, 15])
+        FaultInjector(2).corrupt_file(paths[-1])
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            ckpt, resolved, skipped = resolve_resume(paths[-1])
+        assert ckpt.event_index == 10 and resolved == paths[1]
+        assert skipped == [paths[-1]]
+
+    def test_resolve_resume_corrupt_file_no_fallback_raises(self, graph,
+                                                            tmp_path):
+        (path,) = write_checkpoints(graph, tmp_path, [5])
+        FaultInjector(3).corrupt_file(path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(CheckpointError, match="no older valid"):
+                resolve_resume(path)
+
+
+class TestCoreRecovery:
+    """Checkpoint + journal-tail recovery is bit-identical to a run
+    that never crashed (the in-process core of the kill -9 drill)."""
+
+    def run_and_abandon(self, graph, stream, wal_dir, ckpt_dir, *,
+                        checkpoint_every=10, keep=2):
+        """Apply the whole stream with journaling, sync, then abandon
+        everything without a clean close — the in-process stand-in for
+        kill -9 (the journal holds every accepted event)."""
+        engine = make_engine(graph)
+        wal = WriteAheadLog(wal_dir)
+        core = ServiceCore(engine, checkpoint_every=checkpoint_every,
+                           checkpoint_dir=ckpt_dir, checkpoint_keep=keep,
+                           wal=wal)
+        for event in stream:
+            wal.append(event)
+            core.apply_batch([event])
+        wal.sync()
+        engine.close()
+        return core.watermark
+
+    def recover(self, graph, wal_dir, ckpt_dir):
+        engine = make_engine(graph)
+        wal = WriteAheadLog(wal_dir)
+        resume = ckpt_dir if find_checkpoints(ckpt_dir) else None
+        core = ServiceCore(engine, checkpoint_every=10,
+                           checkpoint_dir=ckpt_dir, checkpoint_keep=2,
+                           resume_from=resume, wal=wal)
+        wal.close()
+        return engine, core
+
+    def assert_matches_oracle(self, graph, stream, engine, core):
+        oracle = make_engine(graph)
+        try:
+            replay(oracle, EdgeStream(list(stream)[:core.watermark]))
+            assert np.array_equal(engine.bc_scores, oracle.bc_scores)
+            for name in ("sources", "d", "sigma", "delta"):
+                assert np.array_equal(getattr(engine.state, name),
+                                      getattr(oracle.state, name)), name
+            assert engine.counters == oracle.counters
+        finally:
+            oracle.close()
+
+    def test_recovery_is_bit_identical(self, graph, stream, tmp_path):
+        wal_dir, ckpt_dir = tmp_path / "wal", tmp_path / "ckpt"
+        watermark = self.run_and_abandon(graph, stream, wal_dir, ckpt_dir)
+        engine, core = self.recover(graph, wal_dir, ckpt_dir)
+        try:
+            assert core.watermark == watermark == len(stream)
+            # Retention kept 2 checkpoints; the tail past the newest
+            # (watermark 30 is on the cadence, so 0 here) was replayed
+            # from the journal.
+            assert core.wal_replayed == watermark - core.result.start_index
+            self.assert_matches_oracle(graph, stream, engine, core)
+        finally:
+            engine.close()
+
+    def test_recovery_without_any_checkpoint(self, graph, stream, tmp_path):
+        """A kill before the first cadence checkpoint recovers from the
+        journal alone, replaying from watermark zero."""
+        wal_dir = tmp_path / "wal"
+        events = list(stream)[:7]
+        self.run_and_abandon(graph, EdgeStream(events), wal_dir,
+                             tmp_path / "ckpt", checkpoint_every=1000)
+        engine, core = self.recover(graph, wal_dir, tmp_path / "ckpt")
+        try:
+            assert core.result.resumed_from is None
+            assert core.wal_replayed == 7 and core.watermark == 7
+            self.assert_matches_oracle(graph, EdgeStream(events),
+                                       engine, core)
+        finally:
+            engine.close()
+
+    def test_recovery_past_corrupt_newest_checkpoint(self, graph, stream,
+                                                     tmp_path):
+        """Corrupting the newest checkpoint costs nothing but replay
+        length: the fallback checkpoint plus a longer journal tail
+        still lands on identical state."""
+        wal_dir, ckpt_dir = tmp_path / "wal", tmp_path / "ckpt"
+        self.run_and_abandon(graph, stream, wal_dir, ckpt_dir)
+        FaultInjector(4).corrupt_file(find_checkpoints(ckpt_dir)[-1])
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            engine, core = self.recover(graph, wal_dir, ckpt_dir)
+        try:
+            assert core.watermark == len(stream)
+            assert core.wal_replayed > 0  # the longer tail was replayed
+            self.assert_matches_oracle(graph, stream, engine, core)
+        finally:
+            engine.close()
+
+    def test_journal_gap_refuses_recovery(self, graph, stream, tmp_path):
+        """Journal records starting past the restored watermark mean
+        acknowledged events were lost — recovery must fail loudly, not
+        resume with a silent hole in the stream."""
+        wal_dir = tmp_path / "wal"
+        events = list(stream)[:6]
+        with WriteAheadLog(wal_dir, start_seq=3) as wal:
+            for event in events[3:]:
+                wal.append(event)
+        engine = make_engine(graph)
+        try:
+            with pytest.raises(WalError, match="journal gap"):
+                ServiceCore(engine, wal=WriteAheadLog(wal_dir))
+        finally:
+            engine.close()
+
+    def test_checkpoints_bound_the_journal(self, graph, stream, tmp_path):
+        """Retention GC: after a run with cadence checkpoints the
+        journal only holds segments at or past the oldest retained
+        checkpoint's watermark."""
+        wal_dir, ckpt_dir = tmp_path / "wal", tmp_path / "ckpt"
+        engine = make_engine(graph)
+        wal = WriteAheadLog(wal_dir, segment_records=5)
+        core = ServiceCore(engine, checkpoint_every=10,
+                           checkpoint_dir=ckpt_dir, checkpoint_keep=2,
+                           wal=wal)
+        for event in stream:
+            wal.append(event)
+            wal.sync()
+            core.apply_batch([event])
+        wal.close()
+        engine.close()
+        marks = [checkpoint_watermark(p) for p in find_checkpoints(ckpt_dir)]
+        assert marks == [20, 30]
+        oldest_retained = marks[0]
+        firsts = [s for s, _ in list_segments(wal_dir)]
+        assert firsts  # the newest segment always survives
+        # No segment may end strictly below the GC horizon.
+        assert all(first + 5 > oldest_retained or first == firsts[-1]
+                   for first in firsts[:-1])
+        assert firsts[0] + 5 > oldest_retained

@@ -1,0 +1,286 @@
+"""Write-ahead journal (:mod:`repro.resilience.wal`): on-disk format
+round trips, buffered group-commit semantics, segment rotation/GC, the
+align contract — and the corruption matrix the recovery claims rest
+on: torn tails are truncated, everything else refuses to guess.
+
+Sequence numbers in the journal are the service watermark, so every
+test here is really a statement about which acknowledged events a
+crash is allowed (none) or not allowed (the unsynced suffix) to lose.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.graph.stream import EdgeEvent
+from repro.resilience.errors import WalError
+from repro.resilience.wal import (
+    WAL_VERSION,
+    WriteAheadLog,
+    encode_record,
+    list_segments,
+    scan_wal,
+    segment_name,
+)
+
+
+def make_events(n, start=0):
+    """Deterministic mixed insert/delete events, self-loop free."""
+    out = []
+    for i in range(start, start + n):
+        u = i % 7
+        v = u + 1 + (i % 3)
+        out.append(EdgeEvent(float(i) * 0.5, u, v,
+                             "delete" if i % 5 == 4 else "insert"))
+    return out
+
+
+def fill(directory, n, *, segment_records=4096, start=0):
+    """A closed journal holding *n* synced events; returns the events."""
+    events = make_events(n, start=start)
+    with WriteAheadLog(directory, segment_records=segment_records,
+                       start_seq=start) as wal:
+        for event in events:
+            wal.append(event)
+    return events
+
+
+class TestFormat:
+    def test_round_trip(self, tmp_path):
+        events = fill(tmp_path, 10)
+        scan = scan_wal(tmp_path)
+        assert [e for _, e in scan.events] == events
+        assert [s for s, _ in scan.events] == list(range(10))
+        assert scan.first_seq == 0 and scan.last_seq == 9
+        assert scan.torn_path is None
+
+    def test_append_only_buffers_until_sync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for event in make_events(5):
+            wal.append(event)
+        assert wal.unsynced == 5
+        assert wal.last_synced_seq == -1
+        assert scan_wal(tmp_path).events == []  # nothing on disk yet
+        assert wal.sync() == 4
+        assert wal.unsynced == 0
+        assert len(scan_wal(tmp_path).events) == 5
+        wal.close()
+
+    def test_close_syncs_pending(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(make_events(1)[0])
+        wal.close()
+        assert len(scan_wal(tmp_path).events) == 1
+        wal.close()  # idempotent
+
+    def test_segment_rotation_and_names(self, tmp_path):
+        fill(tmp_path, 10, segment_records=4)
+        names = [os.path.basename(p) for _, p in list_segments(tmp_path)]
+        assert names == [segment_name(0), segment_name(4), segment_name(8)]
+        scan = scan_wal(tmp_path)
+        assert [s.first_seq for s in scan.segments] == [0, 4, 8]
+        assert [s.records for s in scan.segments] == [4, 4, 2]
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        events = fill(tmp_path, 7, segment_records=4)
+        wal = WriteAheadLog(tmp_path, segment_records=4)
+        assert wal.next_seq == 7
+        more = make_events(3, start=7)
+        for event in more:
+            wal.append(event)
+        wal.close()
+        scan = scan_wal(tmp_path)
+        assert [e for _, e in scan.events] == events + more
+        assert scan.last_seq == 9
+
+    def test_start_seq_offsets_a_fresh_journal(self, tmp_path):
+        fill(tmp_path, 3, start=100)
+        scan = scan_wal(tmp_path)
+        assert scan.first_seq == 100 and scan.last_seq == 102
+        assert os.path.basename(scan.segments[0].path) == segment_name(100)
+
+    def test_non_contiguous_append_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(make_events(1)[0])
+            with pytest.raises(WalError, match="non-contiguous"):
+                wal.append(make_events(1)[0], seq=5)
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append(make_events(1)[0])
+
+    def test_record_layout(self):
+        event = EdgeEvent(1.5, 2, 3, "insert")
+        record = encode_record(7, event)
+        seq, length = struct.unpack_from("<QI", record, 0)
+        assert seq == 7
+        assert len(record) == 12 + length + 4  # header + payload + crc
+        assert b'"op":"insert"' in record
+
+    def test_events_from_filters_by_watermark(self, tmp_path):
+        fill(tmp_path, 10)
+        scan = scan_wal(tmp_path)
+        tail = scan.events_from(6)
+        assert [s for s, _ in tail] == [6, 7, 8, 9]
+        assert scan.events_from(10) == []
+
+
+class TestCorruptionMatrix:
+    def test_empty_journal(self, tmp_path):
+        scan = scan_wal(tmp_path)
+        assert scan.events == [] and scan.segments == []
+        wal = WriteAheadLog(tmp_path)
+        assert wal.next_seq == 0
+        wal.close()
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        fill(tmp_path, 6)
+        (_, path), = list_segments(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 5)  # cut mid-record
+        scan = scan_wal(tmp_path)  # read-only: reports, does not repair
+        assert scan.torn_path == path and scan.torn_bytes > 0
+        assert [s for s, _ in scan.events] == [0, 1, 2, 3, 4]
+        repaired = scan_wal(tmp_path, truncate=True)
+        assert os.path.getsize(path) == repaired.segments[-1].end_offset
+        after = scan_wal(tmp_path)
+        assert after.torn_path is None and after.last_seq == 4
+
+    def test_bad_crc_on_final_record_is_a_torn_tail(self, tmp_path):
+        fill(tmp_path, 6)
+        (_, path), = list_segments(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(-3, os.SEEK_END)  # inside the last record's payload
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        scan = scan_wal(tmp_path, truncate=True)
+        assert scan.torn_path == path
+        assert scan.last_seq == 4  # only the unsynced-style tail is lost
+
+    def test_mid_segment_bit_flip_raises(self, tmp_path):
+        fill(tmp_path, 8)
+        (_, path), = list_segments(tmp_path)
+        record_len = len(encode_record(0, make_events(1)[0]))
+        with open(path, "r+b") as fh:
+            fh.seek(16 + record_len + 14)  # inside the second record
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0x01]))
+        # Valid acknowledged records follow the damage: truncating
+        # would lose them, so the scan must refuse.
+        with pytest.raises(WalError, match="refusing to truncate"):
+            scan_wal(tmp_path, truncate=True)
+        assert os.path.exists(path)  # nothing was repaired away
+
+    def test_missing_segment_raises(self, tmp_path):
+        fill(tmp_path, 12, segment_records=4)
+        segments = list_segments(tmp_path)
+        os.unlink(segments[1][1])  # drop the middle segment
+        with pytest.raises(WalError, match="missing journal segment"):
+            scan_wal(tmp_path)
+
+    def test_partial_header_on_newest_segment_is_deleted(self, tmp_path):
+        fill(tmp_path, 4, segment_records=4)
+        stub = tmp_path / segment_name(4)
+        stub.write_bytes(b"RWAL\x01")  # crash mid-rotation
+        scan = scan_wal(tmp_path, truncate=True)
+        assert not stub.exists()
+        assert scan.last_seq == 3
+
+    def test_partial_header_mid_journal_raises(self, tmp_path):
+        fill(tmp_path, 8, segment_records=4)
+        with open(tmp_path / segment_name(0), "r+b") as fh:
+            fh.truncate(8)
+        with pytest.raises(WalError, match="truncated segment header"):
+            scan_wal(tmp_path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        fill(tmp_path, 2)
+        (_, path), = list_segments(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.write(b"XXXX")
+        with pytest.raises(WalError, match="magic"):
+            scan_wal(tmp_path)
+
+    def test_future_version_raises(self, tmp_path):
+        fill(tmp_path, 2)
+        (_, path), = list_segments(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(4)
+            fh.write(struct.pack("<I", WAL_VERSION + 1))
+        with pytest.raises(WalError, match="version"):
+            scan_wal(tmp_path)
+
+    def test_reopen_repairs_torn_tail_and_continues(self, tmp_path):
+        fill(tmp_path, 6)
+        (_, path), = list_segments(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 2)
+        wal = WriteAheadLog(tmp_path)  # open scans with truncate=True
+        assert wal.scan.torn_path == path
+        assert wal.next_seq == 5  # seq 5's record was the torn one
+        wal.append(make_events(1, start=5)[0])
+        wal.close()
+        assert scan_wal(tmp_path).last_seq == 5
+
+
+class TestGcAndAlign:
+    def test_gc_drops_segments_below_watermark(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_records=4)
+        for event in make_events(12):
+            wal.append(event)
+        wal.sync()
+        removed = wal.gc(8)  # segments [0..3] and [4..7] are baked in
+        assert [os.path.basename(p) for p in removed] == [
+            segment_name(0), segment_name(4)]
+        assert [s for s, _ in list_segments(tmp_path)] == [8]
+        wal.close()
+
+    def test_gc_keeps_partially_covered_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_records=4)
+        for event in make_events(12):
+            wal.append(event)
+        wal.sync()
+        # Watermark 6 sits inside segment 4: only segment 0 may go.
+        assert len(wal.gc(6)) == 1
+        assert [s for s, _ in list_segments(tmp_path)] == [4, 8]
+        wal.close()
+
+    def test_gc_never_removes_newest_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_records=4)
+        for event in make_events(8):
+            wal.append(event)
+        wal.sync()
+        wal.gc(1000)  # even an absurd watermark keeps the tail
+        assert [s for s, _ in list_segments(tmp_path)] == [4]
+        wal.close()
+
+    def test_align_equal_is_a_noop(self, tmp_path):
+        fill(tmp_path, 5)
+        wal = WriteAheadLog(tmp_path)
+        wal.align(5)
+        assert wal.next_seq == 5
+        assert len(list_segments(tmp_path)) == 1
+        wal.close()
+
+    def test_align_behind_drops_stale_segments(self, tmp_path):
+        fill(tmp_path, 5)
+        wal = WriteAheadLog(tmp_path)
+        # A checkpoint at watermark 20 supersedes every journal record.
+        wal.align(20)
+        assert wal.next_seq == 20
+        assert list_segments(tmp_path) == []
+        wal.append(make_events(1, start=20)[0])
+        wal.close()
+        assert scan_wal(tmp_path).first_seq == 20
+
+    def test_align_ahead_raises(self, tmp_path):
+        fill(tmp_path, 10)
+        wal = WriteAheadLog(tmp_path)
+        with pytest.raises(WalError, match="ahead of watermark"):
+            wal.align(4)
+        wal.close()

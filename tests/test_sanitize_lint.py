@@ -256,6 +256,76 @@ class TestR005:
 
 
 # ----------------------------------------------------------------------
+# R006: non-atomic durable writes in resilience/ and service/
+# ----------------------------------------------------------------------
+class TestR006:
+    SERVICE_PATH = "src/repro/service/mod.py"
+    BAD = ("def save(path, data):\n"
+           "    with open(path, 'w') as fh:\n"
+           "        fh.write(data)\n")
+
+    def test_fires_in_resilience_tree(self):
+        assert rules_of(lint_at(self.BAD, RESILIENCE_PATH)) == ["R006"]
+
+    def test_fires_in_service_tree(self):
+        assert rules_of(lint_at(self.BAD, self.SERVICE_PATH)) == ["R006"]
+
+    def test_fires_on_mode_keyword_and_binary(self):
+        src = ("def save(path, blob):\n"
+               "    with open(path, mode='wb') as fh:\n"
+               "        fh.write(blob)\n")
+        assert rules_of(lint_at(src, self.SERVICE_PATH)) == ["R006"]
+
+    def test_silent_on_read_mode(self):
+        src = ("def load(path):\n"
+               "    with open(path) as fh:\n"
+               "        return fh.read()\n")
+        assert lint_at(src, RESILIENCE_PATH) == []
+
+    def test_silent_with_atomic_write_helper(self):
+        src = ("from repro.utils.atomicio import atomic_write\n\n"
+               "def save(path, data):\n"
+               "    with atomic_write(path) as fh:\n"
+               "        fh.write(data)\n")
+        assert lint_at(src, self.SERVICE_PATH) == []
+
+    def test_silent_with_inline_tmp_and_replace(self):
+        src = ("import os\n\n"
+               "def save(path, data):\n"
+               "    tmp = path + '.tmp'\n"
+               "    with open(tmp, 'w') as fh:\n"
+               "        fh.write(data)\n"
+               "        os.fsync(fh.fileno())\n"
+               "    os.replace(tmp, path)\n")
+        assert lint_at(src, RESILIENCE_PATH) == []
+
+    def test_widening_search_finds_replace_in_class(self):
+        src = ("import os\n\n"
+               "class Saver:\n"
+               "    def _write(self, tmp, data):\n"
+               "        with open(tmp, 'w') as fh:\n"
+               "            fh.write(data)\n"
+               "    def commit(self, tmp, path):\n"
+               "        os.replace(tmp, path)\n")
+        assert lint_at(src, self.SERVICE_PATH) == []
+
+    def test_silent_outside_durable_trees(self):
+        assert lint_at(self.BAD, NEUTRAL_PATH) == []
+        assert lint_at(self.BAD, KERNEL_PATH) == []
+
+    def test_faults_and_wal_modules_exempt(self):
+        for exempt in ("src/repro/resilience/faults.py",
+                       "src/repro/resilience/wal.py"):
+            assert lint_at(self.BAD, exempt) == []
+
+    def test_pragma_suppresses(self):
+        src = ("def save(path, data):\n"
+               "    with open(path, 'w') as fh:  # sanitize: ignore[R006]\n"
+               "        fh.write(data)\n")
+        assert lint_at(src, RESILIENCE_PATH) == []
+
+
+# ----------------------------------------------------------------------
 # Pragma mechanics, output formats, exit codes, repo cleanliness
 # ----------------------------------------------------------------------
 class TestHarness:

@@ -1,0 +1,283 @@
+"""Durable-service differential suite: :class:`BCService` with a
+write-ahead journal vs plain :func:`replay`.
+
+Journaling must be invisible to the determinism contract (bit-identical
+final state) while adding the durability contract: every submit returns
+the journal sequence number — equal to the watermark the event commits
+at — and in ``ack_durable`` mode the ack implies the record is fsynced.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.bc.engine import DynamicBC
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import EdgeStream, replay
+from repro.resilience.chaos import reports_identical
+from repro.resilience.wal import scan_wal, segment_name
+from repro.service import BCService
+
+pytestmark = pytest.mark.service
+
+K = 12
+SEED = 3
+
+
+def make_engine(graph):
+    return DynamicBC.from_graph(DynamicGraph.from_csr(graph),
+                                num_sources=K, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.erdos_renyi(40, 90, seed=7)
+
+
+@pytest.fixture(scope="module")
+def stream(graph):
+    return EdgeStream.churn(graph, 40, seed=5)
+
+
+@pytest.fixture(scope="module")
+def twin(graph, stream):
+    engine = make_engine(graph)
+    result = replay(engine, stream)
+    return engine, result
+
+
+def assert_state_equal(engine, twin_engine):
+    assert np.array_equal(engine.bc_scores, twin_engine.bc_scores)
+    for name in ("sources", "d", "sigma", "delta"):
+        assert np.array_equal(getattr(engine.state, name),
+                              getattr(twin_engine.state, name)), name
+    assert engine.counters == twin_engine.counters
+
+
+class TestDurableSubmit:
+    def test_seqs_are_the_watermarks(self, graph, stream, tmp_path):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine, max_batch=8,
+                                     wal_dir=tmp_path / "wal") as svc:
+                    seqs = [await svc.submit(e) for e in stream]
+                    await svc.drain()
+                    assert seqs == list(range(len(stream)))
+                    assert svc.core.watermark == len(stream)
+                    assert svc.stats["wal_appends"] == len(stream)
+                    assert svc.stats["wal_syncs"] >= 1
+                return svc
+            finally:
+                engine.close()
+
+        svc = asyncio.run(main())
+        assert svc.ack_durable  # default on whenever a journal exists
+        # Clean stop sealed the journal: every accepted event on disk.
+        scan = scan_wal(tmp_path / "wal")
+        assert scan.last_seq == len(stream) - 1
+        assert [e for _, e in scan.events] == list(stream)
+
+    def test_ack_implies_synced(self, graph, stream, tmp_path):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine,
+                                     wal_dir=tmp_path / "wal") as svc:
+                    for event in list(stream)[:5]:
+                        seq = await svc.submit(event)
+                        # The durable ack happened before submit
+                        # returned: the record is already fsynced.
+                        assert svc._wal.last_synced_seq >= seq
+                    await svc.drain()
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+
+    def test_durable_false_skips_the_wait(self, graph, stream, tmp_path):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine,
+                                     wal_dir=tmp_path / "wal") as svc:
+                    for event in list(stream)[:5]:
+                        await svc.submit(event, durable=False)
+                    assert svc.stats["durable_waits"] == 0
+                    await svc.drain()
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+
+    def test_submit_many_waits_once(self, graph, stream, tmp_path):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine,
+                                     wal_dir=tmp_path / "wal") as svc:
+                    await svc.submit_many(list(stream))
+                    # One group commit covers the whole batch: at most
+                    # one blocked wait, on the final sequence number.
+                    assert svc.stats["durable_waits"] <= 1
+                    assert svc._wal.last_synced_seq == len(stream) - 1
+                    await svc.drain()
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+
+    def test_no_wal_submit_returns_none(self, graph, stream):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine) as svc:
+                    assert await svc.submit(list(stream)[0]) is None
+                    await svc.drain()
+                    assert "wal" not in svc.health_report()
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+
+    def test_ack_durable_requires_wal(self, graph):
+        engine = make_engine(graph)
+        try:
+            with pytest.raises(ValueError, match="requires wal_dir"):
+                BCService(engine, ack_durable=True)
+        finally:
+            engine.close()
+
+    def test_rejected_event_burns_no_seq(self, graph, stream, tmp_path):
+        """Admission control and the journal must agree: a rejected
+        try_submit leaves no record (its seq would be a permanent hole
+        in the stream)."""
+        events = list(stream)
+
+        async def main():
+            engine = make_engine(graph)
+            try:
+                # max_delay far out: the queued event sits in the queue
+                # until drain, so the 1-slot queue stays full.
+                async with BCService(engine, max_batch=64, max_delay=5.0,
+                                     max_pending=1,
+                                     wal_dir=tmp_path / "wal") as svc:
+                    assert await svc.submit(events[0]) == 0
+                    assert svc.queue.full
+                    assert svc.try_submit(events[1]) is False
+                    assert svc.stats["rejected"] == 1
+                    assert svc._wal.next_seq == 1  # no seq burned
+                    await svc.drain()
+                    assert svc.try_submit(events[1]) is True
+                    await svc.drain()
+                    assert svc.core.watermark == 2
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+
+    def test_health_report_wal_section(self, graph, stream, tmp_path):
+        async def main():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine,
+                                     wal_dir=tmp_path / "wal") as svc:
+                    await svc.submit_many(list(stream)[:4])
+                    await svc.drain()
+                    wal = svc.health_report()["wal"]
+                    assert wal["directory"] == os.fspath(tmp_path / "wal")
+                    assert wal["ack_durable"] is True
+                    assert wal["next_seq"] == 4
+                    assert wal["replayed_on_recovery"] == 0
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+
+
+class TestDurableDifferential:
+    def test_journaling_is_bit_identical(self, graph, stream, twin,
+                                         tmp_path):
+        twin_engine, twin_result = twin
+
+        async def main():
+            engine = make_engine(graph)
+            async with BCService(engine, max_batch=8,
+                                 wal_dir=tmp_path / "wal",
+                                 wal_segment_records=16) as svc:
+                for event in stream:
+                    await svc.submit(event)
+                await svc.drain()
+            return svc
+
+        svc = asyncio.run(main())
+        try:
+            assert_state_equal(svc.core.engine, twin_engine)
+            assert len(svc.core.result.reports) == len(twin_result.reports)
+            for mine, theirs in zip(svc.core.result.reports,
+                                    twin_result.reports):
+                assert reports_identical(mine, theirs)
+            assert (svc.core.result.simulated_seconds
+                    == twin_result.simulated_seconds)
+            names = sorted(os.listdir(tmp_path / "wal"))
+            assert names[0] == segment_name(0)  # rotation happened
+            assert len(names) >= 2
+        finally:
+            svc.core.engine.close()
+
+    def test_restart_resumes_and_matches(self, graph, stream, twin,
+                                         tmp_path):
+        """Stop mid-stream, restart from checkpoint + journal tail,
+        serve the rest: final state identical to one uninterrupted
+        replay."""
+        twin_engine, twin_result = twin
+        events = list(stream)
+        wal_dir = tmp_path / "wal"
+        ckpt_dir = tmp_path / "ckpt"
+
+        async def first_half():
+            engine = make_engine(graph)
+            try:
+                async with BCService(engine, max_batch=8,
+                                     checkpoint_every=8,
+                                     checkpoint_dir=ckpt_dir,
+                                     checkpoint_keep=2,
+                                     wal_dir=wal_dir) as svc:
+                    for event in events[:30]:
+                        await svc.submit(event)
+                    await svc.drain()
+                    assert svc.core.watermark == 30
+            finally:
+                engine.close()
+
+        async def second_half():
+            engine = make_engine(graph)
+            async with BCService(engine, max_batch=8,
+                                 checkpoint_every=8,
+                                 checkpoint_dir=ckpt_dir,
+                                 checkpoint_keep=2,
+                                 resume_from=ckpt_dir,
+                                 wal_dir=wal_dir) as svc:
+                # Retention kept checkpoints 16 and 24; the journal
+                # tail 24..29 was replayed during construction.
+                assert svc.core.watermark == 30
+                assert svc.core.wal_replayed == 6
+                for event in events[30:]:
+                    await svc.submit(event)
+                await svc.drain()
+            return svc
+
+        asyncio.run(first_half())
+        svc = asyncio.run(second_half())
+        try:
+            assert svc.core.watermark == len(events)
+            assert_state_equal(svc.core.engine, twin_engine)
+            # The post-resume report suffix matches the oracle's.
+            suffix = twin_result.reports[-len(svc.core.result.reports):]
+            for mine, theirs in zip(svc.core.result.reports, suffix):
+                assert reports_identical(mine, theirs)
+        finally:
+            svc.core.engine.close()

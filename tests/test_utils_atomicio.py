@@ -1,0 +1,70 @@
+"""Atomic durable writes (:mod:`repro.utils.atomicio`): success
+replaces the target in one rename, failure leaves the previous file
+untouched, and no temporary files survive either way."""
+
+import os
+
+import pytest
+
+from repro.utils.atomicio import atomic_write, fsync_dir
+
+
+class TestAtomicWrite:
+    def test_creates_new_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_write(path) as fh:
+            fh.write("hello\n")
+        assert path.read_text() == "hello\n"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with atomic_write(path) as fh:
+            fh.write("new")
+        assert path.read_text() == "new"
+
+    def test_exception_leaves_original_intact(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write("partial garbage")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.txt"]  # no .tmp leftover
+
+    def test_exception_on_fresh_target_leaves_nothing(self, tmp_path):
+        path = tmp_path / "never.txt"
+        with pytest.raises(ValueError):
+            with atomic_write(path) as fh:
+                fh.write("doomed")
+                raise ValueError("boom")
+        assert os.listdir(tmp_path) == []
+
+    def test_binary_mode(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        payload = bytes(range(256))
+        with atomic_write(path, "wb") as fh:
+            fh.write(payload)
+        assert path.read_bytes() == payload
+
+    @pytest.mark.parametrize("mode", ["r", "rb", "r+", "w+", "a+"])
+    def test_read_capable_modes_rejected(self, tmp_path, mode):
+        with pytest.raises(ValueError, match="write-only"):
+            with atomic_write(tmp_path / "x", mode):
+                pass
+
+    def test_open_kwargs_forwarded(self, tmp_path):
+        path = tmp_path / "enc.txt"
+        with atomic_write(path, encoding="utf-8") as fh:
+            fh.write("café")
+        assert path.read_bytes().decode("utf-8") == "café"
+
+
+class TestFsyncDir:
+    def test_best_effort_on_directory(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+
+    def test_tolerates_missing_directory(self, tmp_path):
+        fsync_dir(tmp_path / "does-not-exist")  # silently tolerated
