@@ -48,7 +48,7 @@ from repro.gpu.device import CORE_I7_2600K, TESLA_C2075, DeviceSpec
 from repro.gpu.executor import schedule_blocks
 from repro.graph.csr import CSRGraph, DIST_INF
 from repro.graph.dynamic import DynamicGraph
-from repro.parallel.chunks import plan_chunks
+from repro.parallel.chunks import plan_chunks_guided
 from repro.parallel.pool import ParallelExecutionError, WorkerPool
 from repro.parallel.reducer import merge_indexed, rebuild_trace
 from repro.parallel.shm import ShmArena, shm_available
@@ -57,6 +57,7 @@ from repro.parallel.supervisor import (
     SupervisedPool,
     SupervisorPolicy,
 )
+from repro.parallel.threadpool import ThreadWorkerPool, free_threading_active
 from repro.resilience.errors import UpdateError
 from repro.resilience.transactions import UpdateTransaction
 from repro.sanitize import tracer as _san
@@ -133,9 +134,17 @@ class DynamicBC:
         supervised: bool = True,
         supervisor_policy: Optional[SupervisorPolicy] = None,
         sanitize: bool = False,
+        pool_backend: str = "auto",
+        pool=None,
+        result_transport: str = "slab",
     ) -> None:
         if backend not in ACCOUNTANTS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if pool_backend not in ("auto", "processes", "threads"):
+            raise ValueError(
+                f"pool_backend must be 'auto', 'processes' or 'threads', "
+                f"got {pool_backend!r}"
+            )
         self.graph = (
             graph if isinstance(graph, DynamicGraph) else DynamicGraph.from_csr(graph)
         )
@@ -171,6 +180,23 @@ class DynamicBC:
         #: every reported artifact is bit-identical either way.
         self.workers = max(1, int(workers))
         self._start_method = start_method
+        #: execution backend of the worker pool (not to be confused
+        #: with the accountant ``backend`` above): ``"processes"`` runs
+        #: fork+shm workers, ``"threads"`` runs the same round protocol
+        #: on threads over direct array views (parallel on
+        #: free-threaded CPython), ``"auto"`` resolves at pool creation
+        #: (REPRO_POOL_BACKEND override, then free-threading, then shm)
+        self.pool_backend = pool_backend
+        #: result transport of the pool (``"slab"`` = shared-memory
+        #: result slabs, ``"queue"`` = framed bytes through the queue —
+        #: the benchmarks' measurable baseline)
+        self.result_transport = result_transport
+        #: externally owned warm pool: adopted, never closed by this
+        #: engine, so one pool can serve successive replay() calls and
+        #: engine instances without respawning workers
+        self._external_pool = pool
+        if pool is not None:
+            self.workers = max(2, int(pool.workers))
         #: ``True`` wraps the worker pool in a
         #: :class:`~repro.parallel.supervisor.SupervisedPool`:
         #: heartbeat monitoring, hung-worker SIGKILL, bounded respawn
@@ -195,6 +221,13 @@ class DynamicBC:
         #: identity signature of the state arrays adopted into shm
         self._adopted: Optional[tuple] = None
         self._graph_capacity = 0
+        #: EWMA of each source's observed simulated seconds, feeding
+        #: the guided chunk planner (deterministic — simulated costs
+        #: are replayable — so chunk plans are too)
+        self._source_cost: Optional[np.ndarray] = None
+        #: parent-side seconds spent folding worker results (the
+        #: reduction half of the dispatch+reduction overhead metric)
+        self._fold_seconds = 0.0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -215,6 +248,9 @@ class DynamicBC:
         supervised: bool = True,
         supervisor_policy: Optional[SupervisorPolicy] = None,
         sanitize: bool = False,
+        pool_backend: str = "auto",
+        pool=None,
+        result_transport: str = "slab",
     ) -> "DynamicBC":
         """Build the engine, computing the initial state with Brandes.
 
@@ -245,11 +281,12 @@ class DynamicBC:
             )
         else:
             chosen = range(snap.num_vertices)
-        if workers > 1 and not sanitize:
+        if (workers > 1 or pool is not None) and not sanitize:
             engine = cls._from_graph_parallel(
                 graph, snap, chosen, backend, device, num_blocks, op_costs,
                 vectorized, transactional, workers, start_method,
-                supervised, supervisor_policy,
+                supervised, supervisor_policy, pool_backend, pool,
+                result_transport,
             )
             if engine is not None:
                 return engine
@@ -257,13 +294,16 @@ class DynamicBC:
         return cls(graph, state, backend, device, num_blocks, op_costs,
                    vectorized, transactional, workers=workers,
                    start_method=start_method, supervised=supervised,
-                   supervisor_policy=supervisor_policy, sanitize=sanitize)
+                   supervisor_policy=supervisor_policy, sanitize=sanitize,
+                   pool_backend=pool_backend, pool=pool,
+                   result_transport=result_transport)
 
     @classmethod
     def _from_graph_parallel(
         cls, graph, snap, chosen, backend, device, num_blocks, op_costs,
         vectorized, transactional, workers, start_method,
-        supervised, supervisor_policy,
+        supervised, supervisor_policy, pool_backend="auto", pool=None,
+        result_transport="slab",
     ) -> Optional["DynamicBC"]:
         """Initial Brandes build through the worker pool; ``None`` when
         the pool is unavailable or failed (caller falls back to the
@@ -284,7 +324,9 @@ class DynamicBC:
         engine = cls(graph, state, backend, device, num_blocks, op_costs,
                      vectorized, transactional, workers=workers,
                      start_method=start_method, supervised=supervised,
-                     supervisor_policy=supervisor_policy)
+                     supervisor_policy=supervisor_policy,
+                     pool_backend=pool_backend, pool=pool,
+                     result_transport=result_transport)
         if engine._ensure_pool() is None:
             return None  # zeros state discarded; caller builds serially
         try:
@@ -579,6 +621,25 @@ class DynamicBC:
         except Exception:
             pass  # interpreter teardown: daemons + tracker clean up
 
+    def _resolve_pool_backend(self) -> str:
+        """Resolve ``pool_backend`` to ``processes``/``threads`` at
+        pool-creation time: an explicit choice wins, then the
+        ``REPRO_POOL_BACKEND`` environment override, then threads when
+        free-threading is active, else processes.  (Unlike the
+        library-level :func:`~repro.parallel.threadpool.
+        resolve_pool_backend`, ``auto`` without shm raises here so the
+        engine keeps its documented warn-and-run-serial fallback.)"""
+        import os
+
+        if self.pool_backend != "auto":
+            return self.pool_backend
+        env = os.environ.get("REPRO_POOL_BACKEND", "").strip().lower()
+        if env in ("processes", "threads"):
+            return env
+        if free_threading_active():
+            return "threads"
+        return "processes"
+
     def _ensure_pool(self) -> Optional[WorkerPool]:
         """The live worker pool, or ``None`` when running serially
         (``workers <= 1``, :meth:`close` called, sanitize mode — the
@@ -590,16 +651,34 @@ class DynamicBC:
         if self._pool is not None:
             return self._pool
         try:
-            if not shm_available():
-                raise RuntimeError("POSIX shared memory unavailable")
-            if self.supervised:
-                self._pool = SupervisedPool(
-                    self.workers, self._start_method,
-                    policy=self.supervisor_policy,
-                )
+            if self._external_pool is not None:
+                self._pool = self._external_pool
+                pool_backend = self._pool.backend
             else:
-                self._pool = WorkerPool(self.workers, self._start_method)
-            self._arena = ShmArena()
+                pool_backend = self._resolve_pool_backend()
+            if pool_backend == "processes" and not shm_available():
+                raise RuntimeError("POSIX shared memory unavailable")
+            if self._pool is None:
+                if self.supervised:
+                    self._pool = SupervisedPool(
+                        self.workers, self._start_method,
+                        policy=self.supervisor_policy,
+                        backend=pool_backend,
+                        result_transport=self.result_transport,
+                    )
+                elif pool_backend == "threads":
+                    self._pool = ThreadWorkerPool(
+                        self.workers, self._start_method,
+                        result_transport=self.result_transport,
+                    )
+                else:
+                    self._pool = WorkerPool(
+                        self.workers, self._start_method,
+                        result_transport=self.result_transport,
+                    )
+            # Thread workers operate on the engine's arrays directly;
+            # only process workers need the shared-memory mirror.
+            self._arena = ShmArena() if pool_backend == "processes" else None
             self._adopted = None
             self._graph_capacity = 0
         except Exception as exc:
@@ -654,8 +733,14 @@ class DynamicBC:
 
         from repro.parallel import worker as _worker_mod
 
-        attachment = SimpleNamespace(arrays=self._arena.views(),
-                                     generation=self._arena.generation)
+        if self._arena is not None:
+            attachment = SimpleNamespace(arrays=self._arena.views(),
+                                         generation=self._arena.generation)
+        else:
+            # Thread backend: the round's views *are* the engine's
+            # arrays, so the parent-side retry needs no attachment.
+            attachment = SimpleNamespace(arrays=common.get("views") or {},
+                                         generation=0)
         return _worker_mod.run_task(attachment, kind, common, payload)
 
     def _reset_update_chunk(self, payload: dict) -> None:
@@ -678,6 +763,10 @@ class DynamicBC:
             "workers": self.workers,
             "supervised": self.supervised,
             "parallel_disabled": self._parallel_disabled,
+            "pool_backend": (
+                self._pool.backend if self._pool is not None
+                else self.pool_backend
+            ),
         }
         pool = self._pool
         if isinstance(pool, SupervisedPool):
@@ -691,6 +780,25 @@ class DynamicBC:
             )
         return report
 
+    def transport_report(self) -> Dict:
+        """Result-path economics of the live pool: rounds/chunks
+        dispatched, bytes through the queue vs read from the slabs,
+        spills, and the parent's dispatch/decode/fold seconds — the
+        direct dispatch+reduction overhead measurement the benchmarks
+        record (no more negative overhead-by-subtraction).  Empty when
+        running serially."""
+        pool = self._pool
+        if pool is None:
+            return {}
+        report = pool.transport_stats()
+        report["fold_seconds"] = self._fold_seconds
+        report["overhead_seconds"] = (
+            report.get("dispatch_seconds", 0.0)
+            + report.get("decode_seconds", 0.0)
+            + self._fold_seconds
+        )
+        return report
+
     def drain_health_events(self) -> List[HealthEvent]:
         """Supervision events since the last drain (empty for serial /
         legacy-pool engines); :func:`repro.graph.stream.replay` folds
@@ -702,7 +810,10 @@ class DynamicBC:
 
     def _release_parallel(self) -> None:
         if self._pool is not None:
-            self._pool.close()
+            # An adopted warm pool belongs to its creator: detach
+            # without closing so other engines keep using it.
+            if self._pool is not self._external_pool:
+                self._pool.close()
             self._pool = None
         if self._arena is not None:
             state = getattr(self, "state", None)
@@ -773,9 +884,17 @@ class DynamicBC:
             return self.backend
         return "cpu" if self.backend == "cpu" else "gpu-node"
 
-    def _parallel_common(self, snap: CSRGraph, spec: dict, **extra) -> dict:
+    def _parallel_common(self, snap: CSRGraph, **extra) -> dict:
+        """Build one round's shared task context for the active pool
+        backend.
+
+        Process workers get the shm attach ``spec`` (the CSR + state
+        mirror from :meth:`_shared_spec`); thread workers get
+        ``views`` — direct references to the engine's own arrays, no
+        copy, no shm, same handler code (:func:`repro.parallel.worker.
+        _views` slices both identically).
+        """
         common = {
-            "spec": spec,
             "n": int(snap.num_vertices),
             "arcs": int(2 * snap.num_edges),
             "backend": self.backend,
@@ -785,37 +904,59 @@ class DynamicBC:
             ),
             "static_strategy": self._static_strategy(),
         }
+        if self._arena is not None:
+            common["spec"] = self._shared_spec(snap)
+        else:
+            state = self.state
+            common["views"] = {
+                "row_offsets": snap.row_offsets,
+                "col_indices": snap.col_indices,
+                "sources": state.sources,
+                "d": state.d,
+                "sigma": state.sigma,
+                "delta": state.delta,
+            }
         common.update(extra)
         return common
+
+    def _plan(self, items: List) -> List[List]:
+        """Guided self-scheduling chunk plan for one round, weighted by
+        the observed per-source cost EWMA when the items carry source
+        indices (update rounds); deterministic because the weights are
+        simulated seconds, not wall-clock."""
+        weights = None
+        cost = self._source_cost
+        if cost is not None and items and isinstance(items[0], tuple):
+            idx = [int(item[0]) for item in items]
+            if max(idx) < cost.size and float(cost[idx].sum()) > 0.0:
+                weights = cost[idx]
+        return plan_chunks_guided(items, self._pool.workers, weights=weights)
 
     def _brandes_fill(self, snap: CSRGraph, indices) -> None:
         """Rebuild the given state rows from scratch in the workers and
         re-fold bc in source order (bit-identical to
         :meth:`BCState.compute`)."""
-        spec = self._shared_spec(snap)
-        common = self._parallel_common(snap, spec)
+        common = self._parallel_common(snap)
         items = [int(i) for i in indices]
         payloads = [
             {"items": chunk}
-            for chunk in plan_chunks(items, self._pool.workers)
+            for chunk in plan_chunks_guided(items, self._pool.workers)
         ]
         self._pool_run("brandes", common, payloads)
         self.state.rebuild_bc()
 
     def _check_rows_parallel(self, indices: List[int], atol: float) -> List[int]:
         snap = self.graph.snapshot()
-        spec = self._shared_spec(snap)
-        common = self._parallel_common(snap, spec, atol=float(atol))
+        common = self._parallel_common(snap, atol=float(atol))
         payloads = [
             {"items": chunk}
-            for chunk in plan_chunks(indices, self._pool.workers)
+            for chunk in plan_chunks_guided(indices, self._pool.workers)
         ]
         outputs = self._pool_run("check", common, payloads)
         return [int(record[0]) for output in outputs for record in output]
 
     def _repair_parallel(self, snap: CSRGraph, i: int) -> UpdateStats:
-        spec = self._shared_spec(snap)
-        common = self._parallel_common(snap, spec)
+        common = self._parallel_common(snap)
         outputs = self._pool_run("rebuild", common, [{"items": [i]}])
         _, steps, touched, num_levels = outputs[0][0]
         trace = rebuild_trace(f"repair:{int(self.state.sources[i])}", steps)
@@ -832,16 +973,19 @@ class DynamicBC:
         active: List[int],
     ) -> Dict[int, tuple]:
         """Fan the active sources out to the pool; returns
-        ``{i: (steps, stats, bc_idx, bc_vals)}``."""
-        spec = self._shared_spec(snap)
-        common = self._parallel_common(snap, spec, operation=operation)
+        ``{i: (steps, stats, bc_idx, bc_vals)}``.
+
+        Chunks follow the guided self-scheduling taper, weighted by
+        each source's cost EWMA from previous rounds — big chunks
+        first, fine tail — while staying contiguous and ordered, so
+        the parent's ascending-source fold (and bit-identity) is
+        untouched.
+        """
+        common = self._parallel_common(snap, operation=operation)
         items = [
             (i, int(cases[i]), int(highs[i]), int(lows[i])) for i in active
         ]
-        payloads = [
-            {"items": chunk}
-            for chunk in plan_chunks(items, self._pool.workers)
-        ]
+        payloads = [{"items": chunk} for chunk in self._plan(items)]
         reset = self._reset_update_chunk if self._txn is not None else None
         outputs = self._pool_run("update", common, payloads, reset=reset)
         return merge_indexed(outputs, active)
@@ -914,6 +1058,7 @@ class DynamicBC:
                 results = self._dispatch_update(
                     snap, operation, cases, highs, lows, active
                 )
+                fold_timer = WallTimer().start()
                 for i in active:
                     steps, stats, bc_idx, bc_vals = results[i]
                     case = int(cases[i])
@@ -937,6 +1082,19 @@ class DynamicBC:
                         state.bc[bc_idx] += bc_vals
                     touched[i] = stats.touched
                     stats_list[i] = stats
+                self._fold_seconds += fold_timer.stop()
+                # Feed the guided planner: EWMA of each active source's
+                # *simulated* seconds (deterministic, so the next
+                # round's chunk plan is too).
+                cost = self._source_cost
+                if cost is None or cost.size != k:
+                    cost = self._source_cost = np.zeros(k, dtype=np.float64)
+                act = np.asarray(active, dtype=np.int64)
+                observed = per_source[act]
+                cost[act] = np.where(
+                    cost[act] > 0.0, 0.5 * cost[act] + 0.5 * observed,
+                    observed,
+                )
         return self._finish_report(
             u, v, operation, np.asarray(cases, dtype=np.int8), per_source,
             touched, stats_list, stage_seconds, counters, timer,

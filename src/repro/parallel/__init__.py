@@ -10,15 +10,27 @@ Modules
 shm
     :class:`ShmArena` / :class:`ShmAttachment` — named shared-memory
     blocks holding the CSR arrays and the ``(k, n)`` state rows.
+slabs
+    :class:`ResultSlabs` / :class:`SlabWriter` — per-worker
+    shared-memory result staging with a compact binary framing, so
+    the result queue carries headers instead of pickled payloads.
 pool
     :class:`WorkerPool` — long-lived workers, a dynamic chunk queue,
     structured error/crash containment.
+threadpool
+    :class:`ThreadWorkerPool` — the same round protocol on daemon
+    threads over direct array views (parallel on free-threaded
+    CPython, a correct serialized fallback elsewhere);
+    :func:`resolve_pool_backend` picks the backend.
 supervisor
     :class:`SupervisedPool` — heartbeat monitoring, hung-worker
     SIGKILL, bounded respawn with backoff, poisoned-chunk quarantine,
-    and the full-pool → shrunk-pool → serial degradation ladder.
+    and the full-pool → shrunk-pool → serial degradation ladder, on
+    either backend.
 chunks
-    :func:`plan_chunks` — contiguous, ordered chunk planning.
+    :func:`plan_chunks` / :func:`plan_chunks_guided` — contiguous,
+    ordered chunk planning (fixed split and the guided
+    self-scheduling taper).
 reducer
     :func:`merge_indexed` / :func:`rebuild_trace` — deterministic
     (source-order) reduction of worker results.
@@ -27,7 +39,7 @@ worker
     path).
 """
 
-from repro.parallel.chunks import plan_chunks
+from repro.parallel.chunks import plan_chunks, plan_chunks_guided
 from repro.parallel.pool import (
     ParallelExecutionError,
     WorkerCrashed,
@@ -37,27 +49,39 @@ from repro.parallel.pool import (
 )
 from repro.parallel.reducer import merge_indexed, rebuild_trace
 from repro.parallel.shm import ShmArena, ShmAttachment, shm_available
+from repro.parallel.slabs import ResultSlabs, SlabWriter
 from repro.parallel.supervisor import (
     ChunkEscalated,
     HealthEvent,
     SupervisedPool,
     SupervisorPolicy,
 )
+from repro.parallel.threadpool import (
+    ThreadWorkerPool,
+    free_threading_active,
+    resolve_pool_backend,
+)
 
 __all__ = [
     "ChunkEscalated",
     "HealthEvent",
     "ParallelExecutionError",
+    "ResultSlabs",
     "ShmArena",
     "ShmAttachment",
+    "SlabWriter",
     "SupervisedPool",
     "SupervisorPolicy",
+    "ThreadWorkerPool",
     "WorkerCrashed",
     "WorkerPool",
     "WorkerStatus",
     "WorkerTaskError",
+    "free_threading_active",
     "merge_indexed",
     "plan_chunks",
+    "plan_chunks_guided",
     "rebuild_trace",
+    "resolve_pool_backend",
     "shm_available",
 ]

@@ -38,8 +38,9 @@ import multiprocessing as mp
 import queue as _queue
 import time
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.parallel import slabs as _slabs
 from repro.parallel import worker as _worker
 
 
@@ -63,6 +64,19 @@ _POLL_SECONDS = 0.05
 #: default seconds granted per process per teardown-escalation stage
 DEFAULT_JOIN_TIMEOUT = 2.0
 
+#: zeroed transport-stats template (:meth:`WorkerPool.transport_stats`)
+_STATS_ZERO = {
+    "rounds": 0,  #: rounds dispatched
+    "chunks": 0,  #: chunks dispatched
+    "queue_bytes": 0,  #: result bytes that crossed the queue (headers
+    #: for slab messages, framed payloads for queue/spill messages)
+    "slab_bytes": 0,  #: result bytes read in place from the slabs
+    "spills": 0,  #: slab-transport results that overflowed to the queue
+    "raw_results": 0,  #: results the framing could not carry (pickled)
+    "dispatch_seconds": 0.0,  #: parent time enqueueing rounds
+    "decode_seconds": 0.0,  #: parent time decoding framed results
+}
+
 
 @dataclass(frozen=True)
 class WorkerStatus:
@@ -83,17 +97,28 @@ class WorkerStatus:
 class WorkerPool:
     """N worker processes around one shared task/result queue pair."""
 
+    #: execution backend tag (the thread pool overrides this); the
+    #: engine and the benchmarks branch on it, never on the class
+    backend = "processes"
+
     def __init__(
         self,
         workers: int,
         start_method: Optional[str] = None,
         join_timeout: float = DEFAULT_JOIN_TIMEOUT,
         heartbeat_interval: float = 0.0,
+        result_transport: str = "slab",
+        slab_bytes: int = _slabs.DEFAULT_SLAB_BYTES,
     ) -> None:
         if workers < 2:
             raise ValueError(f"WorkerPool needs >= 2 workers, got {workers}")
         if join_timeout <= 0:
             raise ValueError(f"join_timeout must be > 0, got {join_timeout}")
+        if result_transport not in ("slab", "queue"):
+            raise ValueError(
+                f"result_transport must be 'slab' or 'queue', "
+                f"got {result_transport!r}"
+            )
         if start_method is None:
             # fork shares the parent's loaded modules (microsecond
             # spawns on Linux); spawn is the portable fallback.
@@ -108,6 +133,13 @@ class WorkerPool:
         #: heartbeat stamp period for the workers (0 disables the
         #: heartbeat slots entirely — the legacy engine path)
         self.heartbeat_interval = float(heartbeat_interval)
+        #: requested result transport: ``"slab"`` stages payloads in
+        #: shared-memory result slabs (headers only on the queue);
+        #: ``"queue"`` ships the same framing as bytes through the
+        #: queue (the measurable baseline).  Slab allocation failure
+        #: (no /dev/shm) silently degrades to ``"queue"``.
+        self.result_transport = result_transport
+        self.slab_bytes = int(slab_bytes)
         self._ctx = mp.get_context(start_method)
         self._round = 0
         self._crash_chunks = 0
@@ -115,9 +147,17 @@ class WorkerPool:
         self._tasks: Any = None
         self._results: Any = None
         self._heartbeat: Any = None
+        self._slabs: Optional[_slabs.ResultSlabs] = None
+        self._stats: Dict[str, float] = dict(_STATS_ZERO)
         self._spawn()
 
     # ------------------------------------------------------------------
+    @property
+    def transport(self) -> str:
+        """The transport actually in effect (``"queue"`` when slab
+        allocation failed or was not requested)."""
+        return "slab" if self._slabs is not None else "queue"
+
     def _spawn(self) -> None:
         self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
@@ -133,12 +173,23 @@ class WorkerPool:
                 self._heartbeat[base + _worker.HB_TASK_START] = 0.0
                 self._heartbeat[base + _worker.HB_ROUND] = -1.0
                 self._heartbeat[base + _worker.HB_CHUNK] = -1.0
+        self._slabs = None
+        if self.result_transport == "slab":
+            try:
+                self._slabs = _slabs.ResultSlabs(
+                    self.workers, self.slab_bytes
+                )
+            except Exception:
+                # No usable /dev/shm: degrade to the queue transport
+                # (same framing, legacy copy cost) rather than fail.
+                self._slabs = None
+        slab_spec = self._slabs.spec() if self._slabs is not None else None
         self._procs = []
         for j in range(self.workers):
             proc = self._ctx.Process(
                 target=_worker.worker_main,
                 args=(self._tasks, self._results, j, self._heartbeat,
-                      self.heartbeat_interval),
+                      self.heartbeat_interval, slab_spec, self.transport),
                 name=f"repro-worker-{j}",
                 daemon=True,
             )
@@ -165,6 +216,7 @@ class WorkerPool:
         """
         if not self._procs:
             self._spawn()
+        start = time.perf_counter()
         self._round += 1
         round_id = self._round
         for chunk_id, payload in enumerate(payloads):
@@ -173,15 +225,53 @@ class WorkerPool:
                 payload[_worker.CRASH_KEY] = True
             self._tasks.put((kind, round_id, chunk_id, common, payload))
         self._crash_chunks = 0
+        self._stats["rounds"] += 1
+        self._stats["chunks"] += len(payloads)
+        self._stats["dispatch_seconds"] += time.perf_counter() - start
         return round_id
 
     def poll_result(self, timeout: float = _POLL_SECONDS):
         """One ``(status, round_id, chunk_id, result)`` message from
-        the result queue, or ``None`` after *timeout* seconds."""
+        the result queue, or ``None`` after *timeout* seconds.
+
+        Slab (``ok-slab``) and framed-queue (``ok-enc``) messages are
+        decoded here, so callers only ever see ``ok``/``error``.  A
+        message from a superseded round is returned *undecoded* (its
+        slab bytes may already be overwritten); callers discard it by
+        round id, as they always have.
+        """
         try:
-            return self._results.get(timeout=timeout)
+            message = self._results.get(timeout=timeout)
         except _queue.Empty:
             return None
+        status, rid, chunk_id, result = message
+        if status not in ("ok-slab", "ok-enc"):
+            if status == "ok":
+                self._stats["raw_results"] += 1
+            return message
+        if rid != self._round:
+            return ("stale", rid, chunk_id, None)
+        start = time.perf_counter()
+        if status == "ok-slab":
+            worker_id, offset, length = result
+            self._stats["queue_bytes"] += _slabs.HEADER_BYTES
+            self._stats["slab_bytes"] += length
+            decoded = self._slabs.read(worker_id, offset, length)
+        else:
+            self._stats["queue_bytes"] += len(result) + _slabs.HEADER_BYTES
+            if self._slabs is not None:
+                self._stats["spills"] += 1
+            decoded = _slabs.decode(result)
+        self._stats["decode_seconds"] += time.perf_counter() - start
+        return ("ok", rid, chunk_id, decoded)
+
+    def transport_stats(self) -> Dict[str, Any]:
+        """Cumulative result-transport accounting (benchmarks read
+        this to report bytes moved and real dispatch overhead)."""
+        out: Dict[str, Any] = dict(self._stats)
+        out["transport"] = self.transport
+        out["backend"] = self.backend
+        return out
 
     def worker_status(self, j: int, now: Optional[float] = None) -> WorkerStatus:
         """Health snapshot of worker *j* from its heartbeat slots."""
@@ -296,6 +386,9 @@ class WorkerPool:
         self._tasks = None
         self._results = None
         self._heartbeat = None
+        if self._slabs is not None:
+            self._slabs.close()
+            self._slabs = None
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "WorkerPool":

@@ -21,8 +21,12 @@ accumulator whose update order defines bit-identity, so only the
 parent touches it (see docs/MODEL.md, "Parallel execution").
 
 Every (re)allocation bumps :attr:`ShmArena.generation`; workers cache
-one attachment and re-attach only when a task arrives with a newer
+one attachment and re-attach only when a task arrives with a different
 generation, so steady-state dispatch does zero mapping work.
+Generation numbers are drawn from one process-wide counter, so two
+arenas can never hand a long-lived worker (e.g. an externally owned
+warm pool serving successive engines) the same generation for
+different blocks — a stale cached attachment is impossible.
 
 Leak guard: named POSIX segments outlive their creator, so an abnormal
 parent exit (unhandled exception, SIGTERM/SIGINT) would leave orphaned
@@ -38,8 +42,10 @@ from __future__ import annotations
 
 import atexit
 import contextlib
+import itertools
 import os
 import signal
+import threading
 import weakref
 from contextlib import contextmanager
 from typing import Dict, List, Tuple
@@ -50,6 +56,19 @@ try:  # pragma: no cover - present on every supported platform
     from multiprocessing import shared_memory as _shm
 except ImportError:  # pragma: no cover - minimal builds without _posixshmem
     _shm = None
+
+
+#: process-wide arena generation counter (see module docstring); the
+#: lock keeps it safe on free-threaded builds where ``next`` on a
+#: shared iterator is not guaranteed atomic
+_GENERATION_LOCK = threading.Lock()
+_GENERATION_COUNTER = itertools.count(1)
+
+
+def _next_generation() -> int:
+    """Next process-wide unique arena generation number."""
+    with _GENERATION_LOCK:
+        return next(_GENERATION_COUNTER)
 
 
 def shm_available() -> bool:
@@ -218,8 +237,10 @@ class ShmArena:
         self._blocks: Dict[str, object] = {}
         self._arrays: Dict[str, np.ndarray] = {}
         self._meta: Dict[str, Tuple[Tuple[int, ...], str]] = {}
-        #: bumped on every (re)allocation; workers re-attach on change
-        self.generation = 0
+        #: bumped on every (re)allocation; workers re-attach on change.
+        #: Drawn from a process-wide counter so generations are unique
+        #: across arenas (warm pools outlive individual engines).
+        self.generation = _next_generation()
 
     def allocate(self, field: str, shape, dtype) -> np.ndarray:
         """(Re)allocate *field* and return its parent-side view.
@@ -236,7 +257,7 @@ class ShmArena:
         self._blocks[field] = block
         self._arrays[field] = np.ndarray(shape, dtype=dtype, buffer=block.buf)
         self._meta[field] = (shape, dtype.str)
-        self.generation += 1
+        self.generation = _next_generation()
         return self._arrays[field]
 
     def get(self, field: str) -> np.ndarray:

@@ -194,6 +194,8 @@ class SupervisedPool:
         start_method: Optional[str] = None,
         policy: Optional[SupervisorPolicy] = None,
         join_timeout: float = 2.0,
+        backend: str = "processes",
+        result_transport: str = "slab",
     ) -> None:
         self.policy = policy or SupervisorPolicy()
         #: the pool size the caller asked for (chunk planning uses
@@ -211,10 +213,21 @@ class SupervisedPool:
         self._seq = 0
         self._drained = 0
         self._armed: Dict[str, List[int]] = {}  # key -> [chunks, rounds]
-        self._pool = WorkerPool(
+        if backend not in ("processes", "threads"):
+            raise ValueError(
+                f"backend must be 'processes' or 'threads', got {backend!r}"
+            )
+        if backend == "threads":
+            from repro.parallel.threadpool import ThreadWorkerPool
+
+            pool_cls = ThreadWorkerPool
+        else:
+            pool_cls = WorkerPool
+        self._pool = pool_cls(
             workers, start_method,
             join_timeout=join_timeout,
             heartbeat_interval=self.policy.heartbeat_interval,
+            result_transport=result_transport,
         )
 
     # ------------------------------------------------------------------
@@ -230,6 +243,15 @@ class SupervisedPool:
     def start_method(self) -> str:
         """The underlying pool's multiprocessing start method."""
         return self._pool.start_method
+
+    @property
+    def backend(self) -> str:
+        """Execution backend of the underlying pool."""
+        return self._pool.backend
+
+    def transport_stats(self) -> Dict[str, Any]:
+        """The underlying pool's result-transport accounting."""
+        return self._pool.transport_stats()
 
     def drain_events(self) -> List[HealthEvent]:
         """Events recorded since the previous drain (the engine folds

@@ -52,6 +52,7 @@ from repro.bc.update_core import (
     distant_level_update,
 )
 from repro.graph.csr import CSRGraph, DIST_INF
+from repro.parallel import slabs as _slabs
 from repro.parallel.shm import ShmAttachment
 
 #: queue sentinel telling a worker to exit its loop
@@ -102,8 +103,34 @@ def _start_heartbeat(heartbeat, base: int, interval: float) -> None:
                      name="repro-heartbeat").start()
 
 
+def post_result(results, writer, transport: str,
+                round_id: int, chunk_id: int, result) -> None:
+    """Ship one chunk result to the parent on the cheapest channel.
+
+    Slab transport stages the framed result in this worker's slab row
+    and posts only a ``(worker, offset, length)`` header (``ok-slab``);
+    an oversized result spills as framed bytes through the queue
+    (``ok-enc``).  The queue transport always sends framed bytes.  A
+    result the framing cannot carry falls back to the legacy pickled
+    ``ok`` message — correctness never depends on the fast path.
+    """
+    if writer is not None:
+        ref = writer.write(round_id, result)
+        if ref is not None:
+            results.put(("ok-slab", round_id, chunk_id,
+                         (writer.worker_id, ref[0], ref[1])))
+            return
+    try:
+        data = _slabs.encode(result)
+    except _slabs.SlabEncodeError:
+        results.put(("ok", round_id, chunk_id, result))
+    else:
+        results.put(("ok-enc", round_id, chunk_id, data))
+
+
 def worker_main(tasks, results, worker_id: int = 0, heartbeat=None,
-                heartbeat_interval: float = 0.0) -> None:
+                heartbeat_interval: float = 0.0, slab_spec=None,
+                transport: str = "queue") -> None:
     """Pull tasks until :data:`STOP`; never let an exception escape
     (errors travel back to the parent as structured results).
 
@@ -111,8 +138,15 @@ def worker_main(tasks, results, worker_id: int = 0, heartbeat=None,
     positive *heartbeat_interval*, the worker stamps liveness and
     per-task (round, chunk, start-time) bookkeeping into its slots so
     the supervisor can detect hangs and attribute them to a chunk.
+
+    When *slab_spec* is provided (``transport="slab"``), results are
+    staged in this worker's shared result slab via :func:`post_result`
+    instead of being pickled through the queue.
     """
     attachment = None
+    writer = None
+    if slab_spec is not None and transport == "slab":
+        writer = _slabs.SlabWriter(slab_spec, worker_id)
     base = HB_SLOTS * int(worker_id)
     beating = heartbeat is not None and heartbeat_interval > 0
     if beating:
@@ -154,12 +188,15 @@ def worker_main(tasks, results, worker_id: int = 0, heartbeat=None,
             except Exception:  # pragma: no cover - queue already gone
                 os._exit(1)
         else:
-            results.put(("ok", round_id, chunk_id, result))
+            post_result(results, writer, transport,
+                        round_id, chunk_id, result)
         finally:
             if beating:
                 heartbeat[base + HB_TASK_START] = 0.0
                 heartbeat[base + HB_ROUND] = -1.0
                 heartbeat[base + HB_CHUNK] = -1.0
+    if writer is not None:
+        writer.close()
     if attachment is not None:
         attachment.close()
 

@@ -29,6 +29,14 @@ On top of the replay semantics it adds the service bookkeeping:
 * snapshot **publication** into a :class:`~repro.service.snapshots.
   SnapshotStore` via the engine's ``bc_snapshot`` export hook.
 
+Because the core owns one engine for its whole life, a parallel engine
+keeps its worker pool **warm across batches** — successive
+:meth:`apply_batch` calls reuse the same workers, shared-memory arena
+and result slabs with no respawn (and an externally supplied
+``DynamicBC(pool=...)`` pool even survives engine replacement).
+:meth:`transport_report` exposes the engine's cumulative result-path
+accounting for the service's observability surface.
+
 The async front-end (:class:`~repro.service.service.BCService`) calls
 :meth:`apply_batch` from a single worker thread and everything else
 from the event loop; the core itself is deliberately synchronous and
@@ -169,6 +177,16 @@ class ServiceCore:
         """Updates applied across the whole stream (including any
         pre-resume prefix recorded in the checkpoint)."""
         return self._applied_before + len(self.result.reports)
+
+    def transport_report(self) -> dict:
+        """The engine's cumulative result-path accounting (rounds,
+        queue/slab bytes, dispatch/decode/fold seconds, backend) across
+        every batch this core has applied — empty when the engine runs
+        serial or exposes no report."""
+        report = getattr(self.engine, "transport_report", None)
+        if report is None:
+            return {}
+        return report()
 
     def publish(self) -> Snapshot:
         """Publish the engine's current BC scores at the current

@@ -281,12 +281,17 @@ class TestWorkerCrash:
 # ----------------------------------------------------------------------
 class TestFallbackAndLifecycle:
     def test_fallback_when_shm_unavailable(self, er_graph, monkeypatch):
+        # Pin the process backend: on free-threaded builds (or with
+        # REPRO_POOL_BACKEND=threads) auto would resolve to threads,
+        # which runs happily without shm and never needs the fallback.
+        monkeypatch.delenv("REPRO_POOL_BACKEND", raising=False)
         monkeypatch.setattr("repro.bc.engine.shm_available", lambda: False)
         serial = DynamicBC.from_graph(DynamicGraph.from_csr(er_graph),
                                       num_sources=K, seed=SEED)
         with pytest.warns(RuntimeWarning, match="falling back to serial"):
             par = DynamicBC.from_graph(DynamicGraph.from_csr(er_graph),
-                                       num_sources=K, seed=SEED, workers=2)
+                                       num_sources=K, seed=SEED, workers=2,
+                                       pool_backend="processes")
         assert par._pool is None
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)

@@ -288,7 +288,11 @@ class TestEngineSupervised:
     def test_unsupervised_opt_out_keeps_legacy_pool(self, er_graph):
         from repro.parallel.pool import WorkerPool
 
-        _, par = build_pair(er_graph, 2, supervised=False)
+        # Backend pinned: the point is the supervision opt-out, and
+        # under REPRO_POOL_BACKEND=threads (or free-threaded builds)
+        # auto would legitimately hand back a ThreadWorkerPool.
+        _, par = build_pair(er_graph, 2, supervised=False,
+                            pool_backend="processes")
         try:
             pool = par._ensure_pool()
             assert type(pool) is WorkerPool
