@@ -39,6 +39,7 @@ Durability subcommands (see docs/RESILIENCE.md)::
         --checkpoint-every 50 --checkpoint-dir ckpts --checkpoint-keep 3
     python -m repro.cli recover --wal wal/ --checkpoint-dir ckpts
     python -m repro.cli drill --seed 3      # kill -9 crash-recovery drill
+    python -m repro.cli failover --seed 3   # kill-the-primary failover drill
 """
 
 from __future__ import annotations
@@ -727,6 +728,18 @@ def build_drill_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_drill_log(path: str, report) -> None:
+    import json
+    import os
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(json.dumps(report.header()) + "\n")
+        for entry in report.timeline:
+            fh.write(json.dumps(entry) + "\n")
+
+
 def run_drill_cmd(args: argparse.Namespace) -> int:
     """Execute the ``drill`` subcommand; returns a process exit code."""
     from repro.resilience.drill import run_drill
@@ -739,15 +752,53 @@ def run_drill_cmd(args: argparse.Namespace) -> int:
                   f"--kills {report.kills}")
     print(repro_line)
     if args.health_log:
-        import json
-        import os
+        _write_drill_log(args.health_log, report)
+        print(f"health log: {args.health_log}")
+    if not report.ok:
+        print(repro_line, file=sys.stderr)
+        return 1
+    return 0
 
-        parent = os.path.dirname(os.path.abspath(args.health_log))
-        os.makedirs(parent, exist_ok=True)
-        with open(args.health_log, "w") as fh:
-            fh.write(json.dumps(report.header()) + "\n")
-            for entry in report.timeline:
-                fh.write(json.dumps(entry) + "\n")
+
+def build_failover_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro-bc failover``: one seeded kill-the-primary
+    failover drill against a hot standby."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bc failover",
+        description="Run one seeded failover drill: spawn a durable "
+                    "'serve' primary under load with an in-process "
+                    "ReplicaService tailing its journal, SIGKILL the "
+                    "primary at a seed-derived moment, promote the "
+                    "replica behind an epoch fence, and verify zero "
+                    "acked-write loss, bit-identity against a no-crash "
+                    "oracle, and that the deposed primary's commits "
+                    "are refused. Exit code 1 on any violation.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ops", type=int, default=200,
+                        help="workload length driven through the primary")
+    parser.add_argument("--artifacts-dir", default=None, metavar="DIR",
+                        help="keep the journal, checkpoints and logs "
+                             "under DIR (what the CI job uploads); "
+                             "default: a temp dir, removed on success")
+    parser.add_argument("--health-log", default=None, metavar="PATH",
+                        help="write the drill timeline (including RTO "
+                             "and lag stats) as JSON lines to PATH")
+    return parser
+
+
+def run_failover_cmd(args: argparse.Namespace) -> int:
+    """Execute the ``failover`` subcommand; returns an exit code."""
+    from repro.resilience.drill import run_failover_drill
+
+    report = run_failover_drill(seed=args.seed, ops=args.ops,
+                                artifacts_dir=args.artifacts_dir)
+    print(report.summary())
+    repro_line = (f"reproduce with: python -m repro.cli failover "
+                  f"--seed {report.seed} --ops {report.ops}")
+    print(repro_line)
+    if args.health_log:
+        _write_drill_log(args.health_log, report)
         print(f"health log: {args.health_log}")
     if not report.ok:
         print(repro_line, file=sys.stderr)
@@ -773,6 +824,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_recover(build_recover_parser().parse_args(argv[1:]))
     if argv and argv[0] == "drill":
         return run_drill_cmd(build_drill_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "failover":
+        return run_failover_cmd(build_failover_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)
     start = time.time()
     save_dir = None

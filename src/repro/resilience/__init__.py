@@ -16,7 +16,9 @@ streams survivable:
 * :mod:`repro.resilience.wal` — segmented, CRC-checked write-ahead
   event journal (group-commit fsync, torn-tail truncation, segment GC
   tied to checkpoint watermarks) backing the service's ``ack_durable``
-  RPO-zero contract;
+  RPO-zero contract, plus the replication primitives on top of it:
+  ``WalTailer`` incremental shipping, epoch fencing tokens, and
+  replica retention positions;
 * :mod:`repro.resilience.faults` — seeded chaos harness;
 * :mod:`repro.resilience.chaos` — end-to-end seeded chaos scenario
   (the CI chaos job and ``python -m repro.cli chaos``);
@@ -46,11 +48,23 @@ from repro.resilience.errors import (
     ResilienceError,
     UpdateError,
     WalError,
+    WalFencedError,
 )
 from repro.resilience.faults import FaultInjector
 from repro.resilience.guards import Guard, GuardEvent, GuardPolicy
 from repro.resilience.transactions import UpdateTransaction
-from repro.resilience.wal import WAL_VERSION, WalScan, WriteAheadLog, scan_wal
+from repro.resilience.wal import (
+    WAL_VERSION,
+    WalScan,
+    WalTailer,
+    WriteAheadLog,
+    clear_replica_position,
+    read_fence,
+    record_replica_position,
+    replica_positions,
+    scan_wal,
+    write_fence,
+)
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -67,14 +81,21 @@ __all__ = [
     "UpdateTransaction",
     "WAL_VERSION",
     "WalError",
+    "WalFencedError",
     "WalScan",
+    "WalTailer",
     "WriteAheadLog",
+    "clear_replica_position",
     "find_checkpoints",
     "load_checkpoint",
     "load_newest_valid",
+    "read_fence",
+    "record_replica_position",
+    "replica_positions",
     "resolve_resume",
     "retain_checkpoints",
     "run_chaos",
     "save_checkpoint",
     "scan_wal",
+    "write_fence",
 ]

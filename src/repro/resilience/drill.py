@@ -386,3 +386,279 @@ def run_drill(
         shutil.rmtree(root, ignore_errors=True)
         report.artifacts_dir = None
     return report
+
+
+# ----------------------------------------------------------------------
+# failover drill: kill the primary, promote the hot standby
+# ----------------------------------------------------------------------
+
+@dataclass
+class FailoverReport(DrillReport):
+    """Outcome of one seeded kill-the-primary failover drill.
+
+    Extends the crash-drill report with the availability numbers the
+    ISSUE's acceptance criteria ask for: the recovery-time objective
+    actually measured (SIGKILL to promoted-and-writable) and the
+    replication lag observed while the primary was alive.
+    """
+
+    last_ack: int = -1
+    rto_seconds: float = 0.0
+    promote_seconds: float = 0.0
+    promoted_epoch: int = 0
+    sealed_records: int = 0
+    #: acked-but-not-yet-applied-on-replica depth, sampled every poll
+    lag_samples: List[int] = field(default_factory=list)
+
+    @property
+    def max_lag(self) -> int:
+        return max(self.lag_samples) if self.lag_samples else 0
+
+    @property
+    def mean_lag(self) -> float:
+        if not self.lag_samples:
+            return 0.0
+        return float(sum(self.lag_samples)) / len(self.lag_samples)
+
+    def header(self) -> Dict:
+        head = super().header()
+        head.update(
+            record="failover-report",
+            last_ack=self.last_ack,
+            rto_seconds=round(self.rto_seconds, 6),
+            promote_seconds=round(self.promote_seconds, 6),
+            promoted_epoch=self.promoted_epoch,
+            sealed_records=self.sealed_records,
+            lag_max=self.max_lag,
+            lag_mean=round(self.mean_lag, 3),
+            lag_samples=len(self.lag_samples),
+        )
+        return head
+
+    def summary(self) -> str:
+        lines = [
+            f"failover drill seed {self.seed}: "
+            f"{'OK' if self.ok else 'FAILED'} "
+            f"(last ack {self.last_ack}, promoted at epoch "
+            f"{self.promoted_epoch} / watermark {self.final_watermark}, "
+            f"RTO {self.rto_seconds * 1e3:.1f} ms, lag max {self.max_lag} "
+            f"mean {self.mean_lag:.1f} records)"
+        ]
+        for t in self.timeline:
+            if t["phase"] == "killed":
+                lines.append(f"  kill -9 after {t['after_seconds']:.2f}s "
+                             f"(last ack {t['last_ack']})")
+            elif t["phase"] == "promoted":
+                lines.append(
+                    f"  promoted: epoch {t['epoch']}, watermark "
+                    f"{t['watermark']}, {t['sealed_records']} records "
+                    f"sealed, RTO {t['rto_seconds'] * 1e3:.1f} ms")
+            elif t["phase"] == "fenced":
+                lines.append("  deposed primary's post-fencing commit "
+                             "refused (split-brain check)")
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+
+def run_failover_drill(
+    seed: int = 0,
+    *,
+    ops: int = 200,
+    artifacts_dir: Optional[str] = None,
+    wall_target: float = 6.0,
+    kill_window: Tuple[float, float] = (0.8, 4.8),
+) -> FailoverReport:
+    """Kill the primary under load and fail over to a live standby.
+
+    The availability contract executed end to end:
+
+    1. spawn the durable ``serve`` subprocess (the primary) under a
+       seeded workload, acks flowing to the observer;
+    2. run a :class:`~repro.service.replication.ReplicaService`
+       *in this process*, continuously tailing the primary's journal
+       and sampling replication lag (acked sequence vs. replica
+       watermark);
+    3. SIGKILL the primary at a seed-derived moment and promote the
+       replica — fence, seal, own — measuring **RTO** from the kill to
+       the moment the promotion is complete;
+    4. assert **zero acked-write loss**: every sequence the primary
+       ever acked is inside the promoted watermark;
+    5. assert the promoted state is **bit-identical** to a no-crash
+       oracle replay of the same write prefix;
+    6. split-brain check: a writer still holding the old epoch must
+       have its next commit refused, with nothing reaching disk;
+    7. finish the remaining workload through a real ``BCService``
+       wrapped around the promotion — the new primary must *accept
+       writes* — and check the end state against the full oracle.
+    """
+    import asyncio
+
+    from repro.resilience.errors import WalError, WalFencedError
+    from repro.resilience.wal import WalTailer, WriteAheadLog, read_fence
+    from repro.service.loadgen import generate_workload
+    from repro.service.replication import ReplicaService
+    from repro.service.service import BCService
+
+    report = FailoverReport(seed=seed, ops=ops, kills=1)
+    keep_artifacts = artifacts_dir is not None
+    root = (os.path.abspath(artifacts_dir) if artifacts_dir is not None
+            else tempfile.mkdtemp(prefix=f"bc-failover-{seed}-"))
+    os.makedirs(root, exist_ok=True)
+    report.artifacts_dir = root
+    wal_dir = os.path.join(root, "wal")
+    ckpt_dir = os.path.join(root, "ckpts")
+    promoted_ckpts = os.path.join(root, "ckpts-promoted")
+    os.makedirs(wal_dir, exist_ok=True)
+    rng = default_rng(seed ^ 0xFA11)
+
+    graph = _make_graph(seed)
+    workload = generate_workload(graph, "steady", ops,
+                                 read_fraction=0.4, seed=seed + 1)
+    writes = workload.edge_stream().events
+    report.total_writes = len(writes)
+    span = workload.ops[-1].time - workload.ops[0].time if workload.ops else 0.0
+    pace = wall_target / span if span > 0 else 0.0
+    wl_path = os.path.join(root, "workload.jsonl")
+    workload.save(wl_path)
+
+    # The standby registers its retention position *before* the primary
+    # starts, so journal GC can never outrun it (satellite: GC vs. live
+    # tailer).
+    replica = ReplicaService(_make_engine(graph, seed), wal_dir,
+                             replica_id=f"standby-{seed}")
+    old_epoch = read_fence(wal_dir)
+
+    argv = _serve_argv(wl_path, seed, pace, wal_dir, ckpt_dir,
+                       resume=False)
+    proc, state, lock, thread = _spawn_serve(argv)
+    report.note("spawned", pid=proc.pid)
+
+    # Tail continuously on a thread while the primary runs, sampling
+    # replication lag as (acked sequence + 1) - replica watermark.
+    stop_polling = threading.Event()
+    poll_state: Dict = {"error": None}
+
+    def _poll() -> None:
+        try:
+            while not stop_polling.is_set():
+                replica.catch_up()
+                with lock:
+                    last_ack = state["last_ack"]
+                report.lag_samples.append(
+                    max(0, last_ack + 1 - replica.watermark))
+                time.sleep(0.005)
+        except BaseException as exc:  # surfaced as a drill failure
+            poll_state["error"] = exc
+
+    poller = threading.Thread(target=_poll, daemon=True)
+    poller.start()
+
+    engine = replica.core.engine
+    try:
+        delay = kill_window[0] + float(rng.random()) * (
+            kill_window[1] - kill_window[0])
+        started = time.monotonic()
+        while (time.monotonic() - started < delay
+               and proc.poll() is None):
+            time.sleep(0.02)
+        completed_early = proc.poll() is not None
+        if not completed_early:
+            proc.send_signal(signal.SIGKILL)
+        killed_at = time.monotonic()
+        proc.wait(timeout=PROC_TIMEOUT)
+        thread.join(timeout=PROC_TIMEOUT)
+        with lock:
+            last_ack = state["last_ack"]
+            log_lines = list(state["lines"])
+        report.last_ack = last_ack
+        with atomic_write(os.path.join(root, "serve-primary.log")) as fh:
+            fh.write("\n".join(log_lines) + "\n")
+        if completed_early:
+            report.note("completed-before-kill", last_ack=last_ack,
+                        returncode=proc.returncode)
+        else:
+            report.note("killed", last_ack=last_ack,
+                        after_seconds=killed_at - started)
+
+        # --- failover: stop tailing, fence, seal, own ----------------
+        stop_polling.set()
+        poller.join(timeout=PROC_TIMEOUT)
+        if poll_state["error"] is not None:
+            report.fail(f"replica tailer failed while the primary ran: "
+                        f"{poll_state['error']}")
+            return report
+        promotion = replica.promote(
+            checkpoint_every=DRILL_CHECKPOINT_EVERY,
+            checkpoint_dir=promoted_ckpts,
+            checkpoint_keep=DRILL_CHECKPOINT_KEEP,
+        )
+        report.rto_seconds = time.monotonic() - killed_at
+        report.promote_seconds = promotion.seconds
+        report.promoted_epoch = promotion.epoch
+        report.sealed_records = promotion.replayed
+        report.note("promoted", epoch=promotion.epoch,
+                    watermark=promotion.watermark,
+                    sealed_records=promotion.replayed,
+                    rto_seconds=report.rto_seconds)
+
+        # Zero acked-write loss: every ack the primary ever emitted is
+        # inside the promoted watermark.
+        if last_ack >= 0 and promotion.watermark < last_ack + 1:
+            report.fail(f"acked event lost in failover — last ack "
+                        f"{last_ack} but promoted watermark "
+                        f"{promotion.watermark}")
+        _check_against_oracle(report, graph, seed, engine,
+                              promotion.core, writes, "promotion")
+
+        # Split-brain: the deposed primary (old epoch) must have its
+        # next commit refused with nothing reaching disk.
+        deposed = WriteAheadLog(wal_dir, epoch=old_epoch)
+        deposed.append(writes[0], seq=deposed.next_seq)
+        try:
+            deposed.sync()
+        except WalFencedError:
+            report.note("fenced", held_epoch=old_epoch,
+                        current_epoch=promotion.epoch)
+        except WalError as exc:
+            report.fail(f"split-brain: expected WalFencedError, "
+                        f"got {exc}")
+        else:
+            report.fail("split-brain: deposed primary committed past "
+                        "the fence")
+        probe = WalTailer(wal_dir, start_seq=promotion.watermark)
+        leaked = probe.poll()
+        if leaked:
+            report.fail(f"split-brain: {len(leaked)} record(s) from the "
+                        f"deposed primary reached the journal")
+
+        # --- completion: the new primary must accept writes ----------
+        async def _complete() -> None:
+            service = BCService(
+                promotion.core.engine, core=promotion.core,
+                wal=promotion.wal, max_batch=DRILL_MAX_BATCH,
+                fsync_every=DRILL_FSYNC_EVERY,
+            )
+            async with service:
+                await service.submit_many(writes[promotion.watermark:])
+                await service.drain()
+
+        asyncio.run(_complete())
+        report.final_watermark = promotion.core.watermark
+        if report.final_watermark != len(writes):
+            report.fail(f"completion: final watermark "
+                        f"{report.final_watermark} != total writes "
+                        f"{len(writes)}")
+        _check_against_oracle(report, graph, seed, engine,
+                              promotion.core, writes, "completion")
+        report.note("completed", watermark=report.final_watermark)
+    finally:
+        stop_polling.set()
+        if proc.poll() is None:  # pragma: no cover - defensive
+            proc.kill()
+            proc.wait(timeout=PROC_TIMEOUT)
+        engine.close()
+    if report.ok and not keep_artifacts:
+        shutil.rmtree(root, ignore_errors=True)
+        report.artifacts_dir = None
+    return report

@@ -91,6 +91,30 @@ class WalError(ResilienceError):
         super().__init__(f"{self.path}: {reason}")
 
 
+class WalFencedError(WalError):
+    """A journal write was refused because the writer's fencing epoch
+    is stale.
+
+    Raised when a :class:`~repro.resilience.wal.WriteAheadLog` holder
+    tries to commit records after a replica was promoted (the fence
+    file now carries a higher epoch): the holder has been *deposed*
+    and must stop serving writes.  Nothing reaches disk — the check
+    runs before any byte of the commit is written — so a deposed
+    primary can never diverge the journal or acknowledge a write the
+    new primary will not serve.
+    """
+
+    def __init__(self, path, held_epoch: int, current_epoch: int):
+        self.held_epoch = int(held_epoch)
+        self.current_epoch = int(current_epoch)
+        super().__init__(
+            path,
+            f"writer fenced off: holds epoch {held_epoch} but the "
+            f"journal is at epoch {current_epoch} (a replica was "
+            f"promoted); refusing to append",
+        )
+
+
 class FaultInjected(RuntimeError):
     """Marker exception raised by an armed :class:`FaultInjector` trap.
 

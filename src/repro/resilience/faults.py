@@ -13,6 +13,10 @@ handles:
 * **mid-kernel faults** — a one-shot trap that raises
   :class:`~repro.resilience.errors.FaultInjected` partway through an
   update's per-source loop (what the transactional engine rolls back);
+* **journal disk faults** — a seeded ``ENOSPC``/``EIO`` at the
+  journal's append, write, or fsync stage (what the durable service
+  must answer with a refused ack and read-only degradation, never a
+  torn acked record);
 * **malformed stream input** — bad CSV rows for
   :meth:`EdgeStream.load`'s validation;
 * **file corruption** — a flipped byte to trip the checkpoint
@@ -24,6 +28,8 @@ is reproducible from its seed alone (the CI job prints it).
 
 from __future__ import annotations
 
+import errno
+import os
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -162,6 +168,49 @@ class FaultInjector:
 
         engine._run_source = tripwire
         self.log.append("arm_update_stall degraded to serial tripwire")
+
+    # ------------------------------------------------------------------
+    # Journal disk faults
+    # ------------------------------------------------------------------
+    def arm_wal_fault(self, wal, stage: str = "fsync",
+                      errno_code: int = errno.ENOSPC,
+                      count: int = 1) -> None:
+        """Trap: the journal's next *count* visits to *stage* raise
+        ``OSError(errno_code)`` — a full disk (ENOSPC) or a dying one
+        (EIO) at exactly the byte the durability contract hinges on.
+
+        Stages map to :class:`~repro.resilience.wal.WriteAheadLog`'s
+        write path: ``"append"`` fails before the record is even
+        buffered (the submitter sees a clean rejection), ``"write"``
+        fails mid-commit after some records of the group may already
+        be on disk (the torn-tail shape), and ``"fsync"`` fails at the
+        durability barrier itself — records written but never made
+        durable, the most dangerous moment to lie about an ack.  In
+        every case the journal must refuse the ack and latch failed
+        (``tests/test_service_replication.py``).  The trap disarms
+        itself after *count* firings.
+        """
+        if stage not in ("append", "write", "fsync"):
+            raise ValueError(f"unknown wal fault stage {stage!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        remaining = {"n": int(count)}
+        log = self.log
+
+        def trap(point: str) -> None:
+            if point != stage or remaining["n"] <= 0:
+                return
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                wal.fault_hook = None
+            log.append(f"wal fault fired at {point} "
+                       f"(errno {errno_code})")
+            raise OSError(errno_code, os.strerror(errno_code),
+                          wal.directory)
+
+        wal.fault_hook = trap
+        self.log.append(f"arm_wal_fault stage={stage} "
+                        f"errno={errno_code} count={count}")
 
     # ------------------------------------------------------------------
     # Malformed input / file corruption

@@ -39,6 +39,27 @@ dropping acknowledged data.  Segment GC (:meth:`WriteAheadLog.gc`)
 deletes segments wholly below the oldest *retained* checkpoint
 watermark, so journal size tracks the checkpoint window, not stream
 length.
+
+
+Replication (PR 9) builds two more primitives on the same directory:
+
+* a **fencing token** — a sidecar ``FENCE`` file carrying a monotonic
+  epoch, written atomically by :func:`write_fence` when a replica is
+  promoted.  Every :meth:`WriteAheadLog.sync` re-reads it *before*
+  writing a single byte; a holder whose epoch is stale raises
+  :class:`~repro.resilience.errors.WalFencedError` and commits
+  nothing, so a deposed primary can neither diverge the journal nor
+  acknowledge a write the new primary will not serve (split-brain
+  protection);
+* a **tailer** — :class:`WalTailer`, an incremental reader a follower
+  polls to stream records as the primary appends them.  It tolerates
+  the three races a live journal exhibits: an in-progress record at
+  the tail (a clean prefix cut — wait and re-poll), segment rotation
+  (follow to the segment starting at the next needed sequence), and
+  GC deleting segments it has already consumed.  Segments a follower
+  still *needs* are protected on the writer side: followers advertise
+  their progress in ``replica-<id>.pos`` files and
+  :meth:`WriteAheadLog.gc` never deletes past the slowest one.
 """
 
 from __future__ import annotations
@@ -50,11 +71,11 @@ import struct
 import threading
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.graph.stream import EdgeEvent
-from repro.resilience.errors import WalError
-from repro.utils.atomicio import fsync_dir
+from repro.resilience.errors import WalError, WalFencedError
+from repro.utils.atomicio import atomic_write, fsync_dir
 
 #: bump when the on-disk record/segment layout changes incompatibly
 WAL_VERSION = 1
@@ -72,9 +93,114 @@ DEFAULT_SEGMENT_RECORDS = 4096
 _SEGMENT_RE = re.compile(r"^wal-(\d{16})\.log$")
 
 
+#: sidecar file carrying the monotonic fencing epoch
+FENCE_NAME = "FENCE"
+
+_REPLICA_POS_RE = re.compile(r"^replica-([A-Za-z0-9._-]{1,64})\.pos$")
+
+
 def segment_name(first_seq: int) -> str:
     """Canonical file name of the segment starting at *first_seq*."""
     return f"wal-{first_seq:016d}.log"
+
+
+def replica_position_name(replica_id: str) -> str:
+    """Canonical file name of *replica_id*'s progress marker."""
+    if not _REPLICA_POS_RE.match(f"replica-{replica_id}.pos"):
+        raise ValueError(
+            f"replica id must be 1-64 chars of [A-Za-z0-9._-], "
+            f"got {replica_id!r}"
+        )
+    return f"replica-{replica_id}.pos"
+
+
+# ----------------------------------------------------------------------
+# Fencing token: a monotonic epoch written atomically beside the WAL
+# ----------------------------------------------------------------------
+def read_fence(directory) -> int:
+    """The journal's current fencing epoch (0 when no promotion has
+    ever happened — the file does not exist until the first
+    :func:`write_fence`)."""
+    path = os.path.join(os.fspath(directory), FENCE_NAME)
+    try:
+        with open(path, "r") as fh:
+            blob = fh.read()
+    except FileNotFoundError:
+        return 0
+    try:
+        epoch = int(json.loads(blob)["epoch"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise WalError(path, f"unreadable fence file ({exc})") from None
+    if epoch < 0:
+        raise WalError(path, f"negative fence epoch {epoch}")
+    return epoch
+
+
+def write_fence(directory, epoch: int) -> int:
+    """Advance the fencing epoch to *epoch* (atomic tmp+fsync+rename,
+    then a directory fsync, so the fence survives a crash the instant
+    this returns).  The epoch must strictly increase — a stale writer
+    cannot re-fence itself back in.  Returns the epoch written."""
+    directory = os.fspath(directory)
+    epoch = int(epoch)
+    current = read_fence(directory)
+    if epoch <= current:
+        raise WalError(
+            os.path.join(directory, FENCE_NAME),
+            f"fence epoch must increase: {epoch} <= current {current}",
+        )
+    with atomic_write(os.path.join(directory, FENCE_NAME)) as fh:
+        fh.write(json.dumps({"epoch": epoch}) + "\n")
+    fsync_dir(directory)
+    return epoch
+
+
+# ----------------------------------------------------------------------
+# Replica progress markers: the GC floor a follower advertises
+# ----------------------------------------------------------------------
+def record_replica_position(directory, replica_id: str, next_seq: int) -> None:
+    """Advertise that follower *replica_id* has consumed every record
+    below *next_seq* (atomic write; :meth:`WriteAheadLog.gc` clamps to
+    the slowest advertised position so a needed segment is never
+    deleted under a live tailer)."""
+    if next_seq < 0:
+        raise ValueError(f"next_seq must be >= 0, got {next_seq}")
+    path = os.path.join(os.fspath(directory), replica_position_name(replica_id))
+    with atomic_write(path) as fh:
+        fh.write(json.dumps({"next_seq": int(next_seq)}) + "\n")
+
+
+def clear_replica_position(directory, replica_id: str) -> None:
+    """Remove *replica_id*'s progress marker (a promoted or
+    decommissioned follower must stop pinning the primary's GC)."""
+    path = os.path.join(os.fspath(directory), replica_position_name(replica_id))
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+
+
+def replica_positions(directory) -> Dict[str, int]:
+    """``{replica_id: next_seq}`` for every advertised follower."""
+    directory = os.fspath(directory)
+    out: Dict[str, int] = {}
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return out
+    for name in names:
+        match = _REPLICA_POS_RE.match(name)
+        if not match:
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, "r") as fh:
+                out[match.group(1)] = int(json.loads(fh.read())["next_seq"])
+        except FileNotFoundError:
+            continue  # cleared between listdir and open
+        except (ValueError, KeyError, TypeError) as exc:
+            raise WalError(path, f"unreadable replica position ({exc})") from None
+    return out
 
 
 def _encode_event(event: EdgeEvent) -> bytes:
@@ -304,6 +430,7 @@ class WriteAheadLog:
         *,
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
         start_seq: int = 0,
+        epoch: Optional[int] = None,
     ) -> None:
         if segment_records < 1:
             raise ValueError(
@@ -312,6 +439,20 @@ class WriteAheadLog:
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.segment_records = int(segment_records)
+        #: the fencing epoch this holder believes it owns.  ``None``
+        #: adopts whatever the fence file says at open; an explicit
+        #: value models a holder that opened *before* a later fence
+        #: bump (sync will refuse once the on-disk epoch passes it).
+        self.epoch = read_fence(self.directory) if epoch is None else int(epoch)
+        #: optional fault-injection hook called with a stage name
+        #: ("append" / "write" / "fsync") before the matching I/O; a
+        #: hook that raises OSError models a full disk or dying device
+        #: (see FaultInjector.arm_wal_fault)
+        self.fault_hook: Optional[Callable[[str], None]] = None
+        #: first unrecoverable write failure; once set, every later
+        #: append/sync raises — the journal (and its acks) are dead
+        #: until the operator recovers by reopening
+        self._failed: Optional[BaseException] = None
         #: the recovery scan performed at open (tail already truncated)
         self.scan = scan_wal(self.directory, truncate=True)
         self._fh = None
@@ -352,6 +493,45 @@ class WriteAheadLog:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def failed(self) -> Optional[BaseException]:
+        """The write failure that killed this journal, if any."""
+        return self._failed
+
+    def stats(self) -> Dict:
+        """Operator-facing size/lag numbers for health reporting:
+        segment count, total on-disk bytes, the fsync lag in records,
+        the fencing epoch, and whether the journal has failed."""
+        segments = list_segments(self.directory)
+        size = 0
+        for _, path in segments:
+            try:
+                size += os.stat(path).st_size
+            except FileNotFoundError:
+                continue  # GC raced the scan
+        return {
+            "segments": len(segments),
+            "size_bytes": size,
+            "next_seq": self._next_seq,
+            "last_synced_seq": self._last_synced_seq,
+            "fsync_lag_records": self._next_seq - 1 - self._last_synced_seq,
+            "epoch": self.epoch,
+            "failed": (None if self._failed is None
+                       else f"{type(self._failed).__name__}: {self._failed}"),
+        }
+
+    def check_fence(self) -> int:
+        """Re-read the fence file; raises
+        :class:`~repro.resilience.errors.WalFencedError` when this
+        holder's epoch has been superseded.  Returns the current
+        on-disk epoch.  :meth:`sync` calls this before writing any
+        byte, so a deposed holder's buffered records never reach
+        disk."""
+        current = read_fence(self.directory)
+        if current > self.epoch:
+            raise WalFencedError(self.directory, self.epoch, current)
+        return current
+
     # ------------------------------------------------------------------
     def align(self, watermark: int) -> None:
         """Reconcile the append cursor with a restored checkpoint
@@ -390,6 +570,14 @@ class WriteAheadLog:
         :meth:`sync`."""
         if self._closed:
             raise WalError(self.directory, "append to a closed journal")
+        if self._failed is not None:
+            raise WalError(
+                self.directory,
+                f"append to a failed journal ({self._failed})",
+                self._failed,
+            )
+        if self.fault_hook is not None:
+            self.fault_hook("append")
         if seq is None:
             seq = self._next_seq
         elif seq != self._next_seq:
@@ -408,26 +596,66 @@ class WriteAheadLog:
         """Group commit: write every buffered record (rotating
         segments as needed) and pay one fsync for the lot.  Returns
         the highest durable sequence number.  Appends may continue
-        concurrently; they land in the *next* commit."""
+        concurrently; they land in the *next* commit.
+
+        Two refusal paths guard the commit *before* any byte is
+        written: a stale fencing epoch raises
+        :class:`~repro.resilience.errors.WalFencedError` (the holder
+        was deposed by a promotion — nothing lands on disk), and a
+        previous write failure raises :class:`WalError` (the journal
+        is dead until reopened).  An ``OSError`` mid-commit (ENOSPC, a
+        dying disk) marks the journal failed and re-raises as a
+        structured :class:`WalError`: the batch is *not* acknowledged
+        (``last_synced_seq`` is unchanged) and any partially written
+        tail is exactly the torn-tail shape recovery already repairs.
+        """
+        if self._failed is not None:
+            raise WalError(
+                self.directory,
+                f"sync of a failed journal ({self._failed})",
+                self._failed,
+            )
+        self.check_fence()
         with self._lock:
             batch = self._pending
             self._pending = []
         if batch:
-            for seq, record in batch:
-                if (self._fh is None
-                        or self._segment_count >= self.segment_records):
-                    self._rotate(seq)
-                self._fh.write(record)
-                self._segment_count += 1
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+            try:
+                for seq, record in batch:
+                    if (self._fh is None
+                            or self._segment_count >= self.segment_records):
+                        self._rotate(seq)
+                    if self.fault_hook is not None:
+                        self.fault_hook("write")
+                    self._fh.write(record)
+                    self._segment_count += 1
+                self._fh.flush()
+                if self.fault_hook is not None:
+                    self.fault_hook("fsync")
+                os.fsync(self._fh.fileno())
+            except OSError as exc:
+                self._failed = exc
+                raise WalError(
+                    self.directory,
+                    f"journal write failed, acks stopped ({exc})",
+                    exc,
+                ) from exc
             self._last_synced_seq = batch[-1][0]
         return self._last_synced_seq
 
     def gc(self, watermark: int) -> List[str]:
         """Delete segments whose every record is below *watermark*
         (already baked into the oldest retained checkpoint).  The
-        newest segment is always kept.  Returns the removed paths."""
+        newest segment is always kept.  Returns the removed paths.
+
+        Retention also accounts for *followers*: the effective horizon
+        is clamped to the slowest position advertised in
+        ``replica-<id>.pos``, so a segment a live tailer still needs
+        is never deleted out from under it — replication lag bounds
+        journal size instead of corrupting the follower."""
+        positions = replica_positions(self.directory)
+        if positions:
+            watermark = min(watermark, min(positions.values()))
         segments = list_segments(self.directory)
         removed: List[str] = []
         fh = self._fh  # snapshot: gc may run on the apply thread
@@ -444,11 +672,27 @@ class WriteAheadLog:
         return removed
 
     def close(self) -> None:
-        """Final sync and release the segment handle (idempotent)."""
+        """Final sync and release the segment handle (idempotent).
+        A failed journal skips the sync (it would only re-raise), and
+        a *fenced* holder drops its buffered records — they legally
+        cannot be committed — so close never raises on the shutdown
+        path of a deposed or broken writer."""
         if self._closed:
             return
-        self.sync()
-        self._close_segment()
+        if self._failed is None:
+            try:
+                self.sync()
+            except WalFencedError:
+                with self._lock:
+                    self._pending = []
+                if self._fh is not None:
+                    self._fh.close()
+                    self._fh = None
+            else:
+                self._close_segment()
+        elif self._fh is not None:
+            self._fh.close()
+            self._fh = None
         self._closed = True
 
     def __enter__(self) -> "WriteAheadLog":
@@ -483,3 +727,204 @@ class WriteAheadLog:
     def __repr__(self) -> str:
         return (f"WriteAheadLog({self.directory!r}, next_seq={self._next_seq}, "
                 f"synced={self._last_synced_seq}, unsynced={self.unsynced})")
+
+
+class WalTailer:
+    """Incremental reader over a *live* journal directory — the
+    follower half of WAL shipping.
+
+    A :class:`WriteAheadLog` writer and any number of tailer processes
+    share the directory; each :meth:`poll` returns every complete,
+    CRC-valid record at or past the tailer's cursor, in sequence
+    order, and leaves the cursor after the last one.  Three races are
+    part of normal operation and handled without error:
+
+    * **in-progress tail** — the writer's buffered appends become
+      visible as a clean byte *prefix* of the logical stream, so a
+      record cut off mid-header or mid-payload simply is not finished
+      yet: the tailer stops before it and the next poll retries from
+      the same offset;
+    * **rotation** — when the current segment ends on a record
+      boundary and a segment named for the next needed sequence
+      exists, the current segment is sealed (the writer fsyncs before
+      creating its successor) and the tailer follows;
+    * **GC** — segments the tailer has fully consumed may vanish at
+      any time.  A segment it still *needs* disappearing is *not*
+      normal (writers clamp :meth:`WriteAheadLog.gc` to advertised
+      replica positions) and raises :class:`WalError` — silently
+      skipping records would break the replica's bit-identity
+      contract.
+
+    Damage that cannot be an in-progress write — a CRC mismatch or
+    sequence jump on bytes that are fully present — raises
+    :class:`WalError` immediately: a follower must never apply a
+    corrupt record.
+    """
+
+    def __init__(self, directory, *, start_seq: int = 0) -> None:
+        if start_seq < 0:
+            raise ValueError(f"start_seq must be >= 0, got {start_seq}")
+        self.directory = os.fspath(directory)
+        #: sequence number the next emitted record will carry
+        self._next_seq = int(start_seq)
+        self._path: Optional[str] = None
+        self._first_seq = 0
+        self._offset = 0
+        #: sequence expected at ``_offset`` within the open segment
+        self._parse_seq = 0
+        #: observability counters
+        self.polls = 0
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        """Cursor: sequence number of the next record to be emitted."""
+        return self._next_seq
+
+    @property
+    def last_seen_seq(self) -> int:
+        """Highest sequence number emitted so far (``start_seq - 1``
+        before the first record)."""
+        return self._next_seq - 1
+
+    # ------------------------------------------------------------------
+    def _locate(self) -> bool:
+        """Point the cursor at the segment containing ``_next_seq``;
+        ``False`` when the journal has no records there yet."""
+        segments = list_segments(self.directory)
+        if not segments:
+            return False
+        covering = [(first, path) for first, path in segments
+                    if first <= self._next_seq]
+        if not covering:
+            raise WalError(
+                self.directory,
+                f"tailer needs seq {self._next_seq} but the oldest "
+                f"segment starts at {segments[0][0]}: the records were "
+                f"garbage-collected (or never written)",
+            )
+        first_seq, path = covering[-1]
+        self._path = path
+        self._first_seq = first_seq
+        self._offset = _SEGMENT_HEADER.size
+        self._parse_seq = first_seq
+        return True
+
+    def _read_segment(self) -> Optional[bytes]:
+        """Bytes of the current segment past the parse offset, with
+        the header validated on first contact; ``None`` when the
+        segment vanished (GC race — caller relocates)."""
+        try:
+            with open(self._path, "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            return None
+        if len(blob) >= _SEGMENT_HEADER.size:
+            magic, version, first_seq = _SEGMENT_HEADER.unpack_from(blob, 0)
+            if magic != _SEGMENT_MAGIC:
+                raise WalError(self._path, f"bad segment magic {magic!r}")
+            if version != WAL_VERSION:
+                raise WalError(
+                    self._path,
+                    f"unsupported journal version {version} "
+                    f"(this build reads version {WAL_VERSION})",
+                )
+            if first_seq != self._first_seq:
+                raise WalError(
+                    self._path,
+                    f"segment header seq {first_seq} does not match "
+                    f"file name",
+                )
+        return blob
+
+    def poll(self, max_records: Optional[int] = None
+             ) -> List[Tuple[int, EdgeEvent]]:
+        """Every complete record at or past the cursor (bounded by
+        *max_records*), advancing the cursor past what was returned."""
+        self.polls += 1
+        out: List[Tuple[int, EdgeEvent]] = []
+        relocations = 0
+        while max_records is None or len(out) < max_records:
+            if self._path is None and not self._locate():
+                break
+            blob = self._read_segment()
+            if blob is None:
+                # The segment vanished under us.  Legal only when we
+                # no longer need it — relocation below either finds
+                # our cursor in a newer segment or raises.
+                self._path = None
+                relocations += 1
+                if relocations > 2:
+                    raise WalError(
+                        self.directory,
+                        f"tailer could not re-locate seq {self._next_seq} "
+                        f"after repeated segment churn",
+                    )
+                continue
+            advanced = self._parse(blob, out, max_records)
+            if advanced == "rotate":
+                self.rotations += 1
+                self._path = None
+                continue
+            break
+        return out
+
+    def _parse(self, blob: bytes, out: List[Tuple[int, EdgeEvent]],
+               max_records: Optional[int]) -> str:
+        """Consume records from the open segment; returns ``"rotate"``
+        when the cursor should move to the next segment, ``"wait"``
+        otherwise."""
+        size = len(blob)
+        while max_records is None or len(out) < max_records:
+            offset = self._offset
+            if offset >= size:
+                break
+            end = offset + _RECORD_HEADER.size
+            if end > size:
+                return "wait"  # header still being written
+            rec_seq, length = _RECORD_HEADER.unpack_from(blob, offset)
+            if length > _MAX_PAYLOAD:
+                raise WalError(
+                    self._path,
+                    f"implausible payload length {length} at byte "
+                    f"{offset} (seq {self._parse_seq} expected)",
+                )
+            end += length + _RECORD_CRC.size
+            if end > size:
+                return "wait"  # payload still being written
+            crc = zlib.crc32(blob[offset:end - _RECORD_CRC.size]) & 0xFFFFFFFF
+            (stored,) = _RECORD_CRC.unpack_from(blob, end - _RECORD_CRC.size)
+            if crc != stored:
+                # Visible bytes are always a prefix of what the writer
+                # wrote, so a complete-but-invalid record is damage,
+                # not an in-progress append.
+                raise WalError(
+                    self._path,
+                    f"CRC mismatch at byte {offset} (seq "
+                    f"{self._parse_seq} expected): corrupt record under "
+                    f"a live tailer",
+                )
+            if rec_seq != self._parse_seq:
+                raise WalError(
+                    self._path,
+                    f"sequence {rec_seq} where {self._parse_seq} was "
+                    f"expected at byte {offset}",
+                )
+            if rec_seq >= self._next_seq:
+                event = _decode_event(
+                    blob[offset + _RECORD_HEADER.size:end - _RECORD_CRC.size],
+                    self._path, rec_seq,
+                )
+                out.append((rec_seq, event))
+                self._next_seq = rec_seq + 1
+            self._offset = end
+            self._parse_seq = rec_seq + 1
+        # Clean record boundary: follow a rotation when the successor
+        # segment exists (the writer seals the old segment first).
+        successor = os.path.join(self.directory,
+                                 segment_name(self._parse_seq))
+        if (self._offset >= size and successor != self._path
+                and os.path.exists(successor)):
+            return "rotate"
+        return "wait"

@@ -19,6 +19,10 @@ Graphs*).  See ``docs/SERVICE.md`` for the architecture and knobs.
   (steady / diurnal / flash-crowd).
 - :mod:`repro.service.driver` — the measurement harness behind
   ``repro.cli serve`` and ``benchmarks/bench_service.py``.
+- :mod:`repro.service.replication` — :class:`ReplicaService`: a
+  hot-standby follower tailing the primary's journal (bit-identical
+  state at every shared watermark), stale-bounded snapshot reads, and
+  epoch-fenced promotion for failover (see docs/RESILIENCE.md §7).
 """
 
 from repro.service.core import BatchOutcome, ServiceCore
@@ -28,6 +32,11 @@ from repro.service.loadgen import (
     QueryOp,
     Workload,
     generate_workload,
+)
+from repro.service.replication import (
+    Promotion,
+    ReplicaService,
+    StaleReadError,
 )
 from repro.service.service import (
     BCService,
@@ -41,11 +50,14 @@ __all__ = [
     "BatchOutcome",
     "IngestQueue",
     "PROFILES",
+    "Promotion",
     "QueryOp",
+    "ReplicaService",
     "ServiceClosed",
     "ServiceCore",
     "Snapshot",
     "SnapshotStore",
+    "StaleReadError",
     "Workload",
     "drive_workload",
     "generate_workload",

@@ -1,0 +1,456 @@
+"""Hot-standby replication: WAL shipping, read replicas, fenced failover.
+
+PR 7 made a single node RPO-zero (an acked write survives ``kill -9``)
+but left availability at the mercy of that one process: until someone
+runs ``recover``, queries are down.  This module adds the standby half
+of the story, following the textbook primary/replica shape over the
+journal that already exists::
+
+        primary BCService                      follower ReplicaService
+    submit -> WAL append/fsync  ----------->  WalTailer.poll()
+           -> IngestQueue                        |
+           -> ServiceCore.apply_batch         ServiceCore.apply_batch
+           -> SnapshotStore                   SnapshotStore
+                 |                                  |
+           query_* (fresh)                query_* (stale-bounded, with
+                                          advertised lag watermark)
+
+The follower never talks to the primary process — the *journal
+directory* is the replication stream (WAL shipping over a shared or
+mirrored filesystem).  Because both sides apply the identical record
+sequence through the identical machinery
+(:meth:`~repro.service.core.ServiceCore.apply_batch`), the replica's
+BC scores, counters, reports and watermark are **bit-identical** to
+the primary's at every shared watermark — the same differential
+argument the service layer itself rests on, extended across processes
+(``tests/test_service_replication.py``).
+
+Failover is *epoch-fenced*: :meth:`ReplicaService.promote` bumps the
+monotonic fencing token (the ``FENCE`` file next to the segments)
+**before** it seals and replays the tail, so a deposed primary that
+is merely slow — not dead — has its next group commit refused
+(:class:`~repro.resilience.errors.WalFencedError`) before a single
+byte lands.  Split-brain becomes an error the old primary observes,
+not a divergence the operator discovers.  The promoted replica then
+owns the journal at the new epoch and accepts writes with zero
+acked-write loss: every record a client was ever acked is durable in
+the journal the replica just replayed.
+
+Retention cooperates with tailing: each follower advertises its
+position in a ``replica-<id>.pos`` sidecar, and
+:meth:`~repro.resilience.wal.WriteAheadLog.gc` clamps its horizon to
+the slowest advertised position — a lagging follower bounds journal
+size instead of getting its segments deleted out from under it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.resilience.wal import (
+    WalTailer,
+    WriteAheadLog,
+    clear_replica_position,
+    read_fence,
+    record_replica_position,
+    write_fence,
+)
+from repro.service.core import ServiceCore
+from repro.service.snapshots import Snapshot, SnapshotStore
+from repro.utils.timing import WallTimer
+
+#: how long the background tailer sleeps after an empty poll (seconds)
+DEFAULT_POLL_INTERVAL = 0.005
+#: records applied per replica batch (bounds apply-thread latency)
+DEFAULT_MAX_BATCH = 256
+
+
+class StaleReadError(RuntimeError):
+    """A stale-bounded read could not be served within its bound.
+
+    Raised by the replica's query methods when the caller demanded
+    ``min_watermark`` and the latest local snapshot is older: the
+    caller asked to *not* see state this stale, so lying is not an
+    option.  Retry after the replica catches up, or read the primary.
+    """
+
+    def __init__(self, watermark: int, min_watermark: int) -> None:
+        self.watermark = int(watermark)
+        self.min_watermark = int(min_watermark)
+        super().__init__(
+            f"replica snapshot is at watermark {watermark}, caller "
+            f"requires >= {min_watermark} (lag "
+            f"{min_watermark - watermark} records)"
+        )
+
+
+@dataclass
+class Promotion:
+    """Everything :meth:`ReplicaService.promote` hands the caller.
+
+    ``core`` is the replica's (now fully caught-up) state machine and
+    ``wal`` the journal reopened at the new fencing ``epoch`` — pass
+    them to ``BCService(core.engine, core=promotion.core,
+    wal=promotion.wal)`` to start serving writes.  ``seconds`` is the
+    promotion's own wall time (the recovery-time share failover
+    control logic contributes; the drill adds detection time on top).
+    """
+
+    core: ServiceCore
+    wal: WriteAheadLog
+    epoch: int
+    watermark: int
+    replayed: int  #: records applied while sealing the tail
+    seconds: float
+
+
+class ReplicaService:
+    """A follower applying the primary's journal, serving snapshot
+    reads, and ready to be promoted.
+
+    Synchronous core (:meth:`catch_up`, :meth:`promote`) with an
+    optional asyncio front half (:meth:`start` / :meth:`stop`) that
+    keeps tailing in the background the way ``BCService`` keeps
+    flushing; both halves drive the same :class:`ServiceCore`, so the
+    differential guarantees carry over unchanged.
+
+    Parameters
+    ----------
+    engine:
+        A fresh engine over the same graph the primary started from.
+    wal_dir:
+        The primary's journal directory (the replication stream).
+    replica_id:
+        Name under which this follower advertises its position for
+        GC retention (``replica-<id>.pos``).
+    resume_from:
+        Optional checkpoint path/directory for bootstrapping a
+        follower that joins after journal GC: state is restored from
+        the checkpoint (a base backup) and tailing starts at its
+        watermark.
+    """
+
+    def __init__(
+        self,
+        engine,
+        wal_dir,
+        *,
+        replica_id: str = "replica",
+        store: Optional[SnapshotStore] = None,
+        resume_from=None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be > 0, got {poll_interval}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.replica_id = str(replica_id)
+        self.poll_interval = float(poll_interval)
+        self.max_batch = int(max_batch)
+        #: same state machine as the primary — no wal (the replica
+        #: only *reads* the journal), no checkpoints until promotion
+        self.core = ServiceCore(engine, store=store, resume_from=resume_from)
+        self.wal_dir = wal_dir
+        self.tailer = WalTailer(wal_dir, start_seq=self.core.watermark)
+        # Advertise before the first poll: from this moment GC can
+        # never delete a segment this follower still needs.
+        record_replica_position(wal_dir, self.replica_id, self.core.watermark)
+        self.stats: Dict = {
+            "batches": 0,
+            "records_applied": 0,
+            "queries": 0,
+            "stale_rejections": 0,
+        }
+        self._tailer_task: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._promoted = False
+        self._failure: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # replication (synchronous half)
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        """Records applied into the published replica state."""
+        return self.core.store.watermark
+
+    @property
+    def lag_records(self) -> int:
+        """Records fetched from the journal but not yet applied
+        (``0`` when the replica is at its last observed tip)."""
+        return max(0, self.tailer.last_seen_seq + 1 - self.core.watermark)
+
+    def catch_up(self, max_batches: Optional[int] = None) -> int:
+        """Apply every complete journal record past the watermark
+        (bounded by *max_batches*); returns how many were applied.
+
+        Safe to call repeatedly and from the async tailer's executor —
+        the core applies records strictly in sequence, publishes after
+        each batch (readers never see a half-applied batch), and
+        re-advertises the follower position for GC retention.
+        """
+        self._raise_if_failed()
+        applied = 0
+        batches = 0
+        while max_batches is None or batches < max_batches:
+            records = self.tailer.poll(self.max_batch)
+            if not records:
+                break
+            self.core.apply_batch([event for _, event in records])
+            self.core.publish()
+            record_replica_position(
+                self.wal_dir, self.replica_id, self.core.watermark
+            )
+            applied += len(records)
+            batches += 1
+            self.stats["batches"] += 1
+            self.stats["records_applied"] += len(records)
+        return applied
+
+    # ------------------------------------------------------------------
+    # lifecycle (async half)
+    # ------------------------------------------------------------------
+    def start(self) -> "ReplicaService":
+        """Start the background tailer (idempotent); requires a
+        running event loop."""
+        if self._promoted:
+            raise RuntimeError("replica was promoted; start a BCService "
+                               "on the Promotion instead")
+        if self._tailer_task is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="bc-replica-apply"
+            )
+            self._tailer_task = asyncio.get_running_loop().create_task(
+                self._run_tailer()
+            )
+        return self
+
+    async def stop(self, *, deregister: bool = False) -> None:
+        """Stop tailing.  With ``deregister=True`` the follower's
+        retention position is removed so journal GC stops waiting for
+        it (a follower that is gone for good must not pin segments
+        forever)."""
+        if self._tailer_task is not None:
+            self._tailer_task.cancel()
+            await asyncio.gather(self._tailer_task, return_exceptions=True)
+            self._tailer_task = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if deregister:
+            clear_replica_position(self.wal_dir, self.replica_id)
+        self._raise_if_failed()
+
+    async def __aenter__(self) -> "ReplicaService":
+        return self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def _raise_if_failed(self) -> None:
+        if self._failure is not None:
+            raise RuntimeError("replica tailer failed") from self._failure
+
+    async def _run_tailer(self) -> None:
+        """Poll -> apply -> publish loop on a one-thread executor, so
+        the loop keeps serving queries while a batch applies."""
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                applied = await loop.run_in_executor(
+                    self._executor, self.catch_up, 1
+                )
+                if applied == 0:
+                    await asyncio.sleep(self.poll_interval)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            self._failure = exc
+            raise
+
+    # ------------------------------------------------------------------
+    # read path — stale-bounded snapshot queries
+    # ------------------------------------------------------------------
+    def _snapshot_for_read(self, min_watermark: Optional[int]) -> Snapshot:
+        self.stats["queries"] += 1
+        snap = self.core.store.current()
+        if min_watermark is not None and snap.watermark < min_watermark:
+            self.stats["stale_rejections"] += 1
+            raise StaleReadError(snap.watermark, min_watermark)
+        return snap
+
+    async def query_top_k(
+        self, k: int = 10, *, min_watermark: Optional[int] = None,
+    ) -> Dict:
+        """The k most central vertices in the replica's latest
+        snapshot, stamped with the replication provenance a caller
+        needs to reason about staleness (watermark, lag).
+
+        *min_watermark* makes the read stale-*bounded*: the replica
+        refuses (:class:`StaleReadError`) rather than serve state
+        older than the caller's bound — e.g. a client that just got
+        an acked write at sequence ``s`` from the primary passes
+        ``min_watermark=s + 1`` for read-your-writes.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        snap = self._snapshot_for_read(min_watermark)
+        k = min(k, snap.bc.size)
+        order = np.argsort(snap.bc)[::-1][:k]
+        return {
+            "version": snap.version,
+            "watermark": snap.watermark,
+            "replica": self.replica_id,
+            "lag_records": self.lag_records,
+            "top": [(int(v), float(snap.bc[v])) for v in order],
+        }
+
+    async def query_bc(
+        self,
+        vertices: Optional[Sequence[int]] = None,
+        *,
+        min_watermark: Optional[int] = None,
+    ) -> Dict:
+        """BC scores from the replica's latest snapshot with
+        watermark/lag provenance (see :meth:`query_top_k` for the
+        *min_watermark* stale bound)."""
+        snap = self._snapshot_for_read(min_watermark)
+        if vertices is None:
+            scores = snap.bc.copy()
+        else:
+            scores = snap.bc[np.asarray(vertices, dtype=np.int64)]
+        return {
+            "version": snap.version,
+            "watermark": snap.watermark,
+            "replica": self.replica_id,
+            "lag_records": self.lag_records,
+            "scores": scores,
+        }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def health_report(self) -> Dict:
+        """Engine health plus the replication surface: watermark, the
+        highest journal sequence observed, lag in records, tailer
+        progress counters, and the journal epoch."""
+        report = dict(self.core.engine.health_report())
+        report.update(
+            role="replica",
+            replica_id=self.replica_id,
+            watermark=self.watermark,
+            last_seen_seq=self.tailer.last_seen_seq,
+            lag_records=self.lag_records,
+            epoch=read_fence(self.wal_dir),
+            polls=self.tailer.polls,
+            rotations=self.tailer.rotations,
+            promoted=self._promoted,
+            snapshot_version=self.core.store.version,
+            replication=dict(self.stats),
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+    def promote(
+        self,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        checkpoint_keep: Optional[int] = None,
+    ) -> Promotion:
+        """Fence the old primary and take ownership of the journal.
+
+        The order is the protocol (docs/RESILIENCE.md §7):
+
+        1. **fence** — bump the epoch token first.  From the moment
+           the fence file is durable, any group commit the deposed
+           primary attempts raises
+           :class:`~repro.resilience.errors.WalFencedError` before a
+           byte lands, so the tail this promotion is about to seal
+           can no longer grow behind our back.
+        2. **seal** — drain the tailer until two consecutive polls
+           return nothing: the replica has now applied every complete
+           record the old primary ever durably wrote (zero acked-write
+           loss — an acked record is by definition one of these).
+        3. **own** — reopen the journal as a writer at the new epoch.
+           The open scan truncates a torn tail (the old primary's
+           mid-write partial record — never acked, legal to drop) and
+           the append cursor must land exactly on our watermark.
+        4. **advertise** — drop our own retention position (we are no
+           longer a follower) and record the transition in the guard
+           log's ``HEALTH`` stream.
+
+        Returns a :class:`Promotion`; serve writes by wrapping it in
+        ``BCService(promotion.core.engine, core=promotion.core,
+        wal=promotion.wal)``.  Call with the tailer stopped.
+        """
+        from repro.resilience.errors import WalError
+        from repro.resilience.guards import HEALTH, GuardEvent
+
+        if self._promoted:
+            raise RuntimeError("replica already promoted")
+        if self._tailer_task is not None:
+            raise RuntimeError("stop() the replica before promote()")
+        timer = WallTimer()
+        with timer:
+            epoch = write_fence(self.wal_dir, read_fence(self.wal_dir) + 1)
+            replayed = 0
+            dry = 0
+            while dry < 2:
+                applied = self.catch_up()
+                replayed += applied
+                dry = dry + 1 if applied == 0 else 0
+            wal = WriteAheadLog(self.wal_dir, epoch=epoch)
+            if wal.next_seq != self.core.watermark:
+                raise WalError(
+                    self.wal_dir,
+                    f"promotion cursor mismatch: journal resumes at seq "
+                    f"{wal.next_seq} but the replica applied through "
+                    f"{self.core.watermark}",
+                )
+            self.core.wal = wal
+            if checkpoint_every is not None or checkpoint_dir is not None:
+                # The follower never checkpointed; the new primary
+                # should.  Same validation as ServiceCore construction.
+                if checkpoint_every is not None and checkpoint_dir is None:
+                    raise ValueError(
+                        "checkpoint_every requires checkpoint_dir"
+                    )
+                os.makedirs(checkpoint_dir, exist_ok=True)
+                self.core.checkpoint_every = checkpoint_every
+                self.core.checkpoint_dir = checkpoint_dir
+                self.core.checkpoint_keep = checkpoint_keep
+            clear_replica_position(self.wal_dir, self.replica_id)
+            self._promoted = True
+            self.core.result.guard_events.append(
+                GuardEvent(
+                    self.core.watermark, HEALTH, "promoted", -1,
+                    f"replica {self.replica_id!r} promoted to primary at "
+                    f"epoch {epoch}, watermark {self.core.watermark} "
+                    f"({replayed} records sealed)",
+                )
+            )
+        return Promotion(
+            core=self.core,
+            wal=wal,
+            epoch=epoch,
+            watermark=self.core.watermark,
+            replayed=replayed,
+            seconds=timer.elapsed,
+        )
+
+    def __repr__(self) -> str:
+        return (f"ReplicaService({self.replica_id!r}, "
+                f"watermark={self.watermark}, lag={self.lag_records}, "
+                f"promoted={self._promoted})")

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.stream import EdgeEvent
+from repro.resilience.errors import WalError
 from repro.service.core import BatchOutcome, ServiceCore
 from repro.service.snapshots import Snapshot, SnapshotStore
 
@@ -239,10 +240,12 @@ class BCService:
         checkpoint_keep: Optional[int] = None,
         resume_from=None,
         wal_dir=None,
+        wal=None,
         wal_segment_records: Optional[int] = None,
         ack_durable: Optional[bool] = None,
         fsync_every: int = DEFAULT_FSYNC_EVERY,
         fsync_delay: float = DEFAULT_FSYNC_DELAY,
+        core: Optional[ServiceCore] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -252,13 +255,31 @@ class BCService:
             raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
         if fsync_delay <= 0:
             raise ValueError(f"fsync_delay must be > 0, got {fsync_delay}")
-        if ack_durable and wal_dir is None:
-            raise ValueError("ack_durable requires wal_dir")
+        if wal is not None and wal_dir is not None:
+            raise ValueError("pass wal_dir or a pre-opened wal, not both")
+        if core is not None:
+            # Adoption path (failover promotion): the caller hands over
+            # a live, already-recovered core — the engine/checkpoint/
+            # resume knobs describe how to *build* one and must not
+            # also be set.
+            if any(arg is not None for arg in
+                   (checkpoint_every, checkpoint_dir, checkpoint_keep,
+                    resume_from, wal_dir, store)):
+                raise ValueError(
+                    "core= adopts an existing ServiceCore; checkpoint/"
+                    "resume/wal_dir/store arguments must be None"
+                )
+            if engine is not core.engine:
+                raise ValueError("engine must be the adopted core's engine")
+        if ack_durable and wal_dir is None and wal is None and (
+                core is None or core.wal is None):
+            raise ValueError("ack_durable requires wal_dir, wal=, or "
+                             "a core that owns a journal")
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
         self.fsync_every = int(fsync_every)
         self.fsync_delay = float(fsync_delay)
-        self._wal = None
+        self._wal = wal
         if wal_dir is not None:
             from repro.resilience.wal import (
                 DEFAULT_SEGMENT_RECORDS,
@@ -271,15 +292,20 @@ class BCService:
                                  if wal_segment_records is not None
                                  else DEFAULT_SEGMENT_RECORDS),
             )
+        if core is not None and self._wal is None:
+            self._wal = core.wal
         #: whether submit() acks only after the event's journal record
         #: is fsynced — on by default whenever a journal is configured
         self.ack_durable = (self._wal is not None
                             if ack_durable is None else bool(ack_durable))
-        self.core = ServiceCore(
-            engine, store=store, checkpoint_every=checkpoint_every,
-            checkpoint_dir=checkpoint_dir, checkpoint_keep=checkpoint_keep,
-            resume_from=resume_from, wal=self._wal,
-        )
+        if core is not None:
+            self.core = core
+        else:
+            self.core = ServiceCore(
+                engine, store=store, checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir, checkpoint_keep=checkpoint_keep,
+                resume_from=resume_from, wal=self._wal,
+            )
         self.queue = IngestQueue(max_pending)
         self.stats: Dict = {
             "submitted": 0,
@@ -309,6 +335,10 @@ class BCService:
         self._idle = asyncio.Event()
         self._idle.set()
         self._failure: Optional[BaseException] = None
+        #: set when the journal failed (disk fault / fencing): the
+        #: service degrades to read-only — writes are rejected, reads
+        #: keep serving the last published snapshot
+        self._write_failure: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -369,9 +399,18 @@ class BCService:
         if self._wal is not None and not self._wal.closed:
             # Final group commit + seal; resolve any waiters the
             # cancelled syncer left behind so submitters never hang.
-            durable = self._wal.sync()
-            self._resolve_durable(durable)
-            self._wal.close()
+            # A failed or fenced journal can no longer commit: degrade
+            # (failing those waiters) instead of masking the stop.
+            try:
+                durable = self._wal.sync()
+            except WalError as exc:
+                self._degrade_writes(exc)
+            else:
+                self._resolve_durable(durable)
+            try:
+                self._wal.close()
+            except WalError:
+                pass  # already surfaced via _degrade_writes above
         self._raise_if_failed()
 
     async def __aenter__(self) -> "BCService":
@@ -383,6 +422,49 @@ class BCService:
     def _raise_if_failed(self) -> None:
         if self._failure is not None:
             raise RuntimeError("service flusher failed") from self._failure
+
+    @property
+    def writes_degraded(self) -> bool:
+        """``True`` once a journal failure switched the service to
+        read-only mode (see :meth:`_degrade_writes`)."""
+        return self._write_failure is not None
+
+    def _check_writable(self) -> None:
+        if self._write_failure is not None:
+            raise WalError(
+                self._wal.directory if self._wal is not None else "<no wal>",
+                f"service is read-only after a journal failure "
+                f"({self._write_failure})",
+            ) from self._write_failure
+
+    def _degrade_writes(self, exc: BaseException) -> None:
+        """A journal write failed permanently (disk fault or fencing):
+        degrade to read-only instead of dying.
+
+        Every submitter still waiting on a durable ack is failed with
+        the cause — their records never reached disk, so acking them
+        would be a lie — new writes are rejected at :meth:`submit` /
+        :meth:`try_submit`, a ``wal-failure`` HEALTH event lands in the
+        guard log, and the read path keeps serving snapshots (already
+        *applied* events stay visible: they were accepted, just never
+        durably acknowledged).
+        """
+        if self._write_failure is not None:
+            return
+        from repro.resilience.guards import HEALTH, GuardEvent
+
+        self._write_failure = exc
+        self.stats["write_failures"] = self.stats.get("write_failures", 0) + 1
+        self.core.result.guard_events.append(
+            GuardEvent(self.core.watermark, HEALTH, "wal-failure", -1,
+                       f"journal failure, writes rejected: {exc}")
+        )
+        for _, future in self._durable_waiters:
+            if not future.done():
+                future.set_exception(
+                    RuntimeError(f"durable ack impossible: {exc}")
+                )
+        self._durable_waiters = []
 
     # ------------------------------------------------------------------
     # write path
@@ -402,6 +484,7 @@ class BCService:
         Without a journal, returns ``None``.
         """
         self._raise_if_failed()
+        self._check_writable()
         if self._wal is None:
             waited = await self.queue.put(event)
             self.stats["submitted"] += 1
@@ -440,6 +523,7 @@ class BCService:
         await, ``True`` means *accepted and journaled*, with
         durability following at the next group commit."""
         self._raise_if_failed()
+        self._check_writable()
         if self._wal is not None:
             if self.queue.closed:
                 raise ServiceClosed("service is stopped")
@@ -547,9 +631,17 @@ class BCService:
                     pass
             self._sync_wanted.clear()
             self._sync_full.clear()
-            durable = await loop.run_in_executor(
-                self._wal_executor, self._wal.sync
-            )
+            try:
+                durable = await loop.run_in_executor(
+                    self._wal_executor, self._wal.sync
+                )
+            except (WalError, OSError) as exc:
+                # ENOSPC / dying disk / fencing: the commit did not
+                # happen, so nobody gets acked — degrade to read-only
+                # and stop syncing (the journal is dead until
+                # reopened).  Queries keep working.
+                self._degrade_writes(exc)
+                return
             self.stats["wal_syncs"] += 1
             self._resolve_durable(durable)
 
@@ -658,8 +750,13 @@ class BCService:
             service=dict(self.stats,
                          flush_reasons=dict(self.stats["flush_reasons"])),
         )
+        report["writes_degraded"] = self.writes_degraded
+        if self._write_failure is not None:
+            report["write_failure"] = (
+                f"{type(self._write_failure).__name__}: {self._write_failure}"
+            )
         if self._wal is not None:
-            report["wal"] = {
+            wal_report = {
                 "directory": self._wal.directory,
                 "ack_durable": self.ack_durable,
                 "next_seq": self._wal.next_seq,
@@ -667,4 +764,9 @@ class BCService:
                 "unsynced": self._wal.unsynced,
                 "replayed_on_recovery": self.core.wal_replayed,
             }
+            # size / fsync-lag / fencing-epoch / failure numbers an
+            # operator (and the replication docs' decision table) keys
+            # off — see WriteAheadLog.stats()
+            wal_report.update(self._wal.stats())
+            report["wal"] = wal_report
         return report

@@ -1,14 +1,20 @@
-"""Crash-drill harness smoke test: one seeded kill -9 cycle against a
-real serve subprocess, recovery, and the zero-acked-loss +
-bit-identity checks.  The CI `crash-drill` job runs the full matrix
-(seeds 0-4, two kills each); this keeps the harness itself honest in
-the tier-1 suite with one short cycle."""
+"""Crash-drill harness smoke tests: one seeded kill -9 cycle against a
+real serve subprocess (recovery + zero-acked-loss + bit-identity
+checks), and one kill-the-primary failover cycle against a live hot
+standby.  The CI `crash-drill` and `failover-drill` jobs run the full
+seed matrices; this keeps the harnesses themselves honest in the
+tier-1 suite with one short cycle each."""
 
 import json
 
 import pytest
 
-from repro.resilience.drill import DrillReport, run_drill
+from repro.resilience.drill import (
+    DrillReport,
+    FailoverReport,
+    run_drill,
+    run_failover_drill,
+)
 
 pytestmark = pytest.mark.service
 
@@ -41,3 +47,39 @@ class TestDrill:
         assert report.failures == ["synthetic failure"]
         assert "FAIL" in report.summary()
         assert report.header()["failures"] == ["synthetic failure"]
+
+
+@pytest.mark.replication
+class TestFailoverDrill:
+    def test_kill_the_primary_fails_over(self, tmp_path):
+        report = run_failover_drill(seed=0, ops=120,
+                                    artifacts_dir=tmp_path / "artifacts",
+                                    wall_target=2.5,
+                                    kill_window=(0.4, 1.6))
+        assert report.ok, "\n".join(report.failures)
+        assert report.final_watermark == report.total_writes
+        phases = [t["phase"] for t in report.timeline]
+        assert "promoted" in phases and "completed" in phases
+        assert "fenced" in phases  # split-brain check ran
+        assert report.promoted_epoch >= 1
+        assert report.rto_seconds > 0
+        # Zero acked-write loss at the promotion boundary.
+        if report.last_ack >= 0:
+            promoted = next(t for t in report.timeline
+                            if t["phase"] == "promoted")
+            assert promoted["watermark"] >= report.last_ack + 1
+        header = report.header()
+        json.dumps(header)  # the drill log record is JSON-clean
+        assert header["record"] == "failover-report"
+        assert "rto_seconds" in header and "lag_max" in header
+        summary = report.summary()
+        assert "RTO" in summary and "OK" in summary
+
+    def test_failover_report_bookkeeping(self):
+        report = FailoverReport(seed=2, ops=10, kills=1)
+        report.lag_samples.extend([0, 3, 1])
+        assert report.max_lag == 3
+        assert report.mean_lag == pytest.approx(4 / 3)
+        report.fail("synthetic failure")
+        assert not report.ok
+        assert "FAIL" in report.summary()

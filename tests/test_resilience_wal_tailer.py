@@ -1,0 +1,325 @@
+"""WAL shipping primitives: :class:`WalTailer`, fencing tokens,
+replica retention positions, and injected disk faults.
+
+These are the synchronous foundations of the replication layer — the
+follower must read exactly what the writer wrote (tolerating live
+tails, rotation, and GC of consumed segments), a deposed writer must
+be refused before a byte lands, and a disk fault must latch the
+journal failed with no torn *acked* record.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.graph.stream import EdgeEvent
+from repro.resilience.errors import WalError, WalFencedError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.wal import (
+    WalTailer,
+    WriteAheadLog,
+    clear_replica_position,
+    list_segments,
+    read_fence,
+    record_replica_position,
+    replica_positions,
+    scan_wal,
+    segment_name,
+    write_fence,
+)
+
+pytestmark = pytest.mark.replication
+
+
+def ev(i, op="insert"):
+    return EdgeEvent(float(i), i, i + 1, op)
+
+
+def events(n, start=0, op="insert"):
+    return [ev(i, op) for i in range(start, start + n)]
+
+
+@pytest.fixture
+def wal(tmp_path):
+    w = WriteAheadLog(tmp_path / "wal", segment_records=4)
+    yield w
+    if not w.closed and w.failed is None:
+        w.close()
+
+
+class TestWalTailer:
+    def test_reads_what_the_writer_wrote(self, wal):
+        for e in events(10):
+            wal.append(e)
+        wal.sync()
+        tailer = WalTailer(wal.directory)
+        got = tailer.poll()
+        assert [seq for seq, _ in got] == list(range(10))
+        assert [e for _, e in got] == events(10)
+        assert tailer.last_seen_seq == 9
+
+    def test_empty_journal_polls_empty(self, tmp_path):
+        d = tmp_path / "wal"
+        os.makedirs(d)
+        tailer = WalTailer(d)
+        assert tailer.poll() == []
+        assert tailer.last_seen_seq == -1
+
+    def test_incremental_across_syncs(self, wal):
+        tailer = WalTailer(wal.directory)
+        seen = []
+        for chunk in range(5):
+            for e in events(3, start=chunk * 3):
+                wal.append(e)
+            wal.sync()
+            seen.extend(tailer.poll())
+        assert [seq for seq, _ in seen] == list(range(15))
+        # Nothing new: the cursor holds.
+        assert tailer.poll() == []
+
+    def test_follows_rotation(self, wal):
+        for e in events(13):  # > 3 segments at segment_records=4
+            wal.append(e)
+        wal.sync()
+        tailer = WalTailer(wal.directory)
+        got = tailer.poll()
+        assert [seq for seq, _ in got] == list(range(13))
+        assert tailer.rotations >= 2
+
+    def test_max_records_bounds_a_poll(self, wal):
+        for e in events(10):
+            wal.append(e)
+        wal.sync()
+        tailer = WalTailer(wal.directory)
+        assert [s for s, _ in tailer.poll(4)] == [0, 1, 2, 3]
+        assert [s for s, _ in tailer.poll(4)] == [4, 5, 6, 7]
+        assert [s for s, _ in tailer.poll(4)] == [8, 9]
+
+    def test_start_seq_skips_the_prefix(self, wal):
+        for e in events(10):
+            wal.append(e)
+        wal.sync()
+        tailer = WalTailer(wal.directory, start_seq=6)
+        assert [s for s, _ in tailer.poll()] == [6, 7, 8, 9]
+
+    def test_partial_tail_record_waits(self, wal):
+        """A record cut off mid-write is an in-progress append, not
+        corruption: the tailer stops before it and resumes once the
+        bytes complete."""
+        for e in events(3):
+            wal.append(e)
+        wal.sync()
+        tailer = WalTailer(wal.directory)
+        assert len(tailer.poll()) == 3
+        # Simulate the writer mid-append: a truncated record header.
+        seg = list_segments(wal.directory)[-1][1]
+        with open(seg, "ab") as fh:
+            fh.write(struct.pack("<QI", 3, 64)[:7])
+        assert tailer.poll() == []  # waits, does not raise
+        assert tailer.poll() == []  # still waiting — cursor is stable
+
+    def test_unsynced_appends_invisible_until_sync(self, wal):
+        tailer = WalTailer(wal.directory)
+        wal.append(ev(0))
+        assert tailer.poll() == []  # buffered in the writer only
+        wal.sync()
+        assert [s for s, _ in tailer.poll()] == [0]
+
+    def test_corrupt_record_raises(self, wal):
+        for e in events(3):
+            wal.append(e)
+        wal.sync()
+        seg = list_segments(wal.directory)[0][1]
+        with open(seg, "r+b") as fh:
+            fh.seek(-3, os.SEEK_END)  # inside the last record's CRC
+            fh.write(b"\xff")
+        tailer = WalTailer(wal.directory)
+        with pytest.raises(WalError, match="CRC mismatch"):
+            tailer.poll()
+
+    def test_gc_of_consumed_segments_is_tolerated(self, wal):
+        for e in events(12):
+            wal.append(e)
+        wal.sync()
+        tailer = WalTailer(wal.directory)
+        assert len(tailer.poll()) == 12
+        removed = wal.gc(12)
+        assert removed  # consumed segments really went away
+        for e in events(4, start=12):
+            wal.append(e)
+        wal.sync()
+        assert [s for s, _ in tailer.poll()] == [12, 13, 14, 15]
+
+    def test_gc_past_the_tailer_raises(self, wal):
+        """A tailer that needs records below every surviving segment
+        must fail loudly — silently skipping would break the replica's
+        bit-identity contract."""
+        for e in events(12):
+            wal.append(e)
+        wal.sync()
+        wal.gc(12)  # no replica position advertised: GC runs ahead
+        tailer = WalTailer(wal.directory, start_seq=0)
+        with pytest.raises(WalError, match="garbage-collected"):
+            tailer.poll()
+
+
+class TestGcRespectsReplicas:
+    """Regression: retention must account for follower progress — GC
+    may never delete a segment a registered tailer still needs."""
+
+    def test_gc_clamps_to_slowest_replica(self, wal):
+        record_replica_position(wal.directory, "r1", 2)
+        for e in events(12):
+            wal.append(e)
+        wal.sync()
+        removed = wal.gc(12)
+        assert removed == []  # seq 2 lives in the first segment
+        # The follower's records are all still readable.
+        tailer = WalTailer(wal.directory, start_seq=2)
+        assert [s for s, _ in tailer.poll()] == list(range(2, 12))
+
+    def test_gc_advances_with_replica_progress(self, wal):
+        for e in events(12):
+            wal.append(e)
+        wal.sync()
+        record_replica_position(wal.directory, "r1", 0)
+        assert wal.gc(12) == []
+        tailer = WalTailer(wal.directory)
+        consumed = tailer.poll(8)
+        record_replica_position(wal.directory, "r1",
+                                consumed[-1][0] + 1)
+        removed = wal.gc(12)
+        assert removed  # segments below the follower's position go
+        # ...and what remains still covers the follower's cursor.
+        assert [s for s, _ in tailer.poll()] == [8, 9, 10, 11]
+
+    def test_slowest_of_many_replicas_wins(self, wal):
+        for e in events(12):
+            wal.append(e)
+        wal.sync()
+        record_replica_position(wal.directory, "fast", 12)
+        record_replica_position(wal.directory, "slow", 1)
+        assert wal.gc(12) == []
+        clear_replica_position(wal.directory, "slow")
+        assert wal.gc(12)  # the laggard deregistered: GC may proceed
+
+    def test_positions_roundtrip(self, tmp_path):
+        d = tmp_path / "wal"
+        os.makedirs(d)
+        assert replica_positions(d) == {}
+        record_replica_position(d, "a", 5)
+        record_replica_position(d, "b.2", 9)
+        assert replica_positions(d) == {"a": 5, "b.2": 9}
+        clear_replica_position(d, "a")
+        clear_replica_position(d, "a")  # idempotent
+        assert replica_positions(d) == {"b.2": 9}
+
+    def test_bad_replica_id_rejected(self, tmp_path):
+        d = tmp_path / "wal"
+        os.makedirs(d)
+        with pytest.raises(ValueError):
+            record_replica_position(d, "../escape", 0)
+
+
+class TestFencing:
+    def test_epoch_starts_at_zero_and_is_monotonic(self, tmp_path):
+        d = tmp_path / "wal"
+        os.makedirs(d)
+        assert read_fence(d) == 0
+        assert write_fence(d, 1) == 1
+        assert read_fence(d) == 1
+        with pytest.raises(WalError, match="must increase"):
+            write_fence(d, 1)
+
+    def test_deposed_writer_commit_refused(self, wal):
+        wal.append(ev(0))
+        wal.sync()
+        write_fence(wal.directory, 1)  # a replica was promoted
+        wal.append(ev(1))
+        with pytest.raises(WalFencedError) as info:
+            wal.sync()
+        assert info.value.held_epoch == 0
+        assert info.value.current_epoch == 1
+        # Nothing reached disk: the journal still ends at seq 0.
+        assert scan_wal(wal.directory).last_seq == 0
+
+    def test_new_epoch_holder_writes(self, wal):
+        wal.append(ev(0))
+        wal.sync()
+        wal.close()
+        write_fence(wal.directory, 1)
+        promoted = WriteAheadLog(wal.directory, epoch=1)
+        promoted.append(ev(1))
+        assert promoted.sync() == 1
+        promoted.close()
+        assert read_fence(wal.directory) == 1
+
+
+class TestWalDiskFaults:
+    """Satellite: an injected ENOSPC/EIO must fail the ack cleanly —
+    no torn acked record, journal latched failed."""
+
+    @pytest.mark.parametrize("stage", ["write", "fsync"])
+    def test_sync_fault_latches_the_journal(self, wal, stage):
+        faults = FaultInjector(seed=0)
+        for e in events(3):
+            wal.append(e)
+        assert wal.sync() == 2
+        faults.arm_wal_fault(wal, stage=stage)
+        wal.append(ev(3))
+        with pytest.raises(WalError, match="acks stopped"):
+            wal.sync()
+        # The ack never happened and never will: last_synced_seq is
+        # unchanged and the journal refuses further use.
+        assert wal.last_synced_seq == 2
+        assert wal.failed is not None
+        with pytest.raises(WalError, match="failed journal"):
+            wal.append(ev(4))
+        with pytest.raises(WalError, match="failed journal"):
+            wal.sync()
+        wal.close()  # must not raise (releases the handle)
+        # What IS on disk is at worst a torn tail — exactly the shape
+        # recovery repairs; every previously acked record survives.
+        scan = scan_wal(wal.directory)
+        assert scan.last_seq is not None and scan.last_seq >= 2
+
+    def test_append_fault_rejects_cleanly(self, wal):
+        faults = FaultInjector(seed=0)
+        wal.append(ev(0))
+        wal.sync()
+        faults.arm_wal_fault(wal, stage="append")
+        with pytest.raises(OSError):
+            wal.append(ev(1))
+        # The trap disarmed itself; the journal was never damaged and
+        # keeps working (an append fault rejects one record, it does
+        # not kill the journal).
+        assert wal.append(ev(1)) == 1
+        assert wal.sync() == 1
+
+    def test_fault_trap_counts_down(self, wal):
+        faults = FaultInjector(seed=0)
+        faults.arm_wal_fault(wal, stage="fsync", count=1)
+        wal.append(ev(0))
+        with pytest.raises(WalError):
+            wal.sync()
+        assert wal.fault_hook is None  # disarmed after firing
+        assert any("wal fault fired" in line for line in faults.log)
+
+
+class TestTailerStats:
+    def test_stats_surface(self, wal):
+        for e in events(6):
+            wal.append(e)
+        wal.sync()
+        stats = wal.stats()
+        assert stats["segments"] == 2
+        assert stats["size_bytes"] > 0
+        assert stats["fsync_lag_records"] == 0
+        assert stats["epoch"] == 0
+        assert stats["failed"] is None
+        wal.append(ev(6))
+        assert wal.stats()["fsync_lag_records"] == 1
+
+    def test_segment_name_roundtrip(self):
+        assert segment_name(0).startswith("wal-")

@@ -1,0 +1,387 @@
+"""Hot-standby replication differential suite.
+
+The replication contract has three legs:
+
+1. **bit-identity** — a :class:`ReplicaService` tailing the primary's
+   journal reaches the exact same BC scores, state arrays, counters
+   and watermark as the primary (and as a plain replay twin);
+2. **fenced failover** — promotion seals the tail with zero
+   acked-write loss and the deposed primary's next commit is refused
+   (split-brain);
+3. **clean degradation** — an injected disk fault fails acks cleanly
+   and switches the primary to read-only with a HEALTH event, never a
+   torn acked record.
+
+All waiting goes through ``wait_until``/``async_wait_until`` from
+``tests/conftest.py`` — no fixed sleeps.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.bc.engine import DynamicBC
+from repro.graph import generators as gen
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import EdgeEvent, EdgeStream, replay
+from repro.resilience.errors import WalError, WalFencedError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.guards import HEALTH
+from repro.resilience.wal import WriteAheadLog, read_fence
+from repro.service import (
+    BCService,
+    ReplicaService,
+    StaleReadError,
+)
+from tests.conftest import async_wait_until
+
+pytestmark = [pytest.mark.service, pytest.mark.replication]
+
+K = 12
+SEED = 3
+
+
+def make_engine(graph):
+    return DynamicBC.from_graph(DynamicGraph.from_csr(graph),
+                                num_sources=K, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.erdos_renyi(40, 90, seed=7)
+
+
+@pytest.fixture(scope="module")
+def stream(graph):
+    return EdgeStream.churn(graph, 40, seed=5)
+
+
+@pytest.fixture(scope="module")
+def twin(graph, stream):
+    engine = make_engine(graph)
+    result = replay(engine, stream)
+    return engine, result
+
+
+def assert_state_equal(engine, twin_engine):
+    assert np.array_equal(engine.bc_scores, twin_engine.bc_scores)
+    for name in ("sources", "d", "sigma", "delta"):
+        assert np.array_equal(getattr(engine.state, name),
+                              getattr(twin_engine.state, name)), name
+    assert engine.counters == twin_engine.counters
+
+
+class TestReplicaDifferential:
+    def test_replica_is_bit_identical_to_primary(self, graph, stream,
+                                                 twin, tmp_path):
+        twin_engine, _ = twin
+
+        async def main():
+            primary = make_engine(graph)
+            standby = make_engine(graph)
+            try:
+                svc = BCService(primary, max_batch=8,
+                                wal_dir=tmp_path / "wal")
+                replica = ReplicaService(standby, tmp_path / "wal",
+                                         replica_id="r1")
+                async with svc, replica:
+                    await svc.submit_many(list(stream))
+                    await svc.drain()
+                    await async_wait_until(
+                        lambda: replica.watermark >= svc.watermark,
+                        message="replica caught up to the primary")
+                    p = await svc.query_bc()
+                    r = await replica.query_bc()
+                    assert r["watermark"] == p["watermark"]
+                    assert np.array_equal(r["scores"], p["scores"])
+                assert_state_equal(standby, primary)
+                assert_state_equal(standby, twin_engine)
+            finally:
+                primary.close()
+                standby.close()
+
+        asyncio.run(main())
+
+    def test_replica_lags_then_converges_mid_stream(self, graph, stream,
+                                                    tmp_path):
+        """Reads served *during* replication carry watermark
+        provenance a caller can reason about; they converge to the
+        primary without the primary ever stopping."""
+        async def main():
+            primary = make_engine(graph)
+            standby = make_engine(graph)
+            try:
+                svc = BCService(primary, max_batch=4,
+                                wal_dir=tmp_path / "wal")
+                replica = ReplicaService(standby, tmp_path / "wal")
+                async with svc, replica:
+                    watermarks = []
+                    for event in stream:
+                        await svc.submit(event)
+                        result = await replica.query_top_k(3)
+                        watermarks.append(result["watermark"])
+                        # The replica can run ahead of the primary's
+                        # *apply* (it tails the journal, which is the
+                        # source of truth) but never ahead of the
+                        # journal itself.
+                        assert result["watermark"] <= svc._wal.next_seq
+                    assert watermarks == sorted(watermarks)  # monotone
+                    await svc.drain()
+                    await async_wait_until(
+                        lambda: replica.watermark >= svc.watermark,
+                        message="replica converged")
+            finally:
+                primary.close()
+                standby.close()
+
+        asyncio.run(main())
+
+
+class TestStaleBoundedReads:
+    def test_min_watermark_refuses_stale_snapshot(self, graph, stream,
+                                                  tmp_path):
+        async def main():
+            primary = make_engine(graph)
+            standby = make_engine(graph)
+            try:
+                svc = BCService(primary, wal_dir=tmp_path / "wal")
+                # Not started: the replica only advances when we say so.
+                replica = ReplicaService(standby, tmp_path / "wal")
+                async with svc:
+                    await svc.submit_many(list(stream))
+                    await svc.drain()
+                    with pytest.raises(StaleReadError) as info:
+                        await replica.query_top_k(
+                            3, min_watermark=svc.watermark)
+                    assert info.value.min_watermark == svc.watermark
+                    assert replica.stats["stale_rejections"] == 1
+                    replica.catch_up()
+                    result = await replica.query_top_k(
+                        3, min_watermark=svc.watermark)
+                    assert result["watermark"] >= svc.watermark
+                    assert result["lag_records"] == 0
+            finally:
+                primary.close()
+                standby.close()
+
+        asyncio.run(main())
+
+
+class TestFailover:
+    def test_promotion_zero_acked_loss_and_split_brain(self, graph,
+                                                       stream, twin,
+                                                       tmp_path):
+        twin_engine, _ = twin
+        events = list(stream)
+
+        async def main():
+            primary = make_engine(graph)
+            standby = make_engine(graph)
+            try:
+                svc = BCService(primary, max_batch=8,
+                                wal_dir=tmp_path / "wal")
+                replica = ReplicaService(standby, tmp_path / "wal",
+                                         replica_id="hot")
+                old_epoch = read_fence(tmp_path / "wal")
+                acked = []
+                half = len(events) // 2
+                async with svc:
+                    replica.start()
+                    for event in events[:half]:
+                        acked.append(await svc.submit(event))
+                    await svc.drain()
+                # Primary is gone (stopped = the graceful analogue of
+                # the drill's SIGKILL).  Fail over.
+                await replica.stop()
+                promotion = replica.promote()
+                # Zero acked-write loss.
+                assert promotion.watermark >= max(acked) + 1
+                assert promotion.epoch == old_epoch + 1
+                promoted_health = replica.health_report()
+                assert promoted_health["promoted"] is True
+                assert any(
+                    e.action == HEALTH and e.kind == "promoted"
+                    for e in promotion.core.result.guard_events)
+
+                # Split-brain: a writer still holding the old epoch is
+                # refused before a byte lands.
+                deposed = WriteAheadLog(tmp_path / "wal",
+                                        epoch=old_epoch)
+                deposed.append(events[0], seq=deposed.next_seq)
+                with pytest.raises(WalFencedError):
+                    deposed.sync()
+                deposed.close()
+
+                # The promoted replica accepts writes and finishes the
+                # stream bit-identical to the never-failed twin.
+                promoted = BCService(
+                    promotion.core.engine, core=promotion.core,
+                    wal=promotion.wal, max_batch=8)
+                async with promoted:
+                    await promoted.submit_many(
+                        events[promotion.watermark:])
+                    await promoted.drain()
+                assert promoted.core.watermark == len(events)
+                assert_state_equal(standby, twin_engine)
+            finally:
+                primary.close()
+                standby.close()
+
+        asyncio.run(main())
+
+    def test_promote_requires_stopped_tailer(self, graph, tmp_path):
+        async def main():
+            standby = make_engine(graph)
+            try:
+                WriteAheadLog(tmp_path / "wal").close()
+                replica = ReplicaService(standby, tmp_path / "wal")
+                replica.start()
+                with pytest.raises(RuntimeError, match="stop"):
+                    replica.promote()
+                await replica.stop()
+                replica.promote()
+                with pytest.raises(RuntimeError, match="already"):
+                    replica.promote()
+            finally:
+                standby.close()
+
+        asyncio.run(main())
+
+
+class TestWriteDegradation:
+    """Satellite: an injected disk fault fails the ack cleanly and
+    degrades the service to read-only with a HEALTH event."""
+
+    def test_fsync_fault_degrades_to_read_only(self, graph, stream,
+                                               tmp_path):
+        async def main():
+            engine = make_engine(graph)
+            faults = FaultInjector(seed=0)
+            events = list(stream)
+            try:
+                svc = BCService(engine, max_batch=4,
+                                wal_dir=tmp_path / "wal",
+                                fsync_every=4)
+                async with svc:
+                    await svc.submit_many(events[:8])
+                    await svc.drain()
+                    faults.arm_wal_fault(svc._wal, stage="fsync")
+                    # The poisoned group commit must fail this ack.
+                    with pytest.raises(
+                            (WalError, RuntimeError)):
+                        await svc.submit(events[8])
+                    await async_wait_until(
+                        lambda: svc.writes_degraded,
+                        message="service degraded after the fault")
+                    # Writes rejected from now on...
+                    with pytest.raises(WalError, match="read-only"):
+                        await svc.submit(events[9])
+                    with pytest.raises(WalError, match="read-only"):
+                        svc.try_submit(events[9])
+                    # ...but reads keep serving.
+                    result = await svc.query_top_k(3)
+                    assert result["watermark"] >= 0
+                    health = svc.health_report()
+                    assert health["writes_degraded"] is True
+                    assert "write_failure" in health
+                    assert health["wal"]["failed"] is not None
+                    assert any(
+                        e.action == HEALTH and e.kind == "wal-failure"
+                        for e in svc.core.result.guard_events)
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+
+    def test_no_acked_record_lost_to_the_fault(self, graph, stream,
+                                               tmp_path):
+        """Every sequence acked before the fault is durable on disk;
+        the poisoned batch is at worst a torn (never-acked) tail."""
+        from repro.resilience.wal import scan_wal
+
+        acked = []
+
+        async def main():
+            engine = make_engine(graph)
+            faults = FaultInjector(seed=1)
+            events = list(stream)
+            try:
+                svc = BCService(engine, wal_dir=tmp_path / "wal",
+                                fsync_every=2)
+                async with svc:
+                    for event in events[:6]:
+                        acked.append(await svc.submit(event))
+                    faults.arm_wal_fault(svc._wal, stage="write")
+                    with pytest.raises((WalError, RuntimeError)):
+                        await svc.submit(events[6])
+                    await async_wait_until(
+                        lambda: svc.writes_degraded,
+                        message="service degraded")
+            finally:
+                engine.close()
+
+        asyncio.run(main())
+        scan = scan_wal(tmp_path / "wal")
+        assert scan.last_seq is not None
+        assert scan.last_seq >= max(acked)
+
+
+class TestAdoptionValidation:
+    def test_core_excludes_build_args(self, graph, tmp_path):
+        engine = make_engine(graph)
+        try:
+            from repro.service import ServiceCore
+
+            core = ServiceCore(engine)
+            with pytest.raises(ValueError, match="adopts"):
+                BCService(engine, core=core,
+                          checkpoint_dir=tmp_path / "ckpts")
+            with pytest.raises(ValueError, match="core's engine"):
+                BCService(object(), core=core)
+        finally:
+            engine.close()
+
+    def test_wal_and_wal_dir_exclusive(self, graph, tmp_path):
+        engine = make_engine(graph)
+        try:
+            wal = WriteAheadLog(tmp_path / "wal")
+            with pytest.raises(ValueError, match="not both"):
+                BCService(engine, wal=wal, wal_dir=tmp_path / "wal2")
+            wal.close()
+        finally:
+            engine.close()
+
+
+class TestReplicaHealth:
+    def test_health_report_replication_surface(self, graph, stream,
+                                               tmp_path):
+        async def main():
+            primary = make_engine(graph)
+            standby = make_engine(graph)
+            try:
+                svc = BCService(primary, wal_dir=tmp_path / "wal")
+                replica = ReplicaService(standby, tmp_path / "wal",
+                                         replica_id="obs")
+                async with svc:
+                    await svc.submit_many(list(stream)[:10])
+                    await svc.drain()
+                    replica.catch_up()
+                    health = replica.health_report()
+                    assert health["role"] == "replica"
+                    assert health["replica_id"] == "obs"
+                    assert health["watermark"] == replica.watermark
+                    assert health["lag_records"] == 0
+                    assert health["epoch"] == 0
+                    assert health["replication"]["records_applied"] > 0
+                    primary_health = svc.health_report()
+                    wal_health = primary_health["wal"]
+                    for key in ("segments", "size_bytes",
+                                "fsync_lag_records", "epoch", "failed"):
+                        assert key in wal_health
+                    assert primary_health["writes_degraded"] is False
+            finally:
+                primary.close()
+                standby.close()
+
+        asyncio.run(main())
