@@ -1,10 +1,17 @@
-.PHONY: install test bench examples artifacts clean
+.PHONY: install test bench examples artifacts lint analyze clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.sanitize.lint src/ tests/
+
+analyze:
+	PYTHONPATH=src python -m repro.sanitize.flow src/ tests/ \
+		--baseline .flow-baseline.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

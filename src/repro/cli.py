@@ -21,10 +21,11 @@ Resilience subcommands (see docs/RESILIENCE.md)::
     python -m repro.cli replay --resume-from ckpts/ckpt-00000020.npz ...
     python -m repro.cli chaos --seed 7        # seeded fault-injection run
 
-Sanitizer subcommand (see docs/SANITIZER.md)::
+Sanitizer subcommands (see docs/SANITIZER.md)::
 
     python -m repro.cli sanitize --events 100 --format json \\
         --output artifacts/sanitizer-report.json
+    python -m repro.cli flow src/ tests/ --baseline .flow-baseline.json
 
 Service subcommands (see docs/SERVICE.md)::
 
@@ -826,6 +827,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_drill_cmd(build_drill_parser().parse_args(argv[1:]))
     if argv and argv[0] == "failover":
         return run_failover_cmd(build_failover_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "flow":
+        from repro.sanitize.flow import main as flow_main
+
+        return flow_main(argv[1:])
     args = build_parser().parse_args(argv)
     start = time.time()
     save_dir = None

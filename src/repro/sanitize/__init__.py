@@ -12,13 +12,24 @@ the ``repro-bc sanitize`` CLI subcommand; results come back as a
 structured :class:`~repro.sanitize.report.SanitizerReport`.
 
 **Layer 2 — AST repo linter** (:mod:`repro.sanitize.lint`,
-``python -m repro.sanitize.lint``): custom :class:`ast.NodeVisitor`
-rules R001–R005 enforcing the repo invariants the simulation's
+``python -m repro.sanitize.lint``): single-parse, multi-visitor
+lexical rules R001–R006 enforcing the repo invariants the simulation's
 bit-identity guarantees rest on (no raw wall-clock in kernel code,
 no unseeded RNG, shm lifecycle pairing, no silent exception
-swallowing in the resilience layers, kernels must charge counters).
+swallowing in the resilience layers, kernels must charge counters,
+atomic durable writes).
 
-See ``docs/SANITIZER.md`` for the rule table, the benign-race
+**Layer 3 — interprocedural dataflow analyzer**
+(:mod:`repro.sanitize.flow`, ``python -m repro.sanitize.flow``):
+whole-repo call graph + fixpoint effect analysis checking the
+cross-function invariants lexical rules cannot see — async paths
+reaching blocking calls (F101), durability protocol ordering (F102),
+shm view lifetime escapes (F103), determinism taint (F104) — with a
+SARIF formatter and a justification-required suppression baseline.
+
+Layers 2 and 3 share one parse per file through
+:mod:`repro.sanitize.astcache` (``python -m repro.sanitize`` runs
+both).  See ``docs/SANITIZER.md`` for the rule tables, the benign-race
 annotation protocol and usage examples.
 """
 

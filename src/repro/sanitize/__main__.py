@@ -1,0 +1,44 @@
+"""``python -m repro.sanitize`` — run lint (Layer 2) and flow
+(Layer 3) together over the same paths, sharing one parse per file
+through the process-wide AST cache.  Exit 1 when either layer finds
+anything."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.sanitize.astcache import GLOBAL_CACHE, iter_python_files
+from repro.sanitize import lint
+from repro.sanitize.flow import cli as flow_cli
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run both layers over the same parse cache; exit 1 on findings."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize",
+        description="Combined static analysis: lexical lint "
+                    "(R001-R006) + interprocedural flow (F101-F104), "
+                    "one parse per file",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to analyze")
+    parser.add_argument("--baseline", default=None,
+                        help="flow suppression baseline JSON")
+    opts = parser.parse_args(argv)
+    files = iter_python_files(opts.paths)
+    lint_findings = lint.lint_paths(opts.paths, cache=GLOBAL_CACHE)
+    print(lint.render_text(lint_findings, len(files)))
+    flow_args = list(opts.paths)
+    if opts.baseline:
+        flow_args += ["--baseline", opts.baseline]
+    flow_rc = flow_cli.main(flow_args)
+    cached = GLOBAL_CACHE.hits
+    print(f"ast-cache: {GLOBAL_CACHE.misses} parse(s), "
+          f"{cached} reuse(s)")
+    return 1 if (lint_findings or flow_rc) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Shared parse layer for the static-analysis tools.
+
+Both sanitizer layers that read source — the lexical linter
+(:mod:`repro.sanitize.lint`) and the interprocedural dataflow
+analyzer (:mod:`repro.sanitize.flow`) — consume the same parsed
+artifact: a :class:`SourceModule` bundling the text, the split lines
+(for pragma lookups) and the :mod:`ast` tree.  An :class:`AstCache`
+guarantees each file is parsed **once per process** no matter how many
+rules, visitors or passes run over it, so lint wall time stays flat as
+the rule count grows and a combined ``lint + flow`` run
+(``python -m repro.sanitize``) pays a single parse per file.
+
+Cache entries are validated by ``(mtime_ns, size)`` so a long-lived
+process (the test suite, a watch loop) never serves a stale tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed Python file (or virtual snippet).
+
+    ``path`` is the *reporting* path — for virtual snippets it encodes
+    the tree position the path-scoped rules should assume (e.g.
+    ``src/repro/bc/mod.py``), independent of any real location.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: dotted module name derived from the path (``repro.service.core``),
+    #: or ``None`` when the path does not sit under a package root
+    module: Optional[str]
+    lines: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """``False`` when the source failed to parse (``tree`` is an
+        empty placeholder and ``error`` carries the SyntaxError)."""
+        return self.error is None
+
+    # set via object.__setattr__ in parse_source (frozen dataclass)
+    error: Optional[SyntaxError] = None
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module name for *path*, anchored at the ``repro`` package
+    root (``src/repro/service/core.py`` → ``repro.service.core``); for
+    paths outside it (tests, scripts) the stem-based fallback keeps
+    names unique enough for call-graph keys."""
+    parts = Path(str(path).replace("\\", "/")).with_suffix("").parts
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        # tests/foo.py -> tests.foo ; a bare file -> its stem
+        parts = tuple(p for p in parts if p not in (".", "/", "src"))
+    if not parts:
+        return None
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else None
+
+
+def parse_source(source: str, path: str) -> SourceModule:
+    """Parse *source* under reporting path *path*; a SyntaxError is
+    captured on the module (``ok == False``) rather than raised, so
+    batch analyses can report it as a finding and keep going."""
+    try:
+        tree = ast.parse(source, filename=path)
+        err: Optional[SyntaxError] = None
+    except SyntaxError as exc:
+        tree = ast.Module(body=[], type_ignores=[])
+        err = exc
+    mod = SourceModule(
+        path=str(path), source=source, tree=tree,
+        module=module_name_for(path), lines=tuple(source.splitlines()),
+    )
+    object.__setattr__(mod, "error", err)
+    return mod
+
+
+class AstCache:
+    """Process-wide parse cache keyed by real path + stat signature."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[Tuple[int, int], SourceModule]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, path, virtual_path: Optional[str] = None) -> SourceModule:
+        """The parsed module for file *path*; *virtual_path* overrides
+        the reporting path (re-parsing only when it differs from the
+        cached entry's)."""
+        real = os.fspath(path)
+        report_as = virtual_path or real
+        try:
+            st = os.stat(real)
+            sig = (st.st_mtime_ns, st.st_size)
+        except OSError:
+            sig = (-1, -1)
+        cached = self._entries.get(real)
+        if cached is not None and cached[0] == sig \
+                and cached[1].path == report_as:
+            self.hits += 1
+            return cached[1]
+        self.misses += 1
+        text = Path(real).read_text(encoding="utf-8")
+        mod = parse_source(text, report_as)
+        self._entries[real] = (sig, mod)
+        return mod
+
+    def get_many(self, paths: Sequence) -> List[SourceModule]:
+        """Parse (or fetch) every file in *paths*, in order."""
+        return [self.get(p) for p in paths]
+
+    def clear(self) -> None:
+        """Drop every cached parse (tests use this between trees)."""
+        self._entries.clear()
+
+
+#: the default process-wide cache lint and flow share when the caller
+#: does not supply one (``python -m repro.sanitize`` runs both layers
+#: against it, paying one parse per file total)
+GLOBAL_CACHE = AstCache()
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files-or-directories into a sorted list of ``.py`` files
+    (shared by every tool that takes path arguments)."""
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files

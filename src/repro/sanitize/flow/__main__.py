@@ -1,0 +1,8 @@
+"""``python -m repro.sanitize.flow`` — see :mod:`repro.sanitize.flow`."""
+
+import sys
+
+from repro.sanitize.flow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Analysis driver + command line for ``python -m repro.sanitize.flow``.
+
+``analyze_paths`` / ``analyze_sources`` are the library entry points
+(the latter takes ``(virtual_path, source)`` pairs so the mutation
+tests can analyze snippets under synthetic tree positions);
+:func:`main` wraps them with baseline handling and the three output
+formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sanitize.astcache import (
+    AstCache,
+    GLOBAL_CACHE,
+    SourceModule,
+    iter_python_files,
+    parse_source,
+)
+from repro.sanitize.callgraph import CallGraph
+from repro.sanitize.flow.baseline import (
+    BaselineError,
+    apply_baseline,
+    empty_baseline,
+    load_baseline,
+)
+from repro.sanitize.flow.engine import compute_summaries
+from repro.sanitize.flow.findings import (
+    FlowFinding,
+    FlowReport,
+    sort_findings,
+)
+from repro.sanitize.flow.rules import run_rules
+from repro.sanitize.flow.sarif import render_sarif
+
+
+def analyze_modules(modules: Sequence[SourceModule]) -> FlowReport:
+    """Build the graph, run the fixpoint, run every rule."""
+    graph = CallGraph.build(modules)
+    summaries = compute_summaries(graph)
+    findings = sort_findings(run_rules(graph, summaries))
+    return FlowReport(
+        findings=findings,
+        files=len([m for m in modules if m.ok]),
+        functions=len(graph.functions),
+        call_edges=sum(len(s) for s in graph.calls.values()),
+    )
+
+
+def analyze_paths(paths: Sequence[str],
+                  cache: Optional[AstCache] = None) -> FlowReport:
+    """Analyze every Python file under *paths* through the shared
+    parse cache (pass the same cache the linter used and a combined
+    run parses each file once)."""
+    cache = cache if cache is not None else GLOBAL_CACHE
+    modules = cache.get_many(iter_python_files(paths))
+    return analyze_modules(modules)
+
+
+def analyze_sources(
+    pairs: Sequence[Tuple[str, str]],
+) -> FlowReport:
+    """Analyze in-memory ``(virtual_path, source)`` pairs — the
+    mutation-test entry point (a vendored WAL snippet under
+    ``src/repro/resilience/mod.py`` is scoped exactly like the real
+    one)."""
+    modules = [parse_source(source, path) for path, source in pairs]
+    return analyze_modules(modules)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; exit 1 on new (unbaselined) findings or a
+    malformed baseline, 0 on a clean run."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize.flow",
+        description="Interprocedural dataflow analyzer (rules "
+                    "F101-F104; see docs/SANITIZER.md)",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to analyze")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="fmt",
+                        help="output format (json and sarif are stable "
+                             "for tooling)")
+    parser.add_argument("--output", default=None,
+                        help="write the report here instead of stdout")
+    parser.add_argument("--baseline", default=None,
+                        help="suppression baseline JSON (every entry "
+                             "needs a justification); findings it covers "
+                             "do not gate")
+    opts = parser.parse_args(argv)
+    try:
+        baseline = (load_baseline(opts.baseline)
+                    if opts.baseline else empty_baseline())
+    except (OSError, BaselineError) as exc:
+        print(f"sanitize-flow: baseline error: {exc}", file=sys.stderr)
+        return 1
+    report = analyze_paths(opts.paths)
+    new, suppressed, stale = apply_baseline(report.findings, baseline)
+    report.findings = new
+    report.suppressed = suppressed
+    report.stale_suppressions = stale
+    if opts.fmt == "json":
+        rendered = report.to_json()
+    elif opts.fmt == "sarif":
+        rendered = render_sarif(report)
+    else:
+        rendered = report.render_text()
+    if opts.output:
+        Path(opts.output).write_text(rendered + "\n", encoding="utf-8")
+    else:
+        print(rendered)
+    return 0 if report.ok else 1

@@ -34,6 +34,15 @@ R006  No non-atomic write-mode ``open()`` in ``resilience/`` and
       is its own durability mechanism) are exempt.
 ====  ==============================================================
 
+Architecture: every file is parsed **once** (through the shared
+:mod:`repro.sanitize.astcache`, so a combined run with the flow
+analyzer also shares trees) and walked **once** — a single
+:class:`_Walker` maintains the shared traversal context (import
+aliases, the scope stack, ``with`` nesting) and fans each AST event
+out to one visitor object per rule.  Adding a rule adds a class, not
+a parse or a traversal, so lint wall time stays flat as the rule set
+grows.
+
 A finding on a line carrying ``# sanitize: ignore[RNNN]`` (comma list
 allowed) is suppressed; the shipped tree carries no ignores — add a
 justification comment next to any you introduce.
@@ -49,6 +58,14 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sanitize.astcache import (
+    AstCache,
+    GLOBAL_CACHE,
+    SourceModule,
+    iter_python_files,
+    parse_source,
+)
 
 #: schema version of the ``--format json`` document
 LINT_VERSION = 1
@@ -183,56 +200,229 @@ def _attr_chain(node: ast.AST) -> List[str]:
     return []
 
 
-class _Visitor(ast.NodeVisitor):
-    """Single-pass collector for all six rules."""
+# ----------------------------------------------------------------------
+# shared traversal context + per-rule visitors
+# ----------------------------------------------------------------------
+class LintContext:
+    """Everything the rule visitors share for one file: the reporting
+    path, the import alias maps, the lexical scope stack and the
+    ``with`` nesting depth.  Maintained by :class:`_Walker`; rules only
+    read it and call :meth:`flag`."""
 
     def __init__(self, path: str, tree: ast.Module) -> None:
         self.path = path
         self.findings: List[LintFinding] = []
-        self.numpy_aliases: Set[str] = {"numpy"}
+        self.numpy_aliases: Set[str] = {"numpy", "np"}
         self.time_aliases: Set[str] = {"time"}
         #: names bound by ``from time import perf_counter [as pc]``
         self.wall_clock_names: Set[str] = set()
-        #: stack of (node, is_class) scopes for the R003 pairing search
-        self._scopes: List[ast.AST] = [tree]
+        #: stack of (module | class | function) nodes, outermost first
+        self.scopes: List[ast.AST] = [tree]
         #: with-statement nesting: creations inside one are managed
-        self._with_depth = 0
+        self.with_depth = 0
 
-    # -- helpers -------------------------------------------------------
-    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+    def flag(self, node: ast.AST, rule: str, message: str) -> None:
+        """Record one finding at *node*'s position."""
         self.findings.append(LintFinding(
             path=self.path, line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1, rule=rule,
             message=message,
         ))
 
-    # -- imports -------------------------------------------------------
+
+class LintRule:
+    """Base class for one rule family: per-event hooks, all no-ops.
+    One instance is created per file, so rules may keep per-file
+    state."""
+
+    codes: Tuple[str, ...] = ()
+
+    def on_import(self, ctx: LintContext, node: ast.Import) -> None:
+        """Called for every ``import X`` statement."""
+
+    def on_import_from(self, ctx: LintContext,
+                       node: ast.ImportFrom) -> None:
+        """Called for every ``from X import Y`` statement."""
+
+    def on_call(self, ctx: LintContext, node: ast.Call,
+                chain: List[str]) -> None:
+        """Called for every call, with the dotted name *chain*."""
+
+    def on_except(self, ctx: LintContext,
+                  node: ast.ExceptHandler) -> None:
+        """Called for every ``except`` handler."""
+
+    def on_function(self, ctx: LintContext, node: ast.AST) -> None:
+        """Called for every (async) function def before descending."""
+
+
+class R001WallClock(LintRule):
+    codes = ("R001",)
+
+    def on_call(self, ctx, node, chain):
+        """Flag raw wall-clock reads inside kernel code."""
+        if not _in_kernel_tree(ctx.path):
+            return
+        if (len(chain) == 2 and chain[0] in ctx.time_aliases
+                and chain[1] in _WALL_CLOCK_FUNCS):
+            ctx.flag(node, "R001", f"`{'.'.join(chain)}()` in kernel code")
+        elif len(chain) == 1 and chain[0] in ctx.wall_clock_names:
+            ctx.flag(node, "R001", f"`{chain[0]}()` in kernel code")
+
+
+class R002Rng(LintRule):
+    codes = ("R002",)
+
+    def on_call(self, ctx, node, chain):
+        """Flag unseeded or legacy-global numpy RNG constructors."""
+        if len(chain) != 3 or chain[1] != "random":
+            return
+        if chain[0] not in ctx.numpy_aliases:
+            return
+        name = chain[2]
+        if name in _RNG_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                ctx.flag(node, "R002",
+                         f"`{'.'.join(chain)}()` without an explicit "
+                         f"seed draws OS entropy")
+            return
+        ctx.flag(node, "R002",
+                 f"legacy global-state RNG call `{'.'.join(chain)}`")
+
+
+class R003ShmLifecycle(LintRule):
+    codes = ("R003",)
+
+    def on_import(self, ctx, node):
+        """Flag raw shared_memory imports outside parallel/shm.py."""
+        for alias in node.names:
+            if alias.name.startswith("multiprocessing.shared_memory"):
+                if not _is_shm_module(ctx.path):
+                    ctx.flag(node, "R003",
+                             "raw multiprocessing.shared_memory import "
+                             "outside parallel/shm.py")
+
+    def on_import_from(self, ctx, node):
+        """Flag raw shared_memory from-imports outside parallel/shm.py."""
+        if node.module == "multiprocessing.shared_memory" or (
+            node.module == "multiprocessing"
+            and any(a.name == "shared_memory" for a in node.names)
+        ):
+            if not _is_shm_module(ctx.path):
+                ctx.flag(node, "R003",
+                         "raw multiprocessing.shared_memory import "
+                         "outside parallel/shm.py")
+
+    def on_call(self, ctx, node, chain):
+        """Flag arena/segment creation with no release path in scope."""
+        name = chain[-1] if chain else ""
+        if name not in ("ShmArena", "SharedMemory", "ResultSlabs"):
+            return
+        if ctx.with_depth > 0:
+            return  # context-managed: lifecycle is structural
+        # Widening search: function -> class -> module.  A method may
+        # hand the segment to the instance (release in a sibling
+        # method), and a factory helper may hand it to a module-level
+        # destructor.
+        if not any(_scope_releases(s) for s in reversed(ctx.scopes)):
+            ctx.flag(node, "R003",
+                     f"`{name}(...)` has no close()/unlink() path in "
+                     f"its enclosing scope")
+
+
+class R004SwallowedException(LintRule):
+    codes = ("R004",)
+
+    def on_except(self, ctx, node):
+        """Flag bare/blanket handlers that swallow failures silently."""
+        if not _in_resilient_tree(ctx.path):
+            return
+        if node.type is None:
+            ctx.flag(node, "R004", "bare `except:` clause")
+        elif (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+            and all(isinstance(stmt, ast.Pass) for stmt in node.body)
+        ):
+            ctx.flag(node, "R004",
+                     f"`except {node.type.id}: pass` swallows "
+                     f"failures silently")
+
+
+class R005Accountant(LintRule):
+    codes = ("R005",)
+
+    def on_function(self, ctx, node):
+        if "/repro/bc/" not in _norm(ctx.path):
+            return
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if "acc" not in names:
+            return
+        if not _charges_accountant(node):
+            ctx.flag(node, "R005",
+                     f"kernel `{node.name}` takes `acc` but never "
+                     f"charges it")
+
+
+class R006DurableWrite(LintRule):
+    codes = ("R006",)
+
+    def on_call(self, ctx, node, chain):
+        """Flag durable-tree writes with no atomic-rename path in scope."""
+        if chain != ["open"] or not _in_durable_tree(ctx.path):
+            return
+        mode = _open_mode(node)
+        if mode is None or not any(c in mode for c in "wxa"):
+            return  # read mode, or dynamic mode we can't judge
+        # The same widening search R003 uses: the atomic rename (or the
+        # atomic_write helper wrapping it) may live anywhere in the
+        # enclosing function/class/module.
+        if any(_scope_writes_atomically(s) for s in reversed(ctx.scopes)):
+            return
+        ctx.flag(node, "R006",
+                 f"`open(..., {mode!r})` writes a durable path "
+                 f"without an atomic-rename path in scope")
+
+
+#: the registered rule families, instantiated fresh per file
+RULE_VISITORS = (
+    R001WallClock,
+    R002Rng,
+    R003ShmLifecycle,
+    R004SwallowedException,
+    R005Accountant,
+    R006DurableWrite,
+)
+
+
+class _Walker(ast.NodeVisitor):
+    """The single traversal driver: updates the shared context and
+    fans each event out to every rule visitor."""
+
+    def __init__(self, path: str, tree: ast.Module,
+                 rules: Sequence[LintRule]) -> None:
+        self.ctx = LintContext(path, tree)
+        self.rules = list(rules)
+
+    # -- imports (context first, then rules) ---------------------------
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             if alias.name == "numpy":
-                self.numpy_aliases.add(alias.asname or "numpy")
+                self.ctx.numpy_aliases.add(alias.asname or "numpy")
             elif alias.name == "time":
-                self.time_aliases.add(alias.asname or "time")
-            elif alias.name.startswith("multiprocessing.shared_memory"):
-                if not _is_shm_module(self.path):
-                    self._flag(node, "R003",
-                               "raw multiprocessing.shared_memory import "
-                               "outside parallel/shm.py")
+                self.ctx.time_aliases.add(alias.asname or "time")
+        for rule in self.rules:
+            rule.on_import(self.ctx, node)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "time":
             for alias in node.names:
                 if alias.name in _WALL_CLOCK_FUNCS:
-                    self.wall_clock_names.add(alias.asname or alias.name)
-        elif node.module == "multiprocessing.shared_memory" or (
-            node.module == "multiprocessing"
-            and any(a.name == "shared_memory" for a in node.names)
-        ):
-            if not _is_shm_module(self.path):
-                self._flag(node, "R003",
-                           "raw multiprocessing.shared_memory import "
-                           "outside parallel/shm.py")
+                    self.ctx.wall_clock_names.add(alias.asname or alias.name)
+        for rule in self.rules:
+            rule.on_import_from(self.ctx, node)
         self.generic_visit(node)
 
     # -- scope tracking ------------------------------------------------
@@ -243,114 +433,33 @@ class _Visitor(ast.NodeVisitor):
         self._handle_function(node)
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        self._scopes.append(node)
+        self.ctx.scopes.append(node)
         self.generic_visit(node)
-        self._scopes.pop()
+        self.ctx.scopes.pop()
 
     def _handle_function(self, node) -> None:
-        self._check_accountant(node)
-        self._scopes.append(node)
+        for rule in self.rules:
+            rule.on_function(self.ctx, node)
+        self.ctx.scopes.append(node)
         self.generic_visit(node)
-        self._scopes.pop()
+        self.ctx.scopes.pop()
 
     def visit_With(self, node: ast.With) -> None:
-        self._with_depth += 1
+        self.ctx.with_depth += 1
         self.generic_visit(node)
-        self._with_depth -= 1
+        self.ctx.with_depth -= 1
 
-    # -- R004 ----------------------------------------------------------
+    # -- events --------------------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if _in_resilient_tree(self.path):
-            if node.type is None:
-                self._flag(node, "R004", "bare `except:` clause")
-            elif (
-                isinstance(node.type, ast.Name)
-                and node.type.id in ("Exception", "BaseException")
-                and all(isinstance(stmt, ast.Pass) for stmt in node.body)
-            ):
-                self._flag(node, "R004",
-                           f"`except {node.type.id}: pass` swallows "
-                           f"failures silently")
+        for rule in self.rules:
+            rule.on_except(self.ctx, node)
         self.generic_visit(node)
 
-    # -- R001 / R002 / R003 creations ---------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         chain = _attr_chain(node.func)
-        self._check_wall_clock(node, chain)
-        self._check_numpy_rng(node, chain)
-        self._check_shm_creation(node, chain)
-        self._check_durable_write(node, chain)
+        for rule in self.rules:
+            rule.on_call(self.ctx, node, chain)
         self.generic_visit(node)
-
-    def _check_wall_clock(self, node: ast.Call, chain: List[str]) -> None:
-        if not _in_kernel_tree(self.path):
-            return
-        if (len(chain) == 2 and chain[0] in self.time_aliases
-                and chain[1] in _WALL_CLOCK_FUNCS):
-            self._flag(node, "R001",
-                       f"`{'.'.join(chain)}()` in kernel code")
-        elif (len(chain) == 1 and chain[0] in self.wall_clock_names):
-            self._flag(node, "R001", f"`{chain[0]}()` in kernel code")
-
-    def _check_numpy_rng(self, node: ast.Call, chain: List[str]) -> None:
-        if len(chain) != 3 or chain[1] != "random":
-            return
-        if chain[0] not in self.numpy_aliases and chain[0] != "np":
-            return
-        name = chain[2]
-        if name in _RNG_CONSTRUCTORS:
-            if not node.args and not node.keywords:
-                self._flag(node, "R002",
-                           f"`{'.'.join(chain)}()` without an explicit "
-                           f"seed draws OS entropy")
-            return
-        self._flag(node, "R002",
-                   f"legacy global-state RNG call `{'.'.join(chain)}`")
-
-    def _check_shm_creation(self, node: ast.Call, chain: List[str]) -> None:
-        name = chain[-1] if chain else ""
-        if name not in ("ShmArena", "SharedMemory", "ResultSlabs"):
-            return
-        if self._with_depth > 0:
-            return  # context-managed: lifecycle is structural
-        # Widening search: function -> class -> module.  A method may
-        # hand the segment to the instance (release in a sibling
-        # method), and a factory helper may hand it to a module-level
-        # destructor.
-        if not any(_scope_releases(s) for s in reversed(self._scopes)):
-            self._flag(node, "R003",
-                       f"`{name}(...)` has no close()/unlink() path in "
-                       f"its enclosing scope")
-
-    # -- R006 ----------------------------------------------------------
-    def _check_durable_write(self, node: ast.Call, chain: List[str]) -> None:
-        if chain != ["open"] or not _in_durable_tree(self.path):
-            return
-        mode = _open_mode(node)
-        if mode is None or not any(c in mode for c in "wxa"):
-            return  # read mode, or dynamic mode we can't judge
-        # The same widening search R003 uses: the atomic rename (or the
-        # atomic_write helper wrapping it) may live anywhere in the
-        # enclosing function/class/module.
-        if any(_scope_writes_atomically(s) for s in reversed(self._scopes)):
-            return
-        self._flag(node, "R006",
-                   f"`open(..., {mode!r})` writes a durable path "
-                   f"without an atomic-rename path in scope")
-
-    # -- R005 ----------------------------------------------------------
-    def _check_accountant(self, node) -> None:
-        p = _norm(self.path)
-        if "/repro/bc/" not in p:
-            return
-        args = node.args
-        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
-        if "acc" not in names:
-            return
-        if not _charges_accountant(node):
-            self._flag(node, "R005",
-                       f"kernel `{node.name}` takes `acc` but never "
-                       f"charges it")
 
 
 def _scope_releases(scope: ast.AST) -> bool:
@@ -421,50 +530,44 @@ def _suppressed(source_lines: Sequence[str], finding: LintFinding) -> bool:
     return finding.rule in codes
 
 
-def lint_source(source: str, path: str) -> List[LintFinding]:
-    """Lint Python *source*, scoping path-dependent rules by *path*
-    (which may be virtual — the tests lint snippets under synthetic
-    paths like ``src/repro/bc/mod.py``)."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [LintFinding(path=path, line=exc.lineno or 1,
+def lint_module(mod: SourceModule) -> List[LintFinding]:
+    """Run every rule over one pre-parsed module in a single walk."""
+    if not mod.ok:
+        exc = mod.error
+        return [LintFinding(path=mod.path, line=exc.lineno or 1,
                             col=(exc.offset or 0) + 1, rule="R001",
                             message=f"unparseable source: {exc.msg}")]
-    visitor = _Visitor(path, tree)
-    visitor.visit(tree)
-    lines = source.splitlines()
+    walker = _Walker(mod.path, mod.tree, [cls() for cls in RULE_VISITORS])
+    walker.visit(mod.tree)
     return sorted(
-        (f for f in visitor.findings if not _suppressed(lines, f)),
+        (f for f in walker.ctx.findings if not _suppressed(mod.lines, f)),
         key=LintFinding.sort_key,
     )
 
 
-def lint_file(path, virtual_path: Optional[str] = None) -> List[LintFinding]:
-    """Lint one file; *virtual_path* overrides the path used for rule
-    scoping and reporting."""
-    text = Path(path).read_text(encoding="utf-8")
-    return lint_source(text, virtual_path or str(path))
+def lint_source(source: str, path: str) -> List[LintFinding]:
+    """Lint Python *source*, scoping path-dependent rules by *path*
+    (which may be virtual — the tests lint snippets under synthetic
+    paths like ``src/repro/bc/mod.py``)."""
+    return lint_module(parse_source(source, path))
 
 
-def iter_python_files(paths: Sequence[str]) -> List[Path]:
-    """Expand files-or-directories into a sorted list of ``.py`` files."""
-    files: List[Path] = []
-    for raw in paths:
-        p = Path(raw)
-        if p.is_dir():
-            files.extend(sorted(p.rglob("*.py")))
-        else:
-            files.append(p)
-    return files
+def lint_file(path, virtual_path: Optional[str] = None,
+              cache: Optional[AstCache] = None) -> List[LintFinding]:
+    """Lint one file through the shared parse cache; *virtual_path*
+    overrides the path used for rule scoping and reporting."""
+    cache = cache if cache is not None else GLOBAL_CACHE
+    return lint_module(cache.get(path, virtual_path=virtual_path))
 
 
-def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
+def lint_paths(paths: Sequence[str],
+               cache: Optional[AstCache] = None) -> List[LintFinding]:
     """Lint every Python file under *paths*, sorted and deduplicated
-    by location."""
+    by location.  Passing the same *cache* to the flow analyzer makes
+    a combined run parse each file exactly once."""
     findings: List[LintFinding] = []
     for f in iter_python_files(paths):
-        findings.extend(lint_file(f))
+        findings.extend(lint_file(f, cache=cache))
     return sorted(findings, key=LintFinding.sort_key)
 
 

@@ -186,7 +186,9 @@ def drive_workload(
                     # Graceful shutdown: everything accepted is already
                     # drained; pin the exact watermark so a restart
                     # replays nothing.
-                    final_checkpoint = svc.core.checkpoint_now()
+                    final_checkpoint = await asyncio.to_thread(
+                        svc.core.checkpoint_now
+                    )
         finally:
             for signum in installed:
                 loop.remove_signal_handler(signum)

@@ -244,10 +244,14 @@ class ReplicaService:
             await asyncio.gather(self._tailer_task, return_exceptions=True)
             self._tailer_task = None
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # shutdown(wait=True) joins the apply thread — off the loop.
+            await asyncio.to_thread(self._executor.shutdown, wait=True)
             self._executor = None
         if deregister:
-            clear_replica_position(self.wal_dir, self.replica_id)
+            # Position removal unlinks a file; keep it off the loop too.
+            await asyncio.to_thread(
+                clear_replica_position, self.wal_dir, self.replica_id
+            )
         self._raise_if_failed()
 
     async def __aenter__(self) -> "ReplicaService":

@@ -387,14 +387,15 @@ class BCService:
             await asyncio.gather(self._flusher, return_exceptions=True)
             self._flusher = None
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # shutdown(wait=True) joins worker threads — off the loop.
+            await asyncio.to_thread(self._executor.shutdown, wait=True)
             self._executor = None
         if self._syncer is not None:
             self._syncer.cancel()
             await asyncio.gather(self._syncer, return_exceptions=True)
             self._syncer = None
         if self._wal_executor is not None:
-            self._wal_executor.shutdown(wait=True)
+            await asyncio.to_thread(self._wal_executor.shutdown, wait=True)
             self._wal_executor = None
         if self._wal is not None and not self._wal.closed:
             # Final group commit + seal; resolve any waiters the
@@ -402,13 +403,13 @@ class BCService:
             # A failed or fenced journal can no longer commit: degrade
             # (failing those waiters) instead of masking the stop.
             try:
-                durable = self._wal.sync()
+                durable = await asyncio.to_thread(self._wal.sync)
             except WalError as exc:
                 self._degrade_writes(exc)
             else:
                 self._resolve_durable(durable)
             try:
-                self._wal.close()
+                await asyncio.to_thread(self._wal.close)
             except WalError:
                 pass  # already surfaced via _degrade_writes above
         self._raise_if_failed()
